@@ -1,0 +1,80 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Every bench binary prints rows shaped like the paper's tables and
+// accepts --docs / --seed flags to scale the synthetic collections. The
+// paper's absolute numbers are reprinted alongside measured values in
+// EXPERIMENTS.md; here we print the measured table plus the workload
+// parameters so runs are self-describing.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "collection/collection.h"
+#include "datagen/dblp.h"
+#include "datagen/inex.h"
+#include "graph/closure.h"
+#include "util/cli.h"
+#include "util/table_printer.h"
+
+namespace hopi::bench {
+
+/// Scaled stand-in for the paper's DBLP subset (6,210 docs / 168,991
+/// elements / 25,368 links). Default 800 docs keeps every bench binary in
+/// the tens of seconds; pass --docs=6210 to approach paper scale.
+inline collection::Collection MakeDblp(size_t docs, uint64_t seed) {
+  collection::Collection c;
+  datagen::DblpConfig config;
+  config.num_docs = docs;
+  config.seed = seed;
+  auto report = datagen::GenerateDblpCollection(config, &c);
+  if (!report.ok()) {
+    std::cerr << "datagen failed: " << report.status() << "\n";
+    std::exit(1);
+  }
+  return c;
+}
+
+/// Scaled INEX stand-in (paper: 12,232 docs / 12M elements / no links).
+inline collection::Collection MakeInex(size_t docs, size_t elements_per_doc,
+                                       uint64_t seed) {
+  collection::Collection c;
+  datagen::InexConfig config;
+  config.num_docs = docs;
+  config.mean_elements_per_doc = elements_per_doc;
+  config.seed = seed;
+  auto report = datagen::GenerateInexCollection(config, &c);
+  if (!report.ok()) {
+    std::cerr << "datagen failed: " << report.status() << "\n";
+    std::exit(1);
+  }
+  return c;
+}
+
+/// Paper compression metric: closure connections per stored cover entry
+/// (345M / 15.9M = 21.6 for the EDBT'04 baseline, 267 for the global
+/// cover — Sec 7.2).
+inline double Compression(uint64_t closure_connections,
+                          uint64_t cover_entries) {
+  if (cover_entries == 0) return 0.0;
+  return static_cast<double>(closure_connections) /
+         static_cast<double>(cover_entries);
+}
+
+inline CommandLine ParseFlagsOrDie(int argc, char** argv,
+                                   const std::vector<std::string>& known) {
+  CommandLine cli;
+  Status s = CommandLine::Parse(argc, argv, known, &cli);
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    std::exit(2);
+  }
+  return cli;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace hopi::bench

@@ -1,0 +1,86 @@
+// Related-work comparison (paper Sec 1.1 / 1.2): DataGuides handle
+// no-wildcard path queries well but (a) wildcard descendant queries must
+// scan the guide and (b) inter-document links are invisible to them.
+// This bench quantifies both against HOPI on the DBLP-like workload.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hopi/build.h"
+#include "query/dataguide.h"
+#include "query/tag_index.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace hopi;
+  using namespace hopi::bench;
+  CommandLine cli = ParseFlagsOrDie(argc, argv, {"docs", "seed"});
+  size_t docs = static_cast<size_t>(cli.GetInt("docs", 400));
+  uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+
+  PrintHeader("DataGuide [13] vs HOPI on //a//b queries");
+  collection::Collection c = MakeDblp(docs, seed);
+
+  Stopwatch guide_watch;
+  query::DataGuide guide(c);
+  double guide_build = guide_watch.ElapsedSeconds();
+  Stopwatch hopi_watch;
+  IndexBuildOptions options;
+  options.partition.max_connections = 40000;
+  auto index = BuildIndex(&c, options);
+  if (!index.ok()) {
+    std::cerr << index.status() << "\n";
+    return 1;
+  }
+  double hopi_build = hopi_watch.ElapsedSeconds();
+  query::TagIndex tags(c);
+
+  std::cout << "DataGuide: " << guide.NumGuideNodes() << " guide nodes, "
+            << TablePrinter::Fmt(guide_build, 3) << "s build\n"
+            << "HOPI: " << index->CoverSize() << " entries, "
+            << TablePrinter::Fmt(hopi_build, 3) << "s build\n\n";
+
+  // Result *pairs* (f, s): the tree pairs are all a DataGuide can see;
+  // HOPI additionally finds every pair connected through citation links.
+  TablePrinter table({"query", "tree pairs (guide)", "guide us",
+                      "all pairs (hopi)", "hopi us", "via links only"});
+  for (const auto& [first, second] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"inproceedings", "author"},
+           {"inproceedings", "title"},
+           {"abstract", "sentence"},
+           {"inproceedings", "cite"}}) {
+    uint32_t first_id = c.FindTagId(first);
+    Stopwatch gw;
+    // Tree pairs: per element of the second tag, count tree ancestors
+    // with the first tag (what guide-based evaluation can deliver).
+    uint64_t guide_pairs = 0;
+    std::vector<NodeId> via_guide = guide.WildcardDescendants(first, second);
+    for (NodeId s : via_guide) {
+      for (NodeId x = c.ParentOf(s); x != kInvalidNode; x = c.ParentOf(x)) {
+        if (c.TagIdOf(x) == first_id) ++guide_pairs;
+      }
+    }
+    int64_t guide_us = gw.ElapsedMicros();
+    Stopwatch hw;
+    uint64_t hopi_pairs = 0;
+    for (NodeId s : tags.Lookup(second)) {
+      for (NodeId f : tags.Lookup(first)) {
+        if (f != s && index->IsReachable(f, s)) ++hopi_pairs;
+      }
+    }
+    int64_t hopi_us = hw.ElapsedMicros();
+    table.AddRow({"//" + first + "//" + second,
+                  TablePrinter::FmtCount(guide_pairs),
+                  std::to_string(guide_us),
+                  TablePrinter::FmtCount(hopi_pairs),
+                  std::to_string(hopi_us),
+                  TablePrinter::FmtCount(hopi_pairs - guide_pairs)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check (paper Sec 1.1): every pair connected only "
+               "across a citation link is invisible to the DataGuide; the "
+               "via-links column is where HOPI earns its keep. Guide "
+               "lookups of full label paths remain unbeatably fast — the "
+               "indexes are complementary, which is the paper's point.\n";
+  return 0;
+}

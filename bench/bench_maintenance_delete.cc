@@ -1,0 +1,130 @@
+// Sec 7.3: index maintenance under document deletions.
+//
+// Paper findings reproduced here:
+//   - ~60% of DBLP documents separate the document-level graph, so the
+//     Theorem-2 fast path applies; separation testing is cheap (2s on
+//     paper hardware) and fast deletion ~6.5x that (13s).
+//   - Non-separating deletions cost grows with the number of connected
+//     documents; the worst hubs approach full-rebuild cost (partial
+//     closure recomputation up to 5% of the collection).
+//   - On INEX every document separates (no inter-document links).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "hopi/build.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace hopi;
+  using namespace hopi::bench;
+  CommandLine cli =
+      ParseFlagsOrDie(argc, argv, {"docs", "seed", "deletions"});
+  size_t docs = static_cast<size_t>(cli.GetInt("docs", 400));
+  uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  size_t deletions = static_cast<size_t>(cli.GetInt("deletions", 60));
+
+  PrintHeader("Sec 7.3: document deletion on DBLP-like collection");
+  collection::Collection c = MakeDblp(docs, seed);
+
+  IndexBuildOptions build_options;
+  build_options.partition.strategy =
+      partition::PartitionStrategy::kTcSizeAware;
+  build_options.partition.max_connections = 50000;
+  Stopwatch build_watch;
+  auto index = BuildIndex(&c, build_options);
+  if (!index.ok()) {
+    std::cerr << index.status() << "\n";
+    return 1;
+  }
+  double full_build_seconds = build_watch.ElapsedSeconds();
+
+  // Fraction of documents that separate G_D (paper: ~60% on DBLP).
+  size_t separating = 0, live = 0;
+  std::vector<double> septest_seconds;
+  for (collection::DocId d = 0; d < c.NumDocuments(); ++d) {
+    if (!c.IsLive(d)) continue;
+    ++live;
+    Stopwatch watch;
+    if (index->SeparatesDocumentGraph(d)) ++separating;
+    septest_seconds.push_back(watch.ElapsedSeconds());
+  }
+  Summary sep_summary = Summarize(septest_seconds);
+  std::cout << "separating documents: " << separating << " / " << live
+            << " = "
+            << TablePrinter::Fmt(100.0 * separating / std::max<size_t>(live, 1),
+                                 1)
+            << "% (paper: ~60%)\n";
+  std::cout << "separation test: mean "
+            << TablePrinter::Fmt(sep_summary.mean * 1e3, 3) << "ms, max "
+            << TablePrinter::Fmt(sep_summary.max * 1e3, 3) << "ms\n\n";
+
+  // Delete a sample of documents, split by path taken.
+  Rng rng(seed);
+  std::vector<double> fast_seconds, general_seconds;
+  std::vector<double> general_fractions;
+  size_t deleted = 0;
+  std::vector<collection::DocId> order;
+  for (collection::DocId d = 0; d < c.NumDocuments(); ++d) {
+    if (c.IsLive(d)) order.push_back(d);
+  }
+  rng.Shuffle(&order);
+  for (collection::DocId d : order) {
+    if (deleted >= deletions) break;
+    if (!c.IsLive(d)) continue;
+    DeleteStats stats;
+    Status s = index->DeleteDocument(d, &stats);
+    if (!s.ok()) {
+      std::cerr << "delete failed: " << s << "\n";
+      return 1;
+    }
+    ++deleted;
+    if (stats.separated) {
+      fast_seconds.push_back(stats.total_seconds);
+    } else {
+      general_seconds.push_back(stats.total_seconds);
+      general_fractions.push_back(stats.recompute_fraction);
+    }
+  }
+
+  TablePrinter table({"path", "count", "mean", "median", "max"});
+  auto add_row = [&table](const std::string& name, std::vector<double> v) {
+    Summary s = Summarize(std::move(v));
+    table.AddRow({name, TablePrinter::FmtCount(s.count),
+                  TablePrinter::Fmt(s.mean * 1e3, 2) + "ms",
+                  TablePrinter::Fmt(s.median * 1e3, 2) + "ms",
+                  TablePrinter::Fmt(s.max * 1e3, 2) + "ms"});
+  };
+  add_row("fast (Thm 2)", fast_seconds);
+  add_row("general (Thm 3)", general_seconds);
+  table.Print(std::cout);
+
+  if (!general_fractions.empty()) {
+    Summary f = Summarize(general_fractions);
+    std::cout << "general-path partial closure recomputation: mean "
+              << TablePrinter::Fmt(100 * f.mean, 1) << "% of elements, max "
+              << TablePrinter::Fmt(100 * f.max, 1)
+              << "% (paper: up to 5% for hub documents)\n";
+  }
+  std::cout << "full index rebuild for comparison: "
+            << TablePrinter::Fmt(full_build_seconds, 2)
+            << "s (worst general deletions should approach this)\n";
+
+  // INEX: every document separates.
+  PrintHeader("Sec 7.3: INEX-like collection (link-free)");
+  collection::Collection inex = MakeInex(60, 200, seed);
+  auto inex_index = BuildIndex(&inex, build_options);
+  if (!inex_index.ok()) {
+    std::cerr << inex_index.status() << "\n";
+    return 1;
+  }
+  size_t inex_separating = 0;
+  for (collection::DocId d = 0; d < inex.NumDocuments(); ++d) {
+    if (inex_index->SeparatesDocumentGraph(d)) ++inex_separating;
+  }
+  std::cout << "separating documents: " << inex_separating << " / "
+            << inex.NumDocuments()
+            << " (paper: every INEX document separates)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Sec 6.1 timed: incremental insertion of links and whole documents.
+//
+// The paper gives the algorithms without timings; we quantify that both
+// operations are far cheaper than rebuilding, which is what makes the
+// incremental path worthwhile.
+#include <iostream>
+
+#include "bench_common.h"
+#include "datagen/dblp.h"
+#include "hopi/build.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace hopi;
+  using namespace hopi::bench;
+  CommandLine cli =
+      ParseFlagsOrDie(argc, argv, {"docs", "seed", "inserts"});
+  size_t docs = static_cast<size_t>(cli.GetInt("docs", 400));
+  uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  size_t inserts = static_cast<size_t>(cli.GetInt("inserts", 50));
+
+  PrintHeader("Sec 6.1: incremental insertion");
+  collection::Collection c = MakeDblp(docs, seed);
+  IndexBuildOptions options;
+  options.partition.strategy = partition::PartitionStrategy::kTcSizeAware;
+  options.partition.max_connections = 50000;
+  Stopwatch build_watch;
+  auto index = BuildIndex(&c, options);
+  if (!index.ok()) {
+    std::cerr << index.status() << "\n";
+    return 1;
+  }
+  double build_seconds = build_watch.ElapsedSeconds();
+
+  // Link insertions between random existing elements.
+  Rng rng(seed + 1);
+  std::vector<double> link_seconds;
+  while (link_seconds.size() < inserts) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    if (u == v || c.ElementGraph().HasEdge(u, v)) continue;
+    Stopwatch watch;
+    Status s = index->InsertLink(u, v);
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+    link_seconds.push_back(watch.ElapsedSeconds());
+  }
+
+  // Document insertions: new publications citing random existing ones.
+  datagen::DblpConfig gen_config;
+  gen_config.num_docs = docs;
+  gen_config.seed = seed + 2;
+  Rng gen_rng(seed + 3);
+  collection::Ingestor ingestor(&c);
+  std::vector<double> doc_seconds;
+  for (size_t i = 0; i < inserts; ++i) {
+    xml::Document doc = datagen::GenerateDblpDocument(
+        gen_config, docs + i, &gen_rng);
+    doc.name = "ins-" + doc.name;  // avoid name collisions
+    auto id = ingestor.Ingest(doc);
+    if (!id.ok()) {
+      std::cerr << id.status() << "\n";
+      return 1;
+    }
+    Stopwatch watch;
+    Status s = index->InsertDocument(*id);
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+    doc_seconds.push_back(watch.ElapsedSeconds());
+  }
+
+  TablePrinter table({"operation", "count", "mean", "median", "max"});
+  auto add = [&table](const std::string& name, std::vector<double> v) {
+    Summary s = Summarize(std::move(v));
+    table.AddRow({name, TablePrinter::FmtCount(s.count),
+                  TablePrinter::Fmt(s.mean * 1e3, 3) + "ms",
+                  TablePrinter::Fmt(s.median * 1e3, 3) + "ms",
+                  TablePrinter::Fmt(s.max * 1e3, 3) + "ms"});
+  };
+  add("insert link", std::move(link_seconds));
+  add("insert document", std::move(doc_seconds));
+  table.Print(std::cout);
+  std::cout << "full rebuild for comparison: "
+            << TablePrinter::Fmt(build_seconds, 2)
+            << "s — insertions must be orders of magnitude cheaper.\n";
+  return 0;
+}

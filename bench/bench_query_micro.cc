@@ -1,0 +1,141 @@
+// Query micro-benchmarks (google-benchmark): HOPI label intersection vs
+// the materialized transitive closure, in memory and through the
+// LIN/LOUT store. Query performance was evaluated in the EDBT 2004 paper
+// [26]; this harness provides the comparable numbers for our build.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "hopi/baseline.h"
+#include "hopi/build.h"
+#include "storage/linlout.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hopi;
+using namespace hopi::bench;
+
+struct Fixture {
+  collection::Collection collection;
+  std::unique_ptr<HopiIndex> index;
+  std::unique_ptr<HopiIndex> dist_index;
+  std::unique_ptr<TransitiveClosureIndex> closure;
+  std::unique_ptr<storage::LinLoutStore> store;
+
+  static Fixture& Get() {
+    static Fixture f = Make();
+    return f;
+  }
+
+  static Fixture Make() {
+    Fixture f;
+    f.collection = MakeDblp(300, 42);
+    IndexBuildOptions options;
+    options.partition.strategy = partition::PartitionStrategy::kTcSizeAware;
+    options.partition.max_connections = 30000;
+    auto index = BuildIndex(&f.collection, options);
+    if (!index.ok()) std::abort();
+    f.index = std::make_unique<HopiIndex>(std::move(index).value());
+    options.with_distance = true;
+    auto dist = BuildIndex(&f.collection, options);
+    if (!dist.ok()) std::abort();
+    f.dist_index = std::make_unique<HopiIndex>(std::move(dist).value());
+    f.closure = std::make_unique<TransitiveClosureIndex>(
+        TransitiveClosureIndex::Build(f.collection.ElementGraph(), true));
+    f.store = std::make_unique<storage::LinLoutStore>(
+        storage::LinLoutStore::FromCover(f.index->cover(), false));
+    return f;
+  }
+
+  std::pair<NodeId, NodeId> RandomPair(Rng* rng) const {
+    return {static_cast<NodeId>(rng->NextBounded(collection.NumElements())),
+            static_cast<NodeId>(rng->NextBounded(collection.NumElements()))};
+  }
+};
+
+void BM_Reachability_Hopi(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(1);
+  for (auto _ : state) {
+    auto [u, v] = f.RandomPair(&rng);
+    benchmark::DoNotOptimize(f.index->IsReachable(u, v));
+  }
+}
+BENCHMARK(BM_Reachability_Hopi);
+
+void BM_Reachability_MaterializedTC(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(1);
+  for (auto _ : state) {
+    auto [u, v] = f.RandomPair(&rng);
+    benchmark::DoNotOptimize(f.closure->IsReachable(u, v));
+  }
+}
+BENCHMARK(BM_Reachability_MaterializedTC);
+
+void BM_Reachability_LinLoutStore(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(1);
+  for (auto _ : state) {
+    auto [u, v] = f.RandomPair(&rng);
+    benchmark::DoNotOptimize(f.store->TestConnection(u, v));
+  }
+}
+BENCHMARK(BM_Reachability_LinLoutStore);
+
+void BM_Distance_Hopi(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(2);
+  for (auto _ : state) {
+    auto [u, v] = f.RandomPair(&rng);
+    benchmark::DoNotOptimize(f.dist_index->Distance(u, v));
+  }
+}
+BENCHMARK(BM_Distance_Hopi);
+
+void BM_Distance_MaterializedTC(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(2);
+  for (auto _ : state) {
+    auto [u, v] = f.RandomPair(&rng);
+    benchmark::DoNotOptimize(f.closure->Distance(u, v));
+  }
+}
+BENCHMARK(BM_Distance_MaterializedTC);
+
+void BM_Descendants_Hopi(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(3);
+  for (auto _ : state) {
+    NodeId u =
+        static_cast<NodeId>(rng.NextBounded(f.collection.NumElements()));
+    benchmark::DoNotOptimize(f.index->Descendants(u));
+  }
+}
+BENCHMARK(BM_Descendants_Hopi);
+
+void BM_Descendants_MaterializedTC(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(3);
+  for (auto _ : state) {
+    NodeId u =
+        static_cast<NodeId>(rng.NextBounded(f.collection.NumElements()));
+    benchmark::DoNotOptimize(f.closure->Descendants(u));
+  }
+}
+BENCHMARK(BM_Descendants_MaterializedTC);
+
+void BM_Descendants_LinLoutStore(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(3);
+  for (auto _ : state) {
+    NodeId u =
+        static_cast<NodeId>(rng.NextBounded(f.collection.NumElements()));
+    benchmark::DoNotOptimize(f.store->Descendants(u));
+  }
+}
+BENCHMARK(BM_Descendants_LinLoutStore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

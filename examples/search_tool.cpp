@@ -1,0 +1,100 @@
+// A miniature XML search engine on the command line: generates (or
+// ingests) a collection, builds a distance-aware HOPI index, then answers
+// path queries — including XXL-style approximate tags.
+//
+//   $ ./search_tool "//inproceedings//cite//title"
+//   $ ./search_tool --docs=500 "//~book//author"
+//   $ ./search_tool --workload=xmark "//person//watch"
+#include <iostream>
+
+#include "datagen/dblp.h"
+#include "datagen/xmark.h"
+#include "hopi/build.h"
+#include "query/path_query.h"
+#include "query/similarity.h"
+#include "query/tag_index.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace hopi;
+  CommandLine cli;
+  Status parsed = CommandLine::Parse(
+      argc, argv, {"docs", "seed", "workload", "limit", "max-dist"}, &cli);
+  if (!parsed.ok()) {
+    std::cerr << parsed << "\n";
+    return 2;
+  }
+  std::string query_text = cli.positional().empty()
+                               ? "//inproceedings//cite//title"
+                               : cli.positional().front();
+
+  // 1. Data.
+  collection::Collection c;
+  std::string workload = cli.GetString("workload", "dblp");
+  if (workload == "xmark") {
+    datagen::XmarkConfig config;
+    if (!datagen::GenerateXmarkCollection(config, &c).ok()) return 1;
+  } else {
+    datagen::DblpConfig config;
+    config.num_docs = static_cast<size_t>(cli.GetInt("docs", 300));
+    config.seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+    if (!datagen::GenerateDblpCollection(config, &c).ok()) return 1;
+  }
+  std::cout << "collection: " << c.NumLiveDocuments() << " docs / "
+            << c.NumElements() << " elements / " << c.NumInterLinks()
+            << " links\n";
+
+  // 2. Index.
+  Stopwatch build_watch;
+  IndexBuildOptions options;
+  options.with_distance = true;
+  options.partition.max_connections = 50000;
+  auto index = BuildIndex(&c, options);
+  if (!index.ok()) {
+    std::cerr << index.status() << "\n";
+    return 1;
+  }
+  std::cout << "index: " << index->CoverSize() << " entries ("
+            << build_watch.ElapsedSeconds() << "s)\n\n";
+
+  // 3. Query.
+  auto expr = query::PathExpression::Parse(query_text);
+  if (!expr.ok()) {
+    std::cerr << expr.status() << "\n";
+    return 2;
+  }
+  query::TagIndex tags(c);
+  query::TagSimilarity similarity = query::TagSimilarity::DblpDefaults();
+  query::PathQueryOptions qopts;
+  qopts.similarity = &similarity;
+  qopts.max_matches = static_cast<size_t>(cli.GetInt("limit", 10));
+  if (cli.Has("max-dist")) {
+    qopts.max_step_distance =
+        static_cast<uint32_t>(cli.GetInt("max-dist", 0));
+  }
+
+  Stopwatch query_watch;
+  auto matches = query::EvaluatePath(*expr, *index, tags, qopts);
+  if (!matches.ok()) {
+    std::cerr << matches.status() << "\n";
+    return 1;
+  }
+  std::cout << expr->ToString() << "  (" << query_watch.ElapsedMicros()
+            << "us)\n";
+  if (matches->empty()) {
+    std::cout << "  no matches\n";
+    return 0;
+  }
+  for (const query::PathMatch& m : *matches) {
+    std::cout << "  score=" << m.score << " dist=" << m.total_distance
+              << "  ";
+    for (size_t i = 0; i < m.bindings.size(); ++i) {
+      NodeId e = m.bindings[i];
+      if (i) std::cout << " // ";
+      std::cout << c.TagOf(e) << "@" << c.DocName(c.DocOf(e));
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

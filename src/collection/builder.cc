@@ -1,0 +1,114 @@
+#include "collection/builder.h"
+
+#include <cassert>
+
+namespace hopi::collection {
+
+namespace {
+
+/// Splits an href "doc.xml#anchor" into (doc, anchor); either may be empty.
+std::pair<std::string, std::string> SplitHref(const std::string& href) {
+  auto hash = href.find('#');
+  if (hash == std::string::npos) return {href, ""};
+  return {href.substr(0, hash), href.substr(hash + 1)};
+}
+
+}  // namespace
+
+Result<DocId> Ingestor::Ingest(const xml::Document& document) {
+  if (document.root == nullptr) {
+    return hopi::Status::InvalidArgument("document '" + document.name +
+                                         "' has no root element");
+  }
+  if (collection_->FindDocument(document.name).ok()) {
+    return hopi::Status::InvalidArgument("duplicate document name '" +
+                                         document.name + "'");
+  }
+  DocId doc = collection_->AddDocument(document.name);
+  ++report_.documents;
+
+  // Pass 1: intern the element tree, register anchors, collect refs.
+  std::vector<PendingRef> refs;
+  struct Frame {
+    const xml::Element* elem;
+    NodeId parent;
+  };
+  std::vector<Frame> stack{{document.root.get(), kInvalidNode}};
+  while (!stack.empty()) {
+    auto [elem, parent] = stack.back();
+    stack.pop_back();
+    NodeId node = collection_->AddElement(doc, elem->tag(), parent);
+    ++report_.elements;
+
+    if (const std::string* id = elem->FindAttribute("id")) {
+      anchors_[{document.name, *id}] = node;
+    }
+    if (const std::string* idref = elem->FindAttribute("idref")) {
+      refs.push_back({node, document.name, *idref});
+    }
+    if (const std::string* href = elem->FindAttribute("xlink:href")) {
+      auto [target_doc, anchor] = SplitHref(*href);
+      if (target_doc.empty()) target_doc = document.name;
+      refs.push_back({node, std::move(target_doc), std::move(anchor)});
+    }
+    // Push children in reverse so they are interned in document order
+    // (keeps the "children have larger ids than parents" invariant that
+    // Collection's subtree-size cache relies on).
+    const auto& children = elem->children();
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({it->get(), node});
+    }
+  }
+
+  // Pass 2: resolve this document's own references...
+  for (PendingRef& ref : refs) ResolveOrDefer(std::move(ref));
+  // ...and any earlier references that were waiting for this document.
+  RetryPendingFor(document.name);
+  return doc;
+}
+
+void Ingestor::ResolveOrDefer(PendingRef ref) {
+  NodeId target = kInvalidNode;
+  if (ref.target_anchor.empty()) {
+    // Link to a document root.
+    auto doc = collection_->FindDocument(ref.target_doc);
+    if (doc.ok()) target = collection_->RootOf(*doc);
+  } else {
+    auto it = anchors_.find({ref.target_doc, ref.target_anchor});
+    if (it != anchors_.end()) target = it->second;
+  }
+  if (target == kInvalidNode) {
+    std::string key = ref.target_doc;
+    pending_[key].push_back(std::move(ref));
+    ++report_.dangling;
+    return;
+  }
+  if (collection_->AddLink(ref.source, target)) {
+    if (collection_->DocOf(ref.source) == collection_->DocOf(target)) {
+      ++report_.intra_links;
+    } else {
+      ++report_.inter_links;
+    }
+  }
+}
+
+void Ingestor::RetryPendingFor(const std::string& doc_name) {
+  auto it = pending_.find(doc_name);
+  if (it == pending_.end()) return;
+  std::vector<PendingRef> refs = std::move(it->second);
+  pending_.erase(it);
+  report_.dangling -= refs.size();
+  for (PendingRef& ref : refs) ResolveOrDefer(std::move(ref));
+}
+
+Result<IngestReport> BuildCollection(
+    const std::vector<xml::Document>& documents, Collection* out) {
+  Ingestor ingestor(out);
+  for (const xml::Document& d : documents) {
+    auto doc = ingestor.Ingest(d);
+    if (!doc.ok()) return doc.status();
+  }
+  return ingestor.report();
+}
+
+}  // namespace hopi::collection

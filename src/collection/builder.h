@@ -1,0 +1,70 @@
+// Ingestion: xml::Document trees -> collection::Collection.
+//
+// Link conventions recognized (matching what the paper's DBLP preparation
+// did — per-publication documents with citation XLinks):
+//   - id="..."            registers an anchor on the element
+//   - idref="..."         intra-document link to the anchor with that id
+//   - xlink:href="#id"            intra-document link
+//   - xlink:href="doc.xml#id"     inter-document link to an anchor
+//   - xlink:href="doc.xml"        inter-document link to the target's root
+// Unresolvable references are kept pending, not fatal: web-scale
+// collections always contain dangling links, and a later ingest may
+// resolve them (the paper's insertion scenario).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "util/result.h"
+#include "xml/node.h"
+
+namespace hopi::collection {
+
+/// Running ingestion statistics.
+struct IngestReport {
+  size_t documents = 0;
+  size_t elements = 0;
+  size_t intra_links = 0;
+  size_t inter_links = 0;
+  size_t dangling = 0;  // still-unresolved references
+};
+
+/// Stateful ingestor: feeds XML documents into a Collection, resolving
+/// id/idref/xlink references across ingests. Keep one Ingestor alive for
+/// the lifetime of a growing collection.
+class Ingestor {
+ public:
+  explicit Ingestor(Collection* collection) : collection_(collection) {}
+
+  /// Ingests one document. Its outgoing references are resolved against
+  /// everything ingested so far; unresolved ones stay pending and are
+  /// retried whenever a later ingest provides the target.
+  Result<DocId> Ingest(const xml::Document& document);
+
+  const IngestReport& report() const { return report_; }
+
+ private:
+  struct PendingRef {
+    NodeId source;
+    std::string target_doc;   // empty = same document as source
+    std::string target_anchor;  // empty = document root
+  };
+
+  void ResolveOrDefer(PendingRef ref);
+  void RetryPendingFor(const std::string& doc_name);
+
+  Collection* collection_;
+  IngestReport report_;
+  // (doc name, anchor id) -> element
+  std::map<std::pair<std::string, std::string>, NodeId> anchors_;
+  // target doc name -> references waiting for it
+  std::map<std::string, std::vector<PendingRef>> pending_;
+};
+
+/// Convenience: builds a collection from a batch of documents.
+Result<IngestReport> BuildCollection(
+    const std::vector<xml::Document>& documents, Collection* out);
+
+}  // namespace hopi::collection

@@ -1,0 +1,185 @@
+#include "collection/collection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hopi::collection {
+
+DocId Collection::AddDocument(std::string name) {
+  DocId id = static_cast<DocId>(doc_names_.size());
+  doc_ids_[name] = id;
+  doc_names_.push_back(std::move(name));
+  doc_elements_.emplace_back();
+  doc_roots_.push_back(kInvalidNode);
+  removed_.push_back(false);
+  document_graph_.EnsureNodes(doc_names_.size());
+  ++live_docs_;
+  return id;
+}
+
+NodeId Collection::AddElement(DocId doc, const std::string& tag,
+                              NodeId parent) {
+  assert(doc < doc_names_.size() && !removed_[doc]);
+  uint32_t tag_id;
+  auto it = tag_ids_.find(tag);
+  if (it == tag_ids_.end()) {
+    tag_id = static_cast<uint32_t>(tag_names_.size());
+    tag_ids_[tag] = tag_id;
+    tag_names_.push_back(tag);
+  } else {
+    tag_id = it->second;
+  }
+
+  NodeId id = element_graph_.AddNode();
+  elements_.push_back({doc, tag_id, parent});
+  doc_elements_[doc].push_back(id);
+  if (parent == kInvalidNode) {
+    assert(doc_roots_[doc] == kInvalidNode && "document already has a root");
+    doc_roots_[doc] = id;
+  } else {
+    assert(elements_[parent].doc == doc && "tree edge crosses documents");
+    element_graph_.AddEdge(parent, id);
+  }
+  InvalidateCaches();
+  return id;
+}
+
+bool Collection::AddLink(NodeId source, NodeId target) {
+  assert(source < elements_.size() && target < elements_.size());
+  if (!element_graph_.AddEdge(source, target)) return false;
+  links_.push_back({source, target});
+  DocId ds = elements_[source].doc;
+  DocId dt = elements_[target].doc;
+  if (ds != dt) {
+    ++num_inter_links_;
+    document_graph_.AddEdge(ds, dt);
+    ++doc_edge_links_[{ds, dt}];
+  }
+  return true;
+}
+
+hopi::Status Collection::RemoveDocument(DocId doc) {
+  if (doc >= doc_names_.size()) {
+    return hopi::Status::NotFound("no such document id " +
+                                  std::to_string(doc));
+  }
+  if (removed_[doc]) {
+    return hopi::Status::InvalidArgument("document already removed: " +
+                                         doc_names_[doc]);
+  }
+  // Drop links touching the document (element graph edges go via
+  // IsolateNode below; here we fix the bookkeeping).
+  auto touches_doc = [this, doc](const Link& l) {
+    return elements_[l.source].doc == doc || elements_[l.target].doc == doc;
+  };
+  for (const Link& l : links_) {
+    if (!touches_doc(l)) continue;
+    DocId ds = elements_[l.source].doc;
+    DocId dt = elements_[l.target].doc;
+    if (ds != dt) {
+      --num_inter_links_;
+      auto it = doc_edge_links_.find({ds, dt});
+      assert(it != doc_edge_links_.end());
+      if (--it->second == 0) {
+        doc_edge_links_.erase(it);
+        document_graph_.RemoveEdge(ds, dt);
+      }
+    }
+  }
+  links_.erase(std::remove_if(links_.begin(), links_.end(), touches_doc),
+               links_.end());
+
+  for (NodeId e : doc_elements_[doc]) {
+    element_graph_.IsolateNode(e);
+    elements_[e].parent = kInvalidNode;
+  }
+  removed_[doc] = true;
+  --live_docs_;
+  InvalidateCaches();
+  return hopi::Status::OK();
+}
+
+hopi::Status Collection::RemoveLink(NodeId source, NodeId target) {
+  auto it = std::find(links_.begin(), links_.end(), Link{source, target});
+  if (it == links_.end()) {
+    return hopi::Status::NotFound("link not present");
+  }
+  links_.erase(it);
+  element_graph_.RemoveEdge(source, target);
+  DocId ds = elements_[source].doc;
+  DocId dt = elements_[target].doc;
+  if (ds != dt) {
+    --num_inter_links_;
+    auto de = doc_edge_links_.find({ds, dt});
+    assert(de != doc_edge_links_.end());
+    if (--de->second == 0) {
+      doc_edge_links_.erase(de);
+      document_graph_.RemoveEdge(ds, dt);
+    }
+  }
+  return hopi::Status::OK();
+}
+
+uint32_t Collection::FindTagId(const std::string& tag) const {
+  auto it = tag_ids_.find(tag);
+  return it == tag_ids_.end() ? kInvalidTag : it->second;
+}
+
+Result<DocId> Collection::FindDocument(const std::string& name) const {
+  auto it = doc_ids_.find(name);
+  if (it == doc_ids_.end()) {
+    return hopi::Status::NotFound("no document named " + name);
+  }
+  return it->second;
+}
+
+uint32_t Collection::DocEdgeLinkCount(DocId di, DocId dj) const {
+  auto it = doc_edge_links_.find({di, dj});
+  return it == doc_edge_links_.end() ? 0 : it->second;
+}
+
+uint32_t Collection::TreeAncestorCount(NodeId element) const {
+  uint32_t count = 1;  // including the element itself, as in Fig. 5
+  for (NodeId p = elements_[element].parent; p != kInvalidNode;
+       p = elements_[p].parent) {
+    ++count;
+  }
+  return count;
+}
+
+void Collection::EnsureSubtreeCache() const {
+  if (subtree_cache_valid_) return;
+  subtree_size_cache_.assign(elements_.size(), 1);
+  // Accumulate bottom-up: process children before parents. Element ids are
+  // assigned in creation order and AddElement requires the parent to exist
+  // first, so iterating ids descending visits children before parents.
+  for (size_t i = elements_.size(); i-- > 0;) {
+    NodeId p = elements_[i].parent;
+    if (p != kInvalidNode) {
+      subtree_size_cache_[p] += subtree_size_cache_[i];
+    }
+  }
+  subtree_cache_valid_ = true;
+}
+
+uint32_t Collection::TreeDescendantCount(NodeId element) const {
+  EnsureSubtreeCache();
+  return subtree_size_cache_[element];
+}
+
+uint64_t Collection::ApproximateSizeBytes() const {
+  // <tag></tag> overhead per element plus attribute bytes per link
+  // (xlink:href="docname#eNNN") — a deliberately simple but stable model.
+  uint64_t bytes = 0;
+  for (const ElementInfo& e : elements_) {
+    if (e.doc != kInvalidDoc && !removed_[e.doc]) {
+      bytes += 2 * tag_names_[e.tag].size() + 5 /* <>,</>,\n */ + 8;
+    }
+  }
+  for (const Link& l : links_) {
+    bytes += 13 /* xlink:href="" */ + doc_names_[elements_[l.target].doc].size() + 6;
+  }
+  return bytes;
+}
+
+}  // namespace hopi::collection

@@ -1,0 +1,64 @@
+#include "collection/tree_labels.h"
+
+#include <cassert>
+
+namespace hopi::collection {
+
+TreeLabels::TreeLabels(const Collection& collection)
+    : collection_(collection) {
+  const size_t n = collection.NumElements();
+  pre_.assign(n, 0);
+  post_.assign(n, 0);
+  depth_.assign(n, 0);
+  subtree_size_.assign(n, 1);
+
+  // Children lists from the parent pointers (tree edges only — the
+  // element graph also contains links, which must not count here).
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId e = 0; e < n; ++e) {
+    DocId d = collection.DocOf(e);
+    if (d == kInvalidDoc || !collection.IsLive(d)) continue;
+    NodeId p = collection.ParentOf(e);
+    if (p != kInvalidNode) children[p].push_back(e);
+  }
+
+  for (DocId d = 0; d < collection.NumDocuments(); ++d) {
+    if (!collection.IsLive(d)) continue;
+    NodeId root = collection.RootOf(d);
+    if (root == kInvalidNode) continue;
+    uint32_t pre_counter = 0;
+    uint32_t post_counter = 0;
+    // Iterative DFS carrying depth; post-order assigned when a node's
+    // subtree is exhausted.
+    struct Frame {
+      NodeId node;
+      size_t child;
+    };
+    std::vector<Frame> stack{{root, 0}};
+    pre_[root] = pre_counter++;
+    depth_[root] = 0;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.child < children[f.node].size()) {
+        NodeId c = children[f.node][f.child++];
+        pre_[c] = pre_counter++;
+        depth_[c] = depth_[f.node] + 1;
+        stack.push_back({c, 0});
+      } else {
+        post_[f.node] = post_counter++;
+        NodeId done = f.node;
+        stack.pop_back();
+        if (!stack.empty()) {
+          subtree_size_[stack.back().node] += subtree_size_[done];
+        }
+      }
+    }
+  }
+}
+
+bool TreeLabels::IsAncestorOrSelf(NodeId anc, NodeId node) const {
+  if (collection_.DocOf(anc) != collection_.DocOf(node)) return false;
+  return pre_[anc] <= pre_[node] && post_[anc] >= post_[node];
+}
+
+}  // namespace hopi::collection

@@ -1,0 +1,52 @@
+// Pre/postorder interval labels over the element-level trees.
+//
+// The paper (Sec 4.3) keeps pre- and postorder values per element "until
+// we have built the HOPI index": with them, tree ancestorship is a pair
+// of integer comparisons (u is an ancestor-or-self of v iff
+// pre(u) <= pre(v) and post(u) >= post(v)), and the anc/desc counts of
+// Fig. 5 fall out directly. The skeleton-graph construction and the
+// Fig. 5 annotations consume this structure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "collection/collection.h"
+#include "graph/digraph.h"
+
+namespace hopi::collection {
+
+/// Interval labels for every element of a collection, computed per
+/// document tree. Elements of removed documents keep zeroed labels.
+class TreeLabels {
+ public:
+  /// O(elements) construction via one DFS per live document.
+  explicit TreeLabels(const Collection& collection);
+
+  /// Preorder rank of the element within its document tree (0-based).
+  uint32_t Pre(NodeId element) const { return pre_[element]; }
+  /// Postorder rank within its document tree.
+  uint32_t Post(NodeId element) const { return post_[element]; }
+
+  /// True iff `anc` is an ancestor of `node` or the same element, within
+  /// one document tree. O(1). False across documents.
+  bool IsAncestorOrSelf(NodeId anc, NodeId node) const;
+
+  /// Number of tree ancestors including the element itself (Fig. 5).
+  uint32_t AncestorCount(NodeId element) const { return depth_[element] + 1; }
+
+  /// Number of tree descendants including the element itself (Fig. 5).
+  uint32_t DescendantCount(NodeId element) const {
+    return subtree_size_[element];
+  }
+
+ private:
+  const Collection& collection_;
+  std::vector<uint32_t> pre_;
+  std::vector<uint32_t> post_;
+  std::vector<uint32_t> depth_;
+  std::vector<uint32_t> subtree_size_;
+};
+
+}  // namespace hopi::collection

@@ -1,0 +1,49 @@
+// DBLP-like synthetic collection.
+//
+// Mirrors the paper's evaluation dataset (Sec 7.1): one XML document per
+// publication, citation XLinks between documents. The paper's subset had
+// 6,210 docs / 168,991 elements / 25,368 links (~27 elements and ~4 links
+// per doc); the generator reproduces those per-document ratios and a
+// power-law citation target distribution (classic papers attract most
+// citations), which is the property the partitioning and maintenance
+// experiments actually depend on.
+#pragma once
+
+#include <cstdint>
+
+#include "collection/builder.h"
+#include "collection/collection.h"
+#include "util/rng.h"
+#include "util/result.h"
+#include "xml/node.h"
+
+namespace hopi::datagen {
+
+struct DblpConfig {
+  size_t num_docs = 1000;
+  /// Mean citations per publication (matches paper's 25,368/6,210 ≈ 4.1).
+  double mean_citations = 4.1;
+  /// Zipf exponent for citation targets (power-law in-degree).
+  double zipf_exponent = 1.05;
+  /// Fraction of citations that point *forward* in publication order.
+  /// Real citation graphs are mostly backward; a small forward fraction
+  /// (errata, "to appear") creates document-level cycles, which HOPI must
+  /// handle (it works on arbitrary graphs).
+  double forward_cite_fraction = 0.02;
+  /// Probability that a publication carries an intra-document cross
+  /// reference (e.g. a footnote referencing an author element).
+  double intra_link_prob = 0.15;
+  uint64_t seed = 42;
+};
+
+/// Generates publication `index` (0-based) as an XML document named
+/// "pub<index>.xml". Citations use xlink:href="pub<j>.xml" (document root
+/// targets), matching how the paper added citation XLinks to DBLP records.
+xml::Document GenerateDblpDocument(const DblpConfig& config, size_t index,
+                                   Rng* rng);
+
+/// Generates the full collection through the standard ingestion path.
+Result<collection::IngestReport> GenerateDblpCollection(
+    const DblpConfig& config, collection::Collection* out);
+
+}  // namespace hopi::datagen

@@ -1,0 +1,39 @@
+// INEX-like synthetic collection: tree-structured journal articles with
+// NO inter-document links (paper Table 1: 12,232 docs, 12M elements,
+// 408,085 *intra*-document links, 534MB).
+//
+// The experiments that use INEX depend only on (a) link-freeness at the
+// document level — every document separates G_D, so the fast deletion
+// algorithm always applies — and (b) deep element trees, which stress the
+// per-partition cover computation.
+#pragma once
+
+#include <cstdint>
+
+#include "collection/builder.h"
+#include "collection/collection.h"
+#include "util/rng.h"
+#include "util/result.h"
+#include "xml/node.h"
+
+namespace hopi::datagen {
+
+struct InexConfig {
+  size_t num_docs = 200;
+  /// Target elements per article (paper: ~986 on average; default scaled).
+  size_t mean_elements_per_doc = 300;
+  /// Probability that a paragraph carries an intra-document reference
+  /// (INEX articles have many internal cross references — Table 1 counts
+  /// 408,085 of them, ~33 per document).
+  double intra_ref_prob = 0.12;
+  uint64_t seed = 7;
+};
+
+/// Generates article `index` as "article<index>.xml".
+xml::Document GenerateInexDocument(const InexConfig& config, size_t index,
+                                   Rng* rng);
+
+Result<collection::IngestReport> GenerateInexCollection(
+    const InexConfig& config, collection::Collection* out);
+
+}  // namespace hopi::datagen

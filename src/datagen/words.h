@@ -1,0 +1,19 @@
+// Tiny deterministic vocabulary for generated text content.
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace hopi::datagen {
+
+/// A pseudo-English word drawn from a fixed vocabulary.
+std::string RandomWord(Rng* rng);
+
+/// `n` words joined by spaces.
+std::string RandomWords(Rng* rng, size_t n);
+
+/// A plausible author name ("K. Svensson").
+std::string RandomAuthorName(Rng* rng);
+
+}  // namespace hopi::datagen

@@ -1,0 +1,38 @@
+// XMark-like auction-site data, split into per-category documents with
+// ID/IDREF-style references (people <-> auctions <-> items).
+//
+// The original XMark benchmark emits one huge document; we split it into
+// one document per region/person-group/auction-group so the result is a
+// *collection* with both intra- and inter-document links — the workload
+// class ("complex XML document collections") the paper targets. Used by
+// the examples and as a third workload for the ablation benches.
+#pragma once
+
+#include <cstdint>
+
+#include "collection/builder.h"
+#include "collection/collection.h"
+#include "util/rng.h"
+#include "util/result.h"
+#include "xml/node.h"
+
+namespace hopi::datagen {
+
+struct XmarkConfig {
+  size_t num_items = 200;
+  size_t num_people = 100;
+  size_t num_auctions = 150;
+  /// Items per region document / people per person-group document / etc.
+  size_t entities_per_doc = 25;
+  uint64_t seed = 99;
+};
+
+/// Generates the whole collection (items, people, open auctions) through
+/// the standard ingestion path.
+Result<collection::IngestReport> GenerateXmarkCollection(
+    const XmarkConfig& config, collection::Collection* out);
+
+/// Generates the constituent documents (exposed for the parsing example).
+std::vector<xml::Document> GenerateXmarkDocuments(const XmarkConfig& config);
+
+}  // namespace hopi::datagen

@@ -1,0 +1,191 @@
+#include "flix/flix.h"
+
+#include <cassert>
+#include <map>
+
+namespace hopi::flix {
+
+namespace {
+
+using collection::Collection;
+using collection::DocId;
+
+/// Weakly connected components of the document-level graph, restricted to
+/// live documents. Returns component id per document (UINT32_MAX = dead).
+std::vector<uint32_t> DocComponents(const Collection& c,
+                                    uint32_t* num_components) {
+  const Digraph& gd = c.DocumentGraph();
+  std::vector<uint32_t> comp(c.NumDocuments(), UINT32_MAX);
+  uint32_t next = 0;
+  std::vector<NodeId> stack;
+  for (DocId seed = 0; seed < c.NumDocuments(); ++seed) {
+    if (!c.IsLive(seed) || comp[seed] != UINT32_MAX) continue;
+    uint32_t id = next++;
+    comp[seed] = id;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      NodeId d = stack.back();
+      stack.pop_back();
+      auto visit = [&](NodeId nb) {
+        if (c.IsLive(nb) && comp[nb] == UINT32_MAX) {
+          comp[nb] = id;
+          stack.push_back(nb);
+        }
+      };
+      for (NodeId nb : gd.OutNeighbors(d)) visit(nb);
+      for (NodeId nb : gd.InNeighbors(d)) visit(nb);
+    }
+  }
+  *num_components = next;
+  return comp;
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kTree:
+      return "tree";
+    case Tier::kClosure:
+      return "closure";
+    case Tier::kHopi:
+      return "hopi";
+  }
+  return "?";
+}
+
+Result<FlixIndex> FlixIndex::Build(const Collection& collection,
+                                   const FlixOptions& options) {
+  FlixIndex index;
+  index.collection_ = &collection;
+  index.with_distance_ = options.cover.with_distance;
+  index.tree_labels_ = std::make_unique<collection::TreeLabels>(collection);
+  index.tier_of_.assign(collection.NumElements(), Tier::kTree);
+  index.slot_of_.assign(collection.NumElements(), 0);
+
+  uint32_t num_components = 0;
+  std::vector<uint32_t> comp = DocComponents(collection, &num_components);
+  index.stats_.components = num_components;
+
+  // Documents per component, plus whether any member has intra links
+  // (intra links break pure tree-ness, disqualifying the TREE tier).
+  std::vector<std::vector<DocId>> docs_by_comp(num_components);
+  for (DocId d = 0; d < collection.NumDocuments(); ++d) {
+    if (comp[d] != UINT32_MAX) docs_by_comp[comp[d]].push_back(d);
+  }
+  std::vector<bool> has_intra(num_components, false);
+  for (const collection::Link& l : collection.Links()) {
+    DocId ds = collection.DocOf(l.source);
+    if (ds == collection.DocOf(l.target) && comp[ds] != UINT32_MAX) {
+      has_intra[comp[ds]] = true;
+    }
+  }
+
+  for (uint32_t cc = 0; cc < num_components; ++cc) {
+    const std::vector<DocId>& docs = docs_by_comp[cc];
+    assert(!docs.empty());
+    if (docs.size() == 1 && !has_intra[cc]) {
+      // Tier TREE: interval labels (already built globally).
+      ++index.stats_.tree_docs;
+      for (NodeId e : collection.ElementsOf(docs[0])) {
+        index.tier_of_[e] = Tier::kTree;
+      }
+      continue;
+    }
+    std::vector<NodeId> elements;
+    for (DocId d : docs) {
+      const auto& els = collection.ElementsOf(d);
+      elements.insert(elements.end(), els.begin(), els.end());
+    }
+    InducedSubgraph sub =
+        BuildInducedSubgraph(collection.ElementGraph(), elements);
+
+    // Probe the closure budget; OutOfBudget or a closure denser than a
+    // cover would be => HOPI tier.
+    auto tc = TransitiveClosure::Build(sub.graph,
+                                       options.closure_tier_max_connections);
+    bool closure_compact =
+        tc.ok() && static_cast<double>(tc->NumConnections()) <=
+                       options.closure_vs_cover_factor *
+                           static_cast<double>(elements.size());
+    if (tc.ok() && closure_compact) {
+      // Tier CLOSURE. Distances are cheap at this size, so the tier is
+      // always distance-exact.
+      uint32_t slot = static_cast<uint32_t>(index.closure_components_.size());
+      for (NodeId e : elements) {
+        index.tier_of_[e] = Tier::kClosure;
+        index.slot_of_[e] = slot;
+      }
+      index.stats_.closure_connections += tc->NumConnections();
+      ++index.stats_.closure_components;
+      DistanceClosure dc = DistanceClosure::Build(sub.graph);
+      index.closure_components_.push_back(
+          {std::move(sub), std::move(dc)});
+      continue;
+    }
+    if (!tc.ok() && !tc.status().IsOutOfBudget()) return tc.status();
+
+    // Tier HOPI.
+    auto cover = twohop::BuildCover(sub.graph, options.cover);
+    if (!cover.ok()) return cover.status();
+    uint32_t slot = static_cast<uint32_t>(index.hopi_components_.size());
+    for (NodeId e : elements) {
+      index.tier_of_[e] = Tier::kHopi;
+      index.slot_of_[e] = slot;
+    }
+    index.stats_.hopi_cover_entries += cover->Size();
+    ++index.stats_.hopi_components;
+    index.hopi_components_.push_back(
+        {std::move(sub), std::move(cover).value()});
+  }
+  return index;
+}
+
+Tier FlixIndex::TierOf(NodeId element) const { return tier_of_[element]; }
+
+bool FlixIndex::IsReachable(NodeId u, NodeId v) const {
+  if (u == v) return true;
+  Tier tier = tier_of_[u];
+  if (tier != tier_of_[v]) return false;
+  switch (tier) {
+    case Tier::kTree:
+      return tree_labels_->IsAncestorOrSelf(u, v);
+    case Tier::kClosure: {
+      if (slot_of_[u] != slot_of_[v]) return false;
+      const ClosureComponent& c = closure_components_[slot_of_[u]];
+      return c.closure.Dist(c.sub.Local(u), c.sub.Local(v)).has_value();
+    }
+    case Tier::kHopi: {
+      if (slot_of_[u] != slot_of_[v]) return false;
+      const HopiComponent& c = hopi_components_[slot_of_[u]];
+      return c.cover.IsConnected(c.sub.Local(u), c.sub.Local(v));
+    }
+  }
+  return false;
+}
+
+std::optional<uint32_t> FlixIndex::Distance(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  Tier tier = tier_of_[u];
+  if (tier != tier_of_[v]) return std::nullopt;
+  switch (tier) {
+    case Tier::kTree: {
+      if (!tree_labels_->IsAncestorOrSelf(u, v)) return std::nullopt;
+      // Tree distance = depth difference.
+      return tree_labels_->AncestorCount(v) - tree_labels_->AncestorCount(u);
+    }
+    case Tier::kClosure: {
+      if (slot_of_[u] != slot_of_[v]) return std::nullopt;
+      const ClosureComponent& c = closure_components_[slot_of_[u]];
+      return c.closure.Dist(c.sub.Local(u), c.sub.Local(v));
+    }
+    case Tier::kHopi: {
+      if (slot_of_[u] != slot_of_[v]) return std::nullopt;
+      const HopiComponent& c = hopi_components_[slot_of_[u]];
+      return c.cover.Distance(c.sub.Local(u), c.sub.Local(v));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hopi::flix

@@ -1,0 +1,108 @@
+// FliX-style flexible connection indexing (paper reference [25] and the
+// paper's stated future work: "We will employ HOPI in the FliX framework
+// and examine for which (sub-)collections HOPI is best suited and when
+// other indexes perform better").
+//
+// The framework splits the collection into sub-collections — the weakly
+// connected components of the document-level graph — and picks the
+// cheapest index per component:
+//
+//   tier TREE     a single document with no links at all: pre/postorder
+//                 interval labels answer reachability and distance in
+//                 O(1) with O(n) space (no cover needed — this is the
+//                 INEX case, where HOPI pays ~2 entries/node for nothing),
+//   tier CLOSURE  a small linked component: the materialized transitive
+//                 closure is compact below a connection threshold and has
+//                 the fastest lookups,
+//   tier HOPI     everything else: the 2-hop cover.
+//
+// Queries route by component; cross-component pairs are never connected
+// by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "collection/collection.h"
+#include "collection/tree_labels.h"
+#include "graph/closure.h"
+#include "graph/subgraph.h"
+#include "twohop/builder.h"
+#include "util/result.h"
+
+namespace hopi::flix {
+
+enum class Tier : uint8_t { kTree = 0, kClosure = 1, kHopi = 2 };
+
+const char* TierName(Tier tier);
+
+struct FlixOptions {
+  /// Components whose transitive closure has at most this many
+  /// connections are candidates for the materialized-closure tier.
+  uint64_t closure_tier_max_connections = 2000;
+  /// The closure tier is only chosen when it is actually compact:
+  /// connections <= factor * elements (otherwise a 2-hop cover stores
+  /// less and the component goes to the HOPI tier).
+  double closure_vs_cover_factor = 4.0;
+  /// Options forwarded to the 2-hop cover builds of HOPI-tier components.
+  twohop::CoverBuildOptions cover;
+};
+
+struct FlixStats {
+  size_t components = 0;
+  size_t tree_docs = 0;       // documents served by interval labels
+  size_t closure_components = 0;
+  size_t hopi_components = 0;
+  uint64_t closure_connections = 0;  // stored by the closure tier
+  uint64_t hopi_cover_entries = 0;   // stored by the HOPI tier
+};
+
+/// The hybrid index. Read-only once built (FliX delegates maintenance to
+/// the per-tier structures; only the HOPI tier supports it, so mutable
+/// workloads should use HopiIndex directly).
+class FlixIndex {
+ public:
+  /// Builds the hybrid index over the collection's live documents.
+  static Result<FlixIndex> Build(const collection::Collection& collection,
+                                 const FlixOptions& options = {});
+
+  /// True iff u ->* v in the element-level graph (reflexive).
+  bool IsReachable(NodeId u, NodeId v) const;
+
+  /// Shortest connection length, or nullopt when unconnected. Exact in
+  /// every tier when options.cover.with_distance was set (the tree and
+  /// closure tiers are always exact).
+  std::optional<uint32_t> Distance(NodeId u, NodeId v) const;
+
+  /// Which tier serves this element's component.
+  Tier TierOf(NodeId element) const;
+
+  const FlixStats& stats() const { return stats_; }
+
+ private:
+  FlixIndex() = default;
+
+  struct ClosureComponent {
+    InducedSubgraph sub;
+    DistanceClosure closure;
+  };
+  struct HopiComponent {
+    InducedSubgraph sub;
+    twohop::TwoHopCover cover;
+  };
+
+  const collection::Collection* collection_ = nullptr;
+  std::unique_ptr<collection::TreeLabels> tree_labels_;
+  // element -> (tier, component slot); slot indexes one of the vectors.
+  std::vector<Tier> tier_of_;
+  std::vector<uint32_t> slot_of_;
+  std::vector<ClosureComponent> closure_components_;
+  std::vector<HopiComponent> hopi_components_;
+  bool with_distance_ = false;
+  FlixStats stats_;
+};
+
+}  // namespace hopi::flix

@@ -1,0 +1,77 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hopi {
+
+NodeId Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+void Digraph::EnsureNodes(size_t n) {
+  if (out_.size() < n) {
+    out_.resize(n);
+    in_.resize(n);
+  }
+}
+
+bool Digraph::AddEdge(NodeId u, NodeId v) {
+  assert(u < out_.size() && v < out_.size());
+  auto& adj = out_[u];
+  if (std::find(adj.begin(), adj.end(), v) != adj.end()) return false;
+  adj.push_back(v);
+  in_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool Digraph::RemoveEdge(NodeId u, NodeId v) {
+  assert(u < out_.size() && v < out_.size());
+  auto& adj = out_[u];
+  auto it = std::find(adj.begin(), adj.end(), v);
+  if (it == adj.end()) return false;
+  adj.erase(it);
+  auto& radj = in_[v];
+  auto rit = std::find(radj.begin(), radj.end(), u);
+  assert(rit != radj.end());
+  radj.erase(rit);
+  --num_edges_;
+  return true;
+}
+
+void Digraph::IsolateNode(NodeId v) {
+  assert(v < out_.size());
+  // Copy neighbor lists: RemoveEdge mutates them.
+  std::vector<NodeId> outs = out_[v];
+  for (NodeId w : outs) RemoveEdge(v, w);
+  std::vector<NodeId> ins = in_[v];
+  for (NodeId u : ins) RemoveEdge(u, v);
+}
+
+bool Digraph::HasEdge(NodeId u, NodeId v) const {
+  assert(u < out_.size() && v < out_.size());
+  const auto& adj = out_[u];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+std::vector<Edge> Digraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (NodeId u = 0; u < out_.size(); ++u) {
+    for (NodeId v : out_[u]) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+Digraph Digraph::Reversed() const {
+  Digraph rev(NumNodes());
+  for (NodeId u = 0; u < out_.size(); ++u) {
+    for (NodeId v : out_[u]) rev.AddEdge(v, u);
+  }
+  return rev;
+}
+
+}  // namespace hopi

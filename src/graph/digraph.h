@@ -1,0 +1,81 @@
+// Directed graph substrate.
+//
+// All HOPI structures (element-level graph, document-level graph, skeleton
+// graphs, center graphs) are instances of this adjacency-list digraph.
+// Nodes are dense uint32_t ids assigned on creation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hopi {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// A directed edge (from, to).
+struct Edge {
+  NodeId from;
+  NodeId to;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.from == b.from && a.to == b.to;
+  }
+  friend auto operator<=>(const Edge& a, const Edge& b) = default;
+};
+
+/// Mutable directed graph with forward and reverse adjacency.
+///
+/// Parallel edges are collapsed (AddEdge is idempotent); self-loops are
+/// allowed — the 2-hop machinery works on graphs with cycles, although HOPI
+/// typically condenses strongly connected components first (see scc.h).
+class Digraph {
+ public:
+  Digraph() = default;
+  /// Creates a graph with `n` isolated nodes.
+  explicit Digraph(size_t n) : out_(n), in_(n) {}
+
+  /// Adds an isolated node, returning its id.
+  NodeId AddNode();
+
+  /// Ensures ids [0, n) exist.
+  void EnsureNodes(size_t n);
+
+  /// Adds edge u->v (idempotent). Precondition: u, v exist.
+  /// Returns true if the edge was newly inserted.
+  bool AddEdge(NodeId u, NodeId v);
+
+  /// Removes edge u->v if present. Returns true if removed. O(degree).
+  bool RemoveEdge(NodeId u, NodeId v);
+
+  /// Detaches a node: removes all of its in/out edges but keeps the id
+  /// (ids stay dense; deleted nodes become isolated). Used by document
+  /// deletion, which removes all elements of a document.
+  void IsolateNode(NodeId v);
+
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  size_t NumNodes() const { return out_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  const std::vector<NodeId>& OutNeighbors(NodeId v) const { return out_[v]; }
+  const std::vector<NodeId>& InNeighbors(NodeId v) const { return in_[v]; }
+
+  size_t OutDegree(NodeId v) const { return out_[v].size(); }
+  size_t InDegree(NodeId v) const { return in_[v].size(); }
+
+  /// All edges in (from, to) order; O(E) fresh vector.
+  std::vector<Edge> Edges() const;
+
+  /// The graph with every edge reversed.
+  Digraph Reversed() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace hopi

@@ -1,0 +1,90 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hopi {
+
+SccResult StronglyConnectedComponents(const Digraph& g) {
+  const size_t n = g.NumNodes();
+  SccResult result;
+  result.component.assign(n, UINT32_MAX);
+
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  uint32_t next_index = 0;
+
+  // Explicit DFS stack: (node, position in its adjacency list).
+  struct Frame {
+    NodeId v;
+    size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      NodeId v = frame.v;
+      const auto& adj = g.OutNeighbors(v);
+      if (frame.child < adj.size()) {
+        NodeId w = adj[frame.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC; pop it off the component stack.
+          for (;;) {
+            NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = result.num_components;
+            if (w == v) break;
+          }
+          ++result.num_components;
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          NodeId parent = dfs.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Condensation Condense(const Digraph& g) {
+  SccResult scc = StronglyConnectedComponents(g);
+  Condensation cond;
+  cond.component = scc.component;
+  cond.dag = Digraph(scc.num_components);
+  cond.members.resize(scc.num_components);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    cond.members[scc.component[v]].push_back(v);
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    uint32_t cu = scc.component[u];
+    for (NodeId v : g.OutNeighbors(u)) {
+      uint32_t cv = scc.component[v];
+      if (cu != cv) cond.dag.AddEdge(cu, cv);
+    }
+  }
+  return cond;
+}
+
+}  // namespace hopi

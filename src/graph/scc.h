@@ -1,0 +1,41 @@
+// Strongly connected components and condensation.
+//
+// HOPI (EDBT 2004, Sec. 4.1) first collapses each strongly connected
+// component of the element-level graph into a single node: all members of
+// an SCC reach exactly the same node set, so the 2-hop cover only needs
+// one representative per component. The ICDE 2005 paper inherits this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace hopi {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// component[v] = id of v's SCC, in [0, num_components).
+  /// Component ids are a reverse topological order of the condensation
+  /// (Tarjan numbering): if SCC a can reach SCC b (a != b), then
+  /// component id of a > component id of b.
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+};
+
+/// Tarjan's algorithm, iterative (no recursion; safe for deep graphs).
+SccResult StronglyConnectedComponents(const Digraph& g);
+
+/// Condensation of `g`: one node per SCC, an edge between two SCCs iff the
+/// original graph has an edge between their members (self-edges dropped).
+/// The result is a DAG.
+struct Condensation {
+  Digraph dag;                          // nodes are SCC ids
+  std::vector<uint32_t> component;      // original node -> SCC id
+  std::vector<std::vector<NodeId>> members;  // SCC id -> original nodes
+};
+
+Condensation Condense(const Digraph& g);
+
+}  // namespace hopi

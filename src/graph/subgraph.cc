@@ -1,0 +1,25 @@
+#include "graph/subgraph.h"
+
+namespace hopi {
+
+InducedSubgraph BuildInducedSubgraph(const Digraph& g,
+                                     const std::vector<NodeId>& nodes) {
+  InducedSubgraph sub;
+  sub.to_local.assign(g.NumNodes(), kInvalidNode);
+  for (NodeId v : nodes) {
+    if (sub.to_local[v] != kInvalidNode) continue;  // duplicate
+    sub.to_local[v] = static_cast<NodeId>(sub.to_global.size());
+    sub.to_global.push_back(v);
+  }
+  sub.graph = Digraph(sub.to_global.size());
+  for (NodeId local_u = 0; local_u < sub.to_global.size(); ++local_u) {
+    NodeId global_u = sub.to_global[local_u];
+    for (NodeId global_v : g.OutNeighbors(global_u)) {
+      NodeId local_v = sub.Local(global_v);
+      if (local_v != kInvalidNode) sub.graph.AddEdge(local_u, local_v);
+    }
+  }
+  return sub;
+}
+
+}  // namespace hopi

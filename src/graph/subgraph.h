@@ -1,0 +1,33 @@
+// Induced subgraphs with local<->global id mapping.
+//
+// Partition covers are computed on the subgraph induced by the partition's
+// elements using compact local ids (bitset-row memory scales with the
+// square of the node count, so global-id rows would defeat partitioning),
+// then translated back to global ids when covers are joined.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace hopi {
+
+/// A subgraph induced by a node subset, with the id mappings.
+struct InducedSubgraph {
+  Digraph graph;                  // nodes are local ids [0, nodes.size())
+  std::vector<NodeId> to_global;  // local -> global
+  std::vector<NodeId> to_local;   // global -> local (kInvalidNode if absent)
+
+  NodeId Local(NodeId global) const {
+    return global < to_local.size() ? to_local[global] : kInvalidNode;
+  }
+  NodeId Global(NodeId local) const { return to_global[local]; }
+};
+
+/// Builds the subgraph of `g` induced by `nodes` (edges with both
+/// endpoints inside). `nodes` need not be sorted; duplicates are ignored.
+InducedSubgraph BuildInducedSubgraph(const Digraph& g,
+                                     const std::vector<NodeId>& nodes);
+
+}  // namespace hopi

@@ -1,0 +1,147 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace hopi {
+
+namespace {
+
+std::vector<NodeId> BfsCollect(const Digraph& g,
+                               const std::vector<NodeId>& sources,
+                               bool follow_out) {
+  std::vector<bool> seen(g.NumNodes(), false);
+  std::deque<NodeId> queue;
+  std::vector<NodeId> result;
+  for (NodeId s : sources) {
+    assert(s < g.NumNodes());
+    if (!seen[s]) {
+      seen[s] = true;
+      queue.push_back(s);
+      result.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    const auto& next = follow_out ? g.OutNeighbors(v) : g.InNeighbors(v);
+    for (NodeId w : next) {
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+        result.push_back(w);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId source) {
+  return BfsCollect(g, {source}, /*follow_out=*/true);
+}
+
+std::vector<NodeId> ReachingTo(const Digraph& g, NodeId target) {
+  return BfsCollect(g, {target}, /*follow_out=*/false);
+}
+
+std::vector<NodeId> ReachableFromAll(const Digraph& g,
+                                     const std::vector<NodeId>& sources) {
+  return BfsCollect(g, sources, /*follow_out=*/true);
+}
+
+bool IsReachable(const Digraph& g, NodeId u, NodeId v) {
+  if (u == v) return true;
+  std::vector<bool> seen(g.NumNodes(), false);
+  std::deque<NodeId> queue{u};
+  seen[u] = true;
+  while (!queue.empty()) {
+    NodeId x = queue.front();
+    queue.pop_front();
+    for (NodeId w : g.OutNeighbors(x)) {
+      if (w == v) return true;
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<uint32_t> BfsDist(const Digraph& g, NodeId source,
+                              bool follow_out) {
+  std::vector<uint32_t> dist(g.NumNodes(), kUnreachable);
+  std::deque<NodeId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    const auto& next = follow_out ? g.OutNeighbors(v) : g.InNeighbors(v);
+    for (NodeId w : next) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<uint32_t> BfsDistances(const Digraph& g, NodeId source) {
+  return BfsDist(g, source, /*follow_out=*/true);
+}
+
+std::vector<uint32_t> BfsDistancesReverse(const Digraph& g, NodeId target) {
+  return BfsDist(g, target, /*follow_out=*/false);
+}
+
+void BoundedBfs(const Digraph& g, NodeId source, uint32_t max_depth,
+                const std::function<void(NodeId, uint32_t)>& visit) {
+  std::vector<bool> seen(g.NumNodes(), false);
+  std::deque<std::pair<NodeId, uint32_t>> queue{{source, 0}};
+  seen[source] = true;
+  while (!queue.empty()) {
+    auto [v, d] = queue.front();
+    queue.pop_front();
+    visit(v, d);
+    if (d == max_depth) continue;
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back({w, d + 1});
+      }
+    }
+  }
+}
+
+bool TopologicalSort(const Digraph& g, std::vector<NodeId>* order) {
+  order->clear();
+  order->reserve(g.NumNodes());
+  std::vector<uint32_t> indeg(g.NumNodes(), 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    indeg[v] = static_cast<uint32_t>(g.InDegree(v));
+  }
+  std::deque<NodeId> queue;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    order->push_back(v);
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (--indeg[w] == 0) queue.push_back(w);
+    }
+  }
+  return order->size() == g.NumNodes();
+}
+
+}  // namespace hopi

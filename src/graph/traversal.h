@@ -1,0 +1,50 @@
+// Graph traversals: reachability, BFS distances, bounded-depth walks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace hopi {
+
+/// All nodes reachable from `source` following out-edges, including
+/// `source` itself (reflexive, as in the paper's closure C(G)).
+/// Result is sorted ascending.
+std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId source);
+
+/// All nodes that can reach `target` (i.e. reachability in the reversed
+/// graph), including `target`. Sorted ascending.
+std::vector<NodeId> ReachingTo(const Digraph& g, NodeId target);
+
+/// Multi-source variant of ReachableFrom: union of descendants of all
+/// seeds (seeds included). Sorted ascending.
+std::vector<NodeId> ReachableFromAll(const Digraph& g,
+                                     const std::vector<NodeId>& sources);
+
+/// True iff there is a path from u to v (BFS; u == v counts as connected,
+/// matching the reflexive closure).
+bool IsReachable(const Digraph& g, NodeId u, NodeId v);
+
+inline constexpr uint32_t kUnreachable = UINT32_MAX;
+
+/// BFS distances from `source` to every node (kUnreachable when none).
+/// dist[source] == 0.
+std::vector<uint32_t> BfsDistances(const Digraph& g, NodeId source);
+
+/// BFS distances following *in*-edges (distance from each node TO `target`).
+std::vector<uint32_t> BfsDistancesReverse(const Digraph& g, NodeId target);
+
+/// Visits nodes reachable from `source` within `max_depth` hops, calling
+/// `visit(node, depth)` for each (the source at depth 0). Used by the
+/// skeleton-graph ancestor/descendant estimation, which the paper limits
+/// to paths of a certain length.
+void BoundedBfs(const Digraph& g, NodeId source, uint32_t max_depth,
+                const std::function<void(NodeId, uint32_t)>& visit);
+
+/// Topological order of a DAG (Kahn). Returns false (and leaves `order`
+/// partially filled) if the graph has a cycle.
+bool TopologicalSort(const Digraph& g, std::vector<NodeId>* order);
+
+}  // namespace hopi

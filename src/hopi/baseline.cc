@@ -1,0 +1,36 @@
+#include "hopi/baseline.h"
+
+#include <cassert>
+
+namespace hopi {
+
+TransitiveClosureIndex TransitiveClosureIndex::Build(const Digraph& g,
+                                                     bool with_distance) {
+  TransitiveClosureIndex index;
+  auto tc = TransitiveClosure::Build(g);
+  assert(tc.ok());
+  index.closure_ = std::move(tc).value();
+  index.connections_ = index.closure_.NumConnections();
+  if (with_distance) index.distances_ = DistanceClosure::Build(g);
+  return index;
+}
+
+bool TransitiveClosureIndex::IsReachable(NodeId u, NodeId v) const {
+  return closure_.Contains(u, v);
+}
+
+std::optional<uint32_t> TransitiveClosureIndex::Distance(NodeId u,
+                                                         NodeId v) const {
+  if (distances_) return distances_->Dist(u, v);
+  return closure_.Contains(u, v) ? std::optional<uint32_t>(0) : std::nullopt;
+}
+
+std::vector<NodeId> TransitiveClosureIndex::Descendants(NodeId u) const {
+  return closure_.Descendants(u);
+}
+
+std::vector<NodeId> TransitiveClosureIndex::Ancestors(NodeId u) const {
+  return closure_.Ancestors(u);
+}
+
+}  // namespace hopi

@@ -1,0 +1,45 @@
+// Materialized transitive-closure index — the comparison baseline.
+//
+// The paper reports compression as (closure connections) / (cover
+// entries): storing the closure in the database takes two integers per
+// connection plus two more for the backward index, exactly like the
+// LIN/LOUT tables take per label entry (Sec 3.4 / Sec 7.2). This adapter
+// provides the query API of HopiIndex on top of the materialized closure
+// so the micro-benchmarks can compare like for like.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/closure.h"
+#include "graph/digraph.h"
+
+namespace hopi {
+
+class TransitiveClosureIndex {
+ public:
+  /// Materializes the closure of `g` (and distances when requested).
+  static TransitiveClosureIndex Build(const Digraph& g, bool with_distance);
+
+  bool IsReachable(NodeId u, NodeId v) const;
+  std::optional<uint32_t> Distance(NodeId u, NodeId v) const;
+  std::vector<NodeId> Descendants(NodeId u) const;
+  std::vector<NodeId> Ancestors(NodeId u) const;
+
+  uint64_t NumConnections() const { return connections_; }
+
+  /// Integers needed to store this index in the paper's database layout
+  /// (forward + backward index, two integers each per connection).
+  uint64_t StorageIntegers() const { return 4 * connections_; }
+
+ private:
+  TransitiveClosureIndex() = default;
+
+  TransitiveClosure closure_;
+  std::optional<DistanceClosure> distances_;
+  uint64_t connections_ = 0;
+};
+
+}  // namespace hopi

@@ -1,0 +1,72 @@
+#include "hopi/index.h"
+
+namespace hopi {
+
+HopiIndex::HopiIndex(collection::Collection* collection,
+                     twohop::TwoHopCover cover, bool with_distance)
+    : collection_(collection),
+      cover_(std::move(cover)),
+      with_distance_(with_distance) {
+  cover_.EnsureNodes(collection->NumElements());
+  size_t live = 0;
+  for (collection::DocId d = 0; d < collection_->NumDocuments(); ++d) {
+    if (collection_->IsLive(d)) live += collection_->ElementsOf(d).size();
+  }
+  density_at_build_ =
+      live == 0 ? 0.0
+                : static_cast<double>(cover_.cover().Size()) /
+                      static_cast<double>(live);
+}
+
+double HopiIndex::DegradationFactor() const {
+  if (density_at_build_ <= 0.0) return 1.0;
+  size_t live = 0;
+  for (collection::DocId d = 0; d < collection_->NumDocuments(); ++d) {
+    if (collection_->IsLive(d)) live += collection_->ElementsOf(d).size();
+  }
+  if (live == 0) return 1.0;
+  double density = static_cast<double>(cover_.cover().Size()) /
+                   static_cast<double>(live);
+  return density / density_at_build_;
+}
+
+void HopiIndex::MergeLink(NodeId u, NodeId v) {
+  // Fig. 2: v is the center for all new connections from ancestors of u
+  // (including u) to descendants of v (including v). Ancestors and
+  // descendants are computed with the *current* cover.
+  std::vector<NodeId> ancestors = cover_.Ancestors(u);
+  std::vector<NodeId> descendants = cover_.Descendants(v);
+
+  if (with_distance_) {
+    // dist(a, v) = dist(a, u) + 1 over the new link; descendants keep
+    // their dist(v, d). Entries can only overestimate a true shortest
+    // distance transiently inside this loop; AddIn/AddOut keep minima.
+    for (NodeId a : ancestors) {
+      auto d = cover_.cover().Distance(a, u);
+      if (d) cover_.AddOut(a, v, *d + 1);
+    }
+    cover_.AddOut(u, v, 1);
+    for (NodeId d : descendants) {
+      auto dist = cover_.cover().Distance(v, d);
+      if (dist) cover_.AddIn(d, v, *dist);
+    }
+  } else {
+    for (NodeId a : ancestors) cover_.AddOut(a, v);
+    cover_.AddOut(u, v);
+    for (NodeId d : descendants) cover_.AddIn(d, v);
+  }
+}
+
+Status HopiIndex::InsertLink(NodeId u, NodeId v) {
+  if (u >= collection_->NumElements() || v >= collection_->NumElements()) {
+    return Status::InvalidArgument("link endpoint out of range");
+  }
+  cover_.EnsureNodes(collection_->NumElements());
+  if (!collection_->AddLink(u, v)) {
+    return Status::InvalidArgument("link already present");
+  }
+  MergeLink(u, v);
+  return Status::OK();
+}
+
+}  // namespace hopi

@@ -1,0 +1,395 @@
+#include "hopi/join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <queue>
+
+#include "partition/psg.h"
+
+namespace hopi {
+
+namespace {
+
+/// Fig. 2 link merge shared with the maintenance path: v becomes the
+/// center for all new connections across link (u, v). Ancestors and
+/// descendants come from the current (evolving) cover.
+uint64_t MergeOneLink(NodeId u, NodeId v, bool with_distance,
+                      twohop::IndexedCover* cover) {
+  uint64_t added = 0;
+  std::vector<NodeId> ancestors = cover->Ancestors(u);
+  std::vector<NodeId> descendants = cover->Descendants(v);
+  if (with_distance) {
+    for (NodeId a : ancestors) {
+      auto d = cover->cover().Distance(a, u);
+      if (d && cover->AddOut(a, v, *d + 1)) ++added;
+    }
+    if (cover->AddOut(u, v, 1)) ++added;
+    for (NodeId d : descendants) {
+      auto dist = cover->cover().Distance(v, d);
+      if (dist && cover->AddIn(d, v, *dist)) ++added;
+    }
+  } else {
+    for (NodeId a : ancestors) {
+      if (cover->AddOut(a, v)) ++added;
+    }
+    if (cover->AddOut(u, v)) ++added;
+    for (NodeId d : descendants) {
+      if (cover->AddIn(d, v)) ++added;
+    }
+  }
+  return added;
+}
+
+/// Single-source shortest distances over the PSG's weighted adjacency
+/// (weights >= 1; Dijkstra with a binary heap). Plain mode uses the same
+/// routine with all weights 1 — still correct, just BFS-equivalent.
+/// When `restrict_to` is non-null, traversal stays inside the nodes whose
+/// entry in it matches `restriction` (the PSG-partitioned variant).
+std::vector<uint32_t> PsgDistances(
+    const partition::PartitionSkeletonGraph& psg, NodeId source,
+    const std::vector<uint32_t>* restrict_to = nullptr,
+    uint32_t restriction = 0) {
+  std::vector<uint32_t> dist(psg.graph.NumNodes(), UINT32_MAX);
+  using Item = std::pair<uint32_t, NodeId>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, x] = heap.top();
+    heap.pop();
+    if (d != dist[x]) continue;  // stale
+    for (const partition::PsgEdge& e : psg.weighted_adj[x]) {
+      if (restrict_to != nullptr && (*restrict_to)[e.to] != restriction) {
+        continue;
+      }
+      uint32_t weight = e.weight == 0 ? 1 : e.weight;  // plain mode stores 0
+      if (d + weight < dist[e.to]) {
+        dist[e.to] = d + weight;
+        heap.push({d + weight, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+/// H-bar as per-source sorted (target psg-node, dist) entries.
+struct HBarRow {
+  NodeId source;  // psg node
+  std::vector<std::pair<NodeId, uint32_t>> targets;
+};
+
+/// Merge-min insert into a sorted (node, dist) vector. Returns true when
+/// the entry was added or its distance improved.
+bool MergeMin(std::vector<std::pair<NodeId, uint32_t>>* row, NodeId node,
+              uint32_t dist) {
+  auto it = std::lower_bound(
+      row->begin(), row->end(), node,
+      [](const std::pair<NodeId, uint32_t>& e, NodeId n) {
+        return e.first < n;
+      });
+  if (it != row->end() && it->first == node) {
+    if (dist < it->second) {
+      it->second = dist;
+      return true;
+    }
+    return false;
+  }
+  row->insert(it, {node, dist});
+  return true;
+}
+
+/// Computes H-bar over the whole PSG: one restricted Dijkstra per link
+/// source.
+std::vector<HBarRow> ComputeHBarWhole(
+    const partition::PartitionSkeletonGraph& psg) {
+  std::vector<HBarRow> hbar;
+  for (NodeId s = 0; s < psg.graph.NumNodes(); ++s) {
+    if (!psg.is_source[s]) continue;
+    std::vector<uint32_t> dist = PsgDistances(psg, s);
+    HBarRow row{s, {}};
+    for (NodeId t = 0; t < psg.graph.NumNodes(); ++t) {
+      if (t == s || !psg.is_target[t] || dist[t] == UINT32_MAX) continue;
+      row.targets.push_back({t, dist[t]});
+    }
+    if (!row.targets.empty()) hbar.push_back(std::move(row));
+  }
+  return hbar;
+}
+
+/// The PSG-partitioned variant (Sec 4.1, last paragraph): split the PSG
+/// into partitions of at most `cap` nodes such that every cross-partition
+/// edge starts at a link target and ends at a link source (achieved by
+/// keeping each connected component of *link* edges inside one
+/// partition), compute partial H-bar covers per partition, then connect
+/// them by propagating H-bar_out(s) across every cross edge (t, s) to the
+/// within-partition link-source ancestors of t — iterated to a fixpoint,
+/// which also handles cross-partition cycles.
+std::vector<HBarRow> ComputeHBarPartitioned(
+    const partition::PartitionSkeletonGraph& psg, uint64_t cap,
+    uint64_t* num_partitions) {
+  const size_t n = psg.graph.NumNodes();
+
+  // Union-find over link edges: their components must stay together.
+  std::vector<NodeId> parent(n);
+  for (NodeId v = 0; v < n; ++v) parent[v] = v;
+  std::function<NodeId(NodeId)> find = [&](NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (const partition::PsgEdge& e : psg.weighted_adj[u]) {
+      if (e.is_link) parent[find(u)] = find(e.to);
+    }
+  }
+  std::map<NodeId, std::vector<NodeId>> groups;
+  for (NodeId v = 0; v < n; ++v) groups[find(v)].push_back(v);
+
+  // Greedy first-fit packing of groups into PSG partitions.
+  std::vector<uint32_t> psg_part(n, 0);
+  uint32_t current = 0;
+  uint64_t current_size = 0;
+  for (const auto& [root, members] : groups) {
+    if (current_size > 0 && current_size + members.size() > cap) {
+      ++current;
+      current_size = 0;
+    }
+    for (NodeId v : members) psg_part[v] = current;
+    current_size += members.size();
+  }
+  *num_partitions = current + 1;
+
+  // Per-partition Dijkstras. Also record, per node t, the link sources of
+  // t's partition that reach t (the "ancestors of t that are link
+  // sources" needed for cross-edge propagation).
+  std::vector<std::vector<std::pair<NodeId, uint32_t>>> hbar_out(n);
+  std::vector<std::vector<std::pair<NodeId, uint32_t>>> source_anc(n);
+  for (NodeId s = 0; s < n; ++s) {
+    if (!psg.is_source[s]) continue;
+    std::vector<uint32_t> dist =
+        PsgDistances(psg, s, &psg_part, psg_part[s]);
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == s || dist[t] == UINT32_MAX) continue;
+      if (psg.is_target[t]) hbar_out[s].push_back({t, dist[t]});
+      source_anc[t].push_back({s, dist[t]});
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(hbar_out[v].begin(), hbar_out[v].end());
+    std::sort(source_anc[v].begin(), source_anc[v].end());
+  }
+
+  // Cross-partition edges. The packing keeps link edges intra-partition,
+  // so every cross edge is an internal target->source edge.
+  struct CrossEdge {
+    NodeId from;  // link target t
+    NodeId to;    // link source s
+    uint32_t weight;
+  };
+  std::vector<CrossEdge> cross;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const partition::PsgEdge& e : psg.weighted_adj[u]) {
+      if (psg_part[u] != psg_part[e.to]) {
+        assert(!e.is_link && "link edge crossed PSG partitions");
+        cross.push_back({u, e.to, e.weight == 0 ? 1u : e.weight});
+      }
+    }
+  }
+
+  // Fixpoint propagation across cross edges: for edge (t, s), every link
+  // source a with a ->* t inside t's partition (including t itself when
+  // it is a source) inherits H-bar_out(s) at the combined distance.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const CrossEdge& edge : cross) {
+      // Direct target: s itself is the first reachable node; s's targets
+      // propagate to ancestors of t. Also, if s is a target, (s, w) is a
+      // reachable target for those ancestors.
+      auto propagate_to = [&](NodeId a, uint32_t dist_at) {
+        if (psg.is_target[edge.to]) {
+          if (MergeMin(&hbar_out[a], edge.to, dist_at + edge.weight)) {
+            changed = true;
+          }
+        }
+        for (const auto& [x, dx] : hbar_out[edge.to]) {
+          if (x == a) continue;
+          if (MergeMin(&hbar_out[a], x, dist_at + edge.weight + dx)) {
+            changed = true;
+          }
+        }
+      };
+      if (psg.is_source[edge.from]) propagate_to(edge.from, 0);
+      for (const auto& [a, da] : source_anc[edge.from]) {
+        propagate_to(a, da);
+      }
+    }
+  }
+
+  std::vector<HBarRow> hbar;
+  for (NodeId s = 0; s < n; ++s) {
+    if (!psg.is_source[s] || hbar_out[s].empty()) continue;
+    HBarRow row{s, {}};
+    for (const auto& [t, d] : hbar_out[s]) {
+      if (t != s) row.targets.push_back({t, d});
+    }
+    if (!row.targets.empty()) hbar.push_back(std::move(row));
+  }
+  return hbar;
+}
+
+}  // namespace
+
+Status JoinCoversIncremental(const collection::Collection& collection,
+                             const partition::Partitioning& partitioning,
+                             bool with_distance,
+                             twohop::IndexedCover* cover, JoinStats* stats) {
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+  (void)collection;
+  stats->cross_links = partitioning.cross_links.size();
+  for (const collection::Link& l : partitioning.cross_links) {
+    stats->label_additions +=
+        MergeOneLink(l.source, l.target, with_distance, cover);
+  }
+  return Status::OK();
+}
+
+Status JoinCoversRecursive(const collection::Collection& collection,
+                           const partition::Partitioning& partitioning,
+                           bool with_distance,
+                           twohop::IndexedCover* cover, JoinStats* stats,
+                           const JoinOptions& options) {
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+  stats->cross_links = partitioning.cross_links.size();
+  if (partitioning.cross_links.empty()) return Status::OK();
+
+  // Step 1: the partition-level skeleton graph over the partition covers.
+  partition::PartitionSkeletonGraph psg =
+      partition::BuildPsg(collection, partitioning, *cover, with_distance);
+  stats->psg_nodes = psg.graph.NumNodes();
+  stats->psg_edges = psg.graph.NumEdges();
+
+  // Step 2: the H-bar cover (Sec 4.1): for every link source s,
+  // H-bar_out(s) = all link targets reachable from s in the PSG;
+  // H-bar_in(t) = {t} (implicit in our representation). Computed with an
+  // adapted transitive-closure traversal per source — over the whole PSG,
+  // or recursively over PSG partitions when it exceeds the cap.
+  //
+  // H-bar_out is kept aside: H-hat (step 3) must copy *exactly* these
+  // entries to within-partition ancestors, and partition membership of
+  // descendants must be evaluated against the pre-join covers.
+  std::vector<HBarRow> hbar_rows;
+  if (options.psg_partition_cap > 0 &&
+      psg.graph.NumNodes() > options.psg_partition_cap) {
+    hbar_rows = ComputeHBarPartitioned(psg, options.psg_partition_cap,
+                                       &stats->psg_partitions);
+  } else {
+    hbar_rows = ComputeHBarWhole(psg);
+    stats->psg_partitions = 1;
+  }
+  // Translate to element ids for label application.
+  struct HBarEntry {
+    NodeId target_element;
+    uint32_t dist;
+  };
+  std::vector<std::pair<NodeId, std::vector<HBarEntry>>> hbar;  // per source
+  for (const HBarRow& row : hbar_rows) {
+    std::vector<HBarEntry> entries;
+    entries.reserve(row.targets.size());
+    for (const auto& [t, d] : row.targets) {
+      entries.push_back({psg.to_element[t], d});
+    }
+    hbar.push_back({psg.to_element[row.source], std::move(entries)});
+  }
+
+  // Step 3a: H-hat for link sources — every within-partition ancestor a of
+  // s inherits H-bar_out(s), at distance dist(a,s) + dist_psg(s,t).
+  // Ancestor sets and distances are taken from the covers before any H-bar
+  // entry lands, so snapshot them first.
+  struct AncestorTask {
+    NodeId ancestor;
+    uint32_t dist_to_source;  // dist(a, s); 0 for a == s
+    size_t hbar_index;
+  };
+  std::vector<AncestorTask> tasks;
+  for (size_t i = 0; i < hbar.size(); ++i) {
+    NodeId s_elem = hbar[i].first;
+    uint32_t s_part =
+        partitioning.part_of[collection.DocOf(s_elem)];
+    tasks.push_back({s_elem, 0, i});
+    for (NodeId a : cover->Ancestors(s_elem)) {
+      if (partitioning.part_of[collection.DocOf(a)] != s_part) continue;
+      uint32_t d = 0;
+      if (with_distance) {
+        auto dd = cover->cover().Distance(a, s_elem);
+        assert(dd.has_value());
+        d = *dd;
+      }
+      tasks.push_back({a, d, i});
+    }
+  }
+
+  // Step 3b: H-hat for link targets — every within-partition descendant d
+  // of t gains t in Lin(d) at distance dist(t, d). Snapshot before
+  // applying anything.
+  struct DescendantTask {
+    NodeId descendant;
+    NodeId target_element;
+    uint32_t dist;
+  };
+  std::vector<DescendantTask> desc_tasks;
+  for (NodeId t = 0; t < psg.graph.NumNodes(); ++t) {
+    if (!psg.is_target[t]) continue;
+    NodeId t_elem = psg.to_element[t];
+    uint32_t t_part = partitioning.part_of[collection.DocOf(t_elem)];
+    for (NodeId d : cover->Descendants(t_elem)) {
+      if (partitioning.part_of[collection.DocOf(d)] != t_part) continue;
+      uint32_t dist = 0;
+      if (with_distance) {
+        auto dd = cover->cover().Distance(t_elem, d);
+        assert(dd.has_value());
+        dist = *dd;
+      }
+      desc_tasks.push_back({d, t_elem, dist});
+    }
+  }
+
+  // Apply H-bar (source labels)...
+  for (const auto& [s_elem, entries] : hbar) {
+    for (const HBarEntry& e : entries) {
+      if (cover->AddOut(s_elem, e.target_element,
+                        with_distance ? e.dist : 0)) {
+        ++stats->hbar_entries;
+      }
+    }
+  }
+  // ...then H-hat for ancestors...
+  for (const AncestorTask& task : tasks) {
+    if (task.dist_to_source == 0 && task.ancestor == hbar[task.hbar_index].first) {
+      continue;  // the source itself already carries H-bar
+    }
+    for (const HBarEntry& e : hbar[task.hbar_index].second) {
+      if (cover->AddOut(task.ancestor, e.target_element,
+                        with_distance ? task.dist_to_source + e.dist : 0)) {
+        ++stats->hhat_entries;
+      }
+    }
+  }
+  // ...then H-hat for descendants of targets.
+  for (const DescendantTask& task : desc_tasks) {
+    if (cover->AddIn(task.descendant, task.target_element,
+                     with_distance ? task.dist : 0)) {
+      ++stats->hhat_entries;
+    }
+  }
+  stats->label_additions = stats->hbar_entries + stats->hhat_entries;
+  return Status::OK();
+}
+
+}  // namespace hopi

@@ -1,0 +1,188 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "graph/closure.h"
+#include "util/rng.h"
+
+namespace hopi::partition {
+
+namespace {
+
+using collection::Collection;
+using collection::DocId;
+using collection::Link;
+
+/// Incrementally maintained partition state for the TC-size-aware
+/// strategy: a local element-id space plus an incremental closure.
+class PartitionClosure {
+ public:
+  explicit PartitionClosure(const Collection& c)
+      : collection_(c), global_to_local_(c.NumElements(), kInvalidNode) {}
+
+  /// Starts a fresh partition (resets the local id space).
+  void Reset() {
+    for (NodeId g : touched_) global_to_local_[g] = kInvalidNode;
+    touched_.clear();
+    closure_ = IncrementalClosure();
+    member_docs_.clear();
+  }
+
+  /// Adds a document and all its internal edges plus links to documents
+  /// already in the partition. Returns the closure connection count after.
+  uint64_t AddDocument(DocId d) {
+    member_docs_.insert(d);
+    for (NodeId g : collection_.ElementsOf(d)) {
+      NodeId local = static_cast<NodeId>(closure_.NumNodes());
+      closure_.EnsureNodes(closure_.NumNodes() + 1);
+      global_to_local_[g] = local;
+      touched_.push_back(g);
+    }
+    // Tree + intra-document edges: element-graph neighbors in the same doc.
+    for (NodeId g : collection_.ElementsOf(d)) {
+      for (NodeId h : collection_.ElementGraph().OutNeighbors(g)) {
+        if (collection_.DocOf(h) == d) {
+          closure_.AddEdge(global_to_local_[g], global_to_local_[h]);
+        }
+      }
+    }
+    // Inter-document links between d and partition members (both ways).
+    for (NodeId g : collection_.ElementsOf(d)) {
+      for (NodeId h : collection_.ElementGraph().OutNeighbors(g)) {
+        DocId hd = collection_.DocOf(h);
+        if (hd != d && member_docs_.count(hd)) {
+          closure_.AddEdge(global_to_local_[g], global_to_local_[h]);
+        }
+      }
+      for (NodeId h : collection_.ElementGraph().InNeighbors(g)) {
+        DocId hd = collection_.DocOf(h);
+        if (hd != d && member_docs_.count(hd)) {
+          closure_.AddEdge(global_to_local_[h], global_to_local_[g]);
+        }
+      }
+    }
+    return closure_.NumConnections();
+  }
+
+ private:
+  const Collection& collection_;
+  std::vector<NodeId> global_to_local_;
+  std::vector<NodeId> touched_;
+  IncrementalClosure closure_;
+  std::set<DocId> member_docs_;
+};
+
+}  // namespace
+
+Result<Partitioning> PartitionCollection(const Collection& collection,
+                                         const PartitionOptions& options) {
+  Partitioning result;
+  result.part_of.assign(collection.NumDocuments(), kUnassigned);
+
+  std::vector<DocId> docs;
+  for (DocId d = 0; d < collection.NumDocuments(); ++d) {
+    if (collection.IsLive(d)) docs.push_back(d);
+  }
+
+  if (options.strategy == PartitionStrategy::kDocPerPartition) {
+    for (DocId d : docs) {
+      result.part_of[d] = static_cast<uint32_t>(result.partitions.size());
+      result.partitions.push_back({d});
+    }
+  } else {
+    auto weights =
+        ComputeDocEdgeWeights(collection, options.edge_weight,
+                              options.skeleton_max_depth);
+    auto edge_weight = [&weights](DocId a, DocId b) -> uint64_t {
+      uint64_t w = 0;
+      auto it = weights.find({a, b});
+      if (it != weights.end()) w += it->second;
+      it = weights.find({b, a});
+      if (it != weights.end()) w += it->second;
+      return w;
+    };
+
+    Rng rng(options.seed);
+    std::vector<DocId> order = docs;
+    rng.Shuffle(&order);
+
+    const Digraph& dg = collection.DocumentGraph();
+    const bool tc_aware =
+        options.strategy == PartitionStrategy::kTcSizeAware;
+    PartitionClosure closure(collection);
+
+    for (DocId seed : order) {
+      if (result.part_of[seed] != kUnassigned) continue;
+      uint32_t part = static_cast<uint32_t>(result.partitions.size());
+      result.partitions.emplace_back();
+      closure.Reset();
+      uint64_t partition_nodes = 0;
+
+      // Frontier of unassigned neighbor documents with accumulated
+      // connecting weight.
+      std::map<DocId, uint64_t> frontier;
+      auto add_doc = [&](DocId d) {
+        result.part_of[d] = part;
+        result.partitions[part].push_back(d);
+        partition_nodes += collection.ElementsOf(d).size();
+        frontier.erase(d);
+        for (NodeId nb : dg.OutNeighbors(d)) {
+          if (result.part_of[nb] == kUnassigned) {
+            frontier[nb] += std::max<uint64_t>(edge_weight(d, nb), 1);
+          }
+        }
+        for (NodeId nb : dg.InNeighbors(d)) {
+          if (result.part_of[nb] == kUnassigned) {
+            frontier[nb] += std::max<uint64_t>(edge_weight(d, nb), 1);
+          }
+        }
+      };
+
+      uint64_t connections = tc_aware ? closure.AddDocument(seed) : 0;
+      add_doc(seed);
+      if (tc_aware && connections >= options.max_connections) continue;
+
+      while (!frontier.empty()) {
+        // Heaviest-edge neighbor first (ties: smallest id for determinism).
+        auto best = frontier.begin();
+        for (auto it = std::next(frontier.begin()); it != frontier.end();
+             ++it) {
+          if (it->second > best->second) best = it;
+        }
+        DocId cand = best->first;
+        if (tc_aware) {
+          // New partitioner: add, then close once the closure budget is
+          // reached ("continue with the next partition when the transitive
+          // closure is as large as the available memory").
+          connections = closure.AddDocument(cand);
+          add_doc(cand);
+          if (connections >= options.max_connections) break;
+        } else {
+          // Old partitioner: conservative node-count pre-check.
+          uint64_t cand_nodes = collection.ElementsOf(cand).size();
+          if (partition_nodes + cand_nodes > options.max_nodes) {
+            frontier.erase(best);  // try the next-heaviest neighbor
+            continue;
+          }
+          add_doc(cand);
+        }
+      }
+    }
+  }
+
+  // LP: element-level links crossing partitions.
+  for (const Link& l : collection.Links()) {
+    DocId ds = collection.DocOf(l.source);
+    DocId dt = collection.DocOf(l.target);
+    if (ds == dt) continue;
+    if (result.part_of[ds] != result.part_of[dt]) {
+      result.cross_links.push_back(l);
+    }
+  }
+  return result;
+}
+
+}  // namespace hopi::partition

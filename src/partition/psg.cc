@@ -1,0 +1,69 @@
+#include "partition/psg.h"
+
+#include <cassert>
+
+namespace hopi::partition {
+
+PartitionSkeletonGraph BuildPsg(const collection::Collection& collection,
+                                const Partitioning& partitioning,
+                                const twohop::IndexedCover& partition_covers,
+                                bool with_distance) {
+  PartitionSkeletonGraph psg;
+  auto intern = [&psg](NodeId element) -> NodeId {
+    auto it = psg.to_psg.find(element);
+    if (it != psg.to_psg.end()) return it->second;
+    NodeId id = psg.graph.AddNode();
+    psg.to_psg[element] = id;
+    psg.to_element.push_back(element);
+    psg.is_source.push_back(false);
+    psg.is_target.push_back(false);
+    psg.weighted_adj.emplace_back();
+    return id;
+  };
+
+  // Cross-partition link edges (weight 1).
+  for (const collection::Link& l : partitioning.cross_links) {
+    NodeId s = intern(l.source);
+    NodeId t = intern(l.target);
+    psg.is_source[s] = true;
+    psg.is_target[t] = true;
+    if (psg.graph.AddEdge(s, t)) {
+      psg.weighted_adj[s].push_back({t, 1, /*is_link=*/true});
+    }
+  }
+
+  // Internal target -> source edges inside each partition.
+  std::map<uint32_t, std::vector<NodeId>> sources_by_part;
+  std::map<uint32_t, std::vector<NodeId>> targets_by_part;
+  for (NodeId p = 0; p < psg.graph.NumNodes(); ++p) {
+    collection::DocId doc = collection.DocOf(psg.to_element[p]);
+    uint32_t part = partitioning.part_of[doc];
+    if (psg.is_source[p]) sources_by_part[part].push_back(p);
+    if (psg.is_target[p]) targets_by_part[part].push_back(p);
+  }
+  for (const auto& [part, targets] : targets_by_part) {
+    auto sit = sources_by_part.find(part);
+    if (sit == sources_by_part.end()) continue;
+    for (NodeId t : targets) {
+      NodeId t_elem = psg.to_element[t];
+      for (NodeId s : sit->second) {
+        if (s == t) continue;
+        NodeId s_elem = psg.to_element[s];
+        if (with_distance) {
+          auto d = partition_covers.cover().Distance(t_elem, s_elem);
+          if (d && psg.graph.AddEdge(t, s)) {
+            psg.weighted_adj[t].push_back({s, *d, /*is_link=*/false});
+          }
+        } else {
+          if (partition_covers.cover().IsConnected(t_elem, s_elem) &&
+              psg.graph.AddEdge(t, s)) {
+            psg.weighted_adj[t].push_back({s, 0, /*is_link=*/false});
+          }
+        }
+      }
+    }
+  }
+  return psg;
+}
+
+}  // namespace hopi::partition

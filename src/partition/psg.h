@@ -1,0 +1,63 @@
+// Partition-level skeleton graph (paper Definition 1, Sec 4.1).
+//
+// Given a partitioning P, the PSG S(P) has one node per element that is a
+// source or target of a cross-partition link. Its edges are the
+// cross-partition links themselves (weight 1) plus, inside each partition,
+// an edge from every cross-link target t to every cross-link source s that
+// t reaches within the partition (weight = within-partition shortest
+// distance, for distance-aware builds).
+//
+// Within-partition reachability/distances are answered by the partition
+// covers, which the caller supplies as an already-unified IndexedCover.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "collection/collection.h"
+#include "graph/digraph.h"
+#include "partition/partitioner.h"
+#include "twohop/reverse_index.h"
+
+namespace hopi::partition {
+
+/// One PSG edge with the metadata the joins need: its weight (for
+/// distance-aware builds) and whether it is a cross-partition link (as
+/// opposed to an internal target->source connection edge). The recursive
+/// PSG partitioning keys on the distinction: link edges must stay inside
+/// one PSG partition, internal edges may cross.
+struct PsgEdge {
+  NodeId to;
+  uint32_t weight;
+  bool is_link;
+};
+
+/// The PSG plus the annotations needed by the recursive join.
+struct PartitionSkeletonGraph {
+  Digraph graph;                         // PSG-local node ids
+  std::vector<NodeId> to_element;        // PSG node -> element id
+  std::map<NodeId, NodeId> to_psg;       // element id -> PSG node
+  std::vector<bool> is_source;           // source of a cross-partition link
+  std::vector<bool> is_target;           // target of a cross-partition link
+  /// Weighted adjacency parallel to `graph`. Cross links weigh 1;
+  /// internal target->source edges weigh the within-partition shortest
+  /// distance (0 when distances are not tracked).
+  std::vector<std::vector<PsgEdge>> weighted_adj;
+
+  NodeId PsgNodeOf(NodeId element) const {
+    auto it = to_psg.find(element);
+    return it == to_psg.end() ? kInvalidNode : it->second;
+  }
+};
+
+/// Builds S(P). `partition_covers` must answer within-partition
+/// reachability (the component-wise union of the partition covers). When
+/// `with_distance` is false, internal edge weights are set to 0 (unused).
+PartitionSkeletonGraph BuildPsg(const collection::Collection& collection,
+                                const Partitioning& partitioning,
+                                const twohop::IndexedCover& partition_covers,
+                                bool with_distance);
+
+}  // namespace hopi::partition

@@ -1,0 +1,133 @@
+#include "partition/skeleton.h"
+
+#include <cassert>
+
+#include "collection/tree_labels.h"
+#include "graph/traversal.h"
+
+namespace hopi::partition {
+
+SkeletonGraph BuildSkeletonGraph(const collection::Collection& collection) {
+  // Pre/postorder interval labels (Sec 4.3: "this can be easily derived
+  // if we maintain pre- and postorder values for each node") give O(1)
+  // tree-ancestorship tests and the Fig. 5 anc/desc annotations.
+  collection::TreeLabels labels(collection);
+  SkeletonGraph s;
+  auto intern = [&s](NodeId element) -> NodeId {
+    auto it = s.to_skeleton.find(element);
+    if (it != s.to_skeleton.end()) return it->second;
+    NodeId id = s.graph.AddNode();
+    s.to_skeleton[element] = id;
+    s.to_element.push_back(element);
+    s.is_source.push_back(false);
+    s.is_target.push_back(false);
+    return id;
+  };
+
+  // Nodes + link edges.
+  for (const collection::Link& l : collection.Links()) {
+    NodeId src = intern(l.source);
+    NodeId tgt = intern(l.target);
+    s.is_source[src] = true;
+    s.is_target[tgt] = true;
+    s.graph.AddEdge(src, tgt);
+  }
+
+  // Per-document target -> source edges where the target is a tree
+  // ancestor-or-self of the source (i.e. the source is reachable from the
+  // target within the element-level tree).
+  std::map<collection::DocId, std::vector<NodeId>> sources_by_doc;
+  std::map<collection::DocId, std::vector<NodeId>> targets_by_doc;
+  for (NodeId sk = 0; sk < s.graph.NumNodes(); ++sk) {
+    collection::DocId d = collection.DocOf(s.to_element[sk]);
+    if (s.is_source[sk]) sources_by_doc[d].push_back(sk);
+    if (s.is_target[sk]) targets_by_doc[d].push_back(sk);
+  }
+  for (const auto& [doc, targets] : targets_by_doc) {
+    auto src_it = sources_by_doc.find(doc);
+    if (src_it == sources_by_doc.end()) continue;
+    for (NodeId t : targets) {
+      for (NodeId src : src_it->second) {
+        if (t == src) continue;
+        if (labels.IsAncestorOrSelf(s.to_element[t], s.to_element[src])) {
+          s.graph.AddEdge(t, src);
+        }
+      }
+    }
+  }
+
+  // Annotations (Fig. 5): tree ancestor/descendant counts incl. self.
+  s.anc.resize(s.graph.NumNodes());
+  s.desc.resize(s.graph.NumNodes());
+  for (NodeId sk = 0; sk < s.graph.NumNodes(); ++sk) {
+    s.anc[sk] = labels.AncestorCount(s.to_element[sk]);
+    s.desc[sk] = labels.DescendantCount(s.to_element[sk]);
+  }
+  return s;
+}
+
+AncDescEstimate EstimateAncDesc(const SkeletonGraph& skeleton,
+                                uint32_t max_depth) {
+  AncDescEstimate est;
+  const size_t n = skeleton.graph.NumNodes();
+  est.A.assign(n, 0);
+  est.D.assign(n, 0);
+  Digraph reversed = skeleton.graph.Reversed();
+  for (NodeId x = 0; x < n; ++x) {
+    // Forward walk: accumulate desc() of every link target reached
+    // (a target's tree subtree becomes descendants of x via the links).
+    est.D[x] = skeleton.desc[x];
+    BoundedBfs(skeleton.graph, x, max_depth, [&](NodeId y, uint32_t depth) {
+      if (depth > 0 && skeleton.is_target[y]) est.D[x] += skeleton.desc[y];
+    });
+    // Backward walk: accumulate anc() of every link source that reaches x.
+    est.A[x] = skeleton.anc[x];
+    BoundedBfs(reversed, x, max_depth, [&](NodeId y, uint32_t depth) {
+      if (depth > 0 && skeleton.is_source[y]) est.A[x] += skeleton.anc[y];
+    });
+  }
+  return est;
+}
+
+const char* EdgeWeightPolicyName(EdgeWeightPolicy policy) {
+  switch (policy) {
+    case EdgeWeightPolicy::kLinkCount:
+      return "links";
+    case EdgeWeightPolicy::kAtimesD:
+      return "A*D";
+    case EdgeWeightPolicy::kAplusD:
+      return "A+D";
+  }
+  return "?";
+}
+
+std::map<std::pair<collection::DocId, collection::DocId>, uint64_t>
+ComputeDocEdgeWeights(const collection::Collection& collection,
+                      EdgeWeightPolicy policy, uint32_t max_depth) {
+  std::map<std::pair<collection::DocId, collection::DocId>, uint64_t> weights;
+  if (policy == EdgeWeightPolicy::kLinkCount) {
+    for (const collection::Link& l : collection.Links()) {
+      collection::DocId ds = collection.DocOf(l.source);
+      collection::DocId dt = collection.DocOf(l.target);
+      if (ds != dt) weights[{ds, dt}] += 1;
+    }
+    return weights;
+  }
+  SkeletonGraph skeleton = BuildSkeletonGraph(collection);
+  AncDescEstimate est = EstimateAncDesc(skeleton, max_depth);
+  for (const collection::Link& l : collection.Links()) {
+    collection::DocId ds = collection.DocOf(l.source);
+    collection::DocId dt = collection.DocOf(l.target);
+    if (ds == dt) continue;
+    NodeId sk_s = skeleton.SkeletonNodeOf(l.source);
+    NodeId sk_t = skeleton.SkeletonNodeOf(l.target);
+    assert(sk_s != kInvalidNode && sk_t != kInvalidNode);
+    uint64_t a = est.A[sk_s];
+    uint64_t d = est.D[sk_t];
+    weights[{ds, dt}] +=
+        policy == EdgeWeightPolicy::kAtimesD ? a * d : a + d;
+  }
+  return weights;
+}
+
+}  // namespace hopi::partition

@@ -1,0 +1,73 @@
+// Skeleton graph S(X) (paper Definition 2) and the ancestor/descendant
+// estimation that drives the A*D / A+D edge weights (Sec 4.3).
+//
+// S(X)'s nodes are the elements that are sources or targets of links; its
+// edges are (a) all links and (b) an edge from each link target v to each
+// link source x in the same document with v ->* x in the document's
+// element-level tree. Each node is annotated with its tree ancestor count
+// anc(x) and tree descendant count desc(x) (both including the node, as in
+// the paper's Figure 5). A bounded-depth traversal then estimates, per
+// node, the total number A(x) of element-level ancestors and D(x) of
+// descendants the node gains through links.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "collection/collection.h"
+#include "graph/digraph.h"
+
+namespace hopi::partition {
+
+/// The skeleton graph with its annotations.
+struct SkeletonGraph {
+  Digraph graph;                   // local skeleton node ids
+  std::vector<NodeId> to_element;  // skeleton node -> element id
+  std::map<NodeId, NodeId> to_skeleton;  // element id -> skeleton node
+  std::vector<bool> is_source;     // skeleton node is a link source
+  std::vector<bool> is_target;     // skeleton node is a link target
+  std::vector<uint32_t> anc;       // tree ancestors incl. self (Fig. 5)
+  std::vector<uint32_t> desc;      // tree descendants incl. self (Fig. 5)
+
+  NodeId SkeletonNodeOf(NodeId element) const {
+    auto it = to_skeleton.find(element);
+    return it == to_skeleton.end() ? kInvalidNode : it->second;
+  }
+};
+
+/// Builds S(X) for the collection. "Connected within the document" uses
+/// the element-level *tree* (ancestor walk), per Definition 2.
+SkeletonGraph BuildSkeletonGraph(const collection::Collection& collection);
+
+/// Estimated element-level ancestor/descendant totals per skeleton node.
+struct AncDescEstimate {
+  std::vector<uint64_t> A;  // estimated total ancestors of each skeleton node
+  std::vector<uint64_t> D;  // estimated total descendants
+};
+
+/// Bounded-depth traversal estimation (Sec 4.3): starting from each node,
+/// a forward walk of at most `max_depth` skeleton hops accumulates desc()
+/// of every link target reached into D, and a backward walk accumulates
+/// anc() of every link source into A. Longer paths are cut off, so the
+/// numbers are approximations — exactly as the paper prescribes.
+AncDescEstimate EstimateAncDesc(const SkeletonGraph& skeleton,
+                                uint32_t max_depth = 8);
+
+/// Edge-weight policies for document-level partitioning (Sec 4.3).
+enum class EdgeWeightPolicy {
+  kLinkCount,  // original HOPI: number of links between the documents
+  kAtimesD,    // sum over links of A(source) * D(target)
+  kAplusD,     // sum over links of A(source) + D(target)
+};
+
+const char* EdgeWeightPolicyName(EdgeWeightPolicy policy);
+
+/// Computes the weight of every document-graph edge under `policy`.
+/// Returned map is keyed by (from doc, to doc).
+std::map<std::pair<collection::DocId, collection::DocId>, uint64_t>
+ComputeDocEdgeWeights(const collection::Collection& collection,
+                      EdgeWeightPolicy policy, uint32_t max_depth = 8);
+
+}  // namespace hopi::partition

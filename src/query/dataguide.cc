@@ -1,0 +1,100 @@
+#include "query/dataguide.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace hopi::query {
+
+using collection::Collection;
+using collection::DocId;
+
+uint32_t DataGuide::ChildGuide(uint32_t parent_guide, uint32_t tag) {
+  auto& children = nodes_[parent_guide].children;
+  auto it = children.find(tag);
+  if (it != children.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(nodes_.size());
+  children[tag] = id;
+  nodes_.push_back({tag, {}, {}});
+  return id;
+}
+
+DataGuide::DataGuide(const Collection& collection)
+    : collection_(collection) {
+  nodes_.push_back({UINT32_MAX, {}, {}});  // virtual root above all docs
+
+  // One pass per document: walk the tree, mapping each element to its
+  // guide node (parent's guide node -> child by tag).
+  std::vector<uint32_t> guide_of(collection.NumElements(), 0);
+  for (DocId d = 0; d < collection.NumDocuments(); ++d) {
+    if (!collection.IsLive(d)) continue;
+    NodeId root = collection.RootOf(d);
+    if (root == kInvalidNode) continue;
+    std::deque<NodeId> queue{root};
+    guide_of[root] = ChildGuide(0, collection.TagIdOf(root));
+    nodes_[guide_of[root]].extent.push_back(root);
+    ++extent_entries_;
+    while (!queue.empty()) {
+      NodeId e = queue.front();
+      queue.pop_front();
+      // Tree children = same-document graph successors whose parent is e.
+      for (NodeId child : collection.ElementGraph().OutNeighbors(e)) {
+        if (collection.ParentOf(child) != e) continue;  // link, not tree
+        uint32_t g = ChildGuide(guide_of[e], collection.TagIdOf(child));
+        guide_of[child] = g;
+        nodes_[g].extent.push_back(child);
+        ++extent_entries_;
+        queue.push_back(child);
+      }
+    }
+  }
+  for (GuideNode& node : nodes_) {
+    std::sort(node.extent.begin(), node.extent.end());
+  }
+}
+
+const std::vector<NodeId>& DataGuide::LookupPath(
+    const std::vector<std::string>& path) const {
+  uint32_t guide = 0;
+  for (const std::string& tag : path) {
+    uint32_t tag_id = collection_.FindTagId(tag);
+    if (tag_id == Collection::kInvalidTag) return empty_;
+    auto it = nodes_[guide].children.find(tag_id);
+    if (it == nodes_[guide].children.end()) return empty_;
+    guide = it->second;
+  }
+  return guide == 0 ? empty_ : nodes_[guide].extent;
+}
+
+std::vector<NodeId> DataGuide::WildcardDescendants(
+    const std::string& first, const std::string& second) const {
+  std::vector<NodeId> result;
+  uint32_t first_id = collection_.FindTagId(first);
+  uint32_t second_id = collection_.FindTagId(second);
+  if (first_id == Collection::kInvalidTag ||
+      second_id == Collection::kInvalidTag) {
+    return result;
+  }
+  // Full guide scan for `first`, then a guide-subtree walk per hit: the
+  // whole point of the comparison — no index structure narrows this down.
+  for (uint32_t g = 1; g < nodes_.size(); ++g) {
+    if (nodes_[g].tag != first_id) continue;
+    std::deque<uint32_t> queue;
+    for (const auto& [tag, child] : nodes_[g].children) queue.push_back(child);
+    while (!queue.empty()) {
+      uint32_t x = queue.front();
+      queue.pop_front();
+      if (nodes_[x].tag == second_id) {
+        result.insert(result.end(), nodes_[x].extent.begin(),
+                      nodes_[x].extent.end());
+      }
+      for (const auto& [tag, child] : nodes_[x].children) {
+        queue.push_back(child);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace hopi::query

@@ -1,0 +1,68 @@
+// Strong DataGuide (Goldman & Widom, VLDB 1997 — the paper's reference
+// [13] and the index family its introduction argues against).
+//
+// A DataGuide is a structural summary: every distinct root-to-element
+// *label path* of a document tree appears exactly once. Queries that are
+// full label paths ("/book/chapter/author") resolve in O(path length)
+// to the extent of matching elements. The paper's critique (Sec 1.1):
+// such indexes handle path queries *without* wildcards well, but
+//   (a) a descendant query //a//b must enumerate every label path that
+//       embeds (a, b) — potentially the whole guide — and
+//   (b) they are defined over trees, so inter-document links fall
+//       outside the summary entirely.
+// This implementation exists to make that comparison concrete (see
+// bench_dataguide): it is built over the element-level *trees* only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "graph/digraph.h"
+
+namespace hopi::query {
+
+class DataGuide {
+ public:
+  /// Builds the strong DataGuide over all live documents' trees.
+  /// Since document trees share tag vocabulary, guide nodes are keyed by
+  /// the full label path from the (virtual) collection root.
+  explicit DataGuide(const collection::Collection& collection);
+
+  /// Elements whose root-to-self label path equals `path` (e.g.
+  /// {"book", "chapter", "author"}). O(|path|) lookup + extent size.
+  const std::vector<NodeId>& LookupPath(
+      const std::vector<std::string>& path) const;
+
+  /// Wildcard descendant query //first//second evaluated the only way a
+  /// DataGuide can: scan all guide nodes with tag `first`, walk their
+  /// guide subtrees for `second`, union the extents. The cost scales
+  /// with the guide size — the inefficiency the paper's Sec 1.1 calls
+  /// out ("poor performance for wildcard queries").
+  std::vector<NodeId> WildcardDescendants(const std::string& first,
+                                          const std::string& second) const;
+
+  /// Number of guide nodes (distinct label paths).
+  size_t NumGuideNodes() const { return nodes_.size(); }
+  /// Total extent entries (elements referenced by guide nodes).
+  uint64_t ExtentEntries() const { return extent_entries_; }
+
+ private:
+  struct GuideNode {
+    uint32_t tag;
+    std::vector<NodeId> extent;              // elements with this path
+    std::map<uint32_t, uint32_t> children;   // tag -> guide node index
+  };
+
+  uint32_t ChildGuide(uint32_t parent_guide, uint32_t tag);
+
+  const collection::Collection& collection_;
+  std::vector<GuideNode> nodes_;           // node 0 = virtual root
+  std::vector<NodeId> empty_;
+  uint64_t extent_entries_ = 0;
+};
+
+}  // namespace hopi::query

@@ -1,0 +1,57 @@
+#include "query/similarity.h"
+
+#include <algorithm>
+
+namespace hopi::query {
+
+void TagSimilarity::AddSynonym(const std::string& a, const std::string& b,
+                               double score) {
+  if (a == b) return;
+  score = std::clamp(score, 1e-9, 1.0);
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = scores_.find(key);
+  if (it == scores_.end()) {
+    scores_[key] = score;
+    related_[a].push_back(b);
+    related_[b].push_back(a);
+  } else {
+    it->second = std::max(it->second, score);
+  }
+}
+
+double TagSimilarity::Sim(const std::string& a, const std::string& b) const {
+  if (a == b) return 1.0;
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = scores_.find(key);
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> TagSimilarity::Related(
+    const std::string& tag, double threshold) const {
+  std::vector<std::pair<std::string, double>> out{{tag, 1.0}};
+  auto it = related_.find(tag);
+  if (it != related_.end()) {
+    for (const std::string& other : it->second) {
+      double s = Sim(tag, other);
+      if (s >= threshold) out.push_back({other, s});
+    }
+  }
+  return out;
+}
+
+TagSimilarity TagSimilarity::DblpDefaults() {
+  TagSimilarity sim;
+  sim.AddSynonym("book", "monography", 0.9);
+  sim.AddSynonym("book", "proceedings", 0.7);
+  sim.AddSynonym("book", "inproceedings", 0.6);
+  sim.AddSynonym("book", "publication", 0.8);
+  sim.AddSynonym("inproceedings", "article", 0.8);
+  sim.AddSynonym("inproceedings", "publication", 0.8);
+  sim.AddSynonym("author", "editor", 0.7);
+  sim.AddSynonym("cite", "ref", 0.9);
+  sim.AddSynonym("cite", "crossref", 0.8);
+  sim.AddSynonym("title", "booktitle", 0.6);
+  return sim;
+}
+
+}  // namespace hopi::query

@@ -1,0 +1,44 @@
+// Tag similarity for approximate path steps (the XXL scenario the paper's
+// Sec 5.1 motivates: "//~book//author", where the ranking considers "the
+// ontological similarity of book to monography or publication" combined
+// with connection length).
+//
+// This is a deliberately small stand-in for XXL's ontology service: a
+// symmetric registry of (tag, tag) -> similarity in (0, 1], with identity
+// = 1. Downstream engines can load domain synonym sets (a DBLP-flavoured
+// default is provided).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hopi::query {
+
+class TagSimilarity {
+ public:
+  TagSimilarity() = default;
+
+  /// Registers a symmetric similarity. Scores are clamped to (0, 1];
+  /// re-registering keeps the larger score.
+  void AddSynonym(const std::string& a, const std::string& b, double score);
+
+  /// 1.0 for identical tags, the registered score for synonyms, 0.0
+  /// otherwise.
+  double Sim(const std::string& a, const std::string& b) const;
+
+  /// All tags related to `tag` with similarity >= threshold, including
+  /// `tag` itself (score 1.0 first).
+  std::vector<std::pair<std::string, double>> Related(
+      const std::string& tag, double threshold) const;
+
+  /// A small publication-domain ontology: book ~ monography ~ proceedings,
+  /// author ~ editor, cite ~ ref, etc.
+  static TagSimilarity DblpDefaults();
+
+ private:
+  std::map<std::pair<std::string, std::string>, double> scores_;
+  std::map<std::string, std::vector<std::string>> related_;
+};
+
+}  // namespace hopi::query

@@ -1,0 +1,32 @@
+#include "query/tag_index.h"
+
+namespace hopi::query {
+
+TagIndex::TagIndex(const collection::Collection& collection)
+    : collection_(collection) {
+  for (NodeId e = 0; e < collection.NumElements(); ++e) {
+    collection::DocId d = collection.DocOf(e);
+    if (d == collection::kInvalidDoc || !collection.IsLive(d)) continue;
+    uint32_t tag = collection.TagIdOf(e);
+    if (by_tag_.size() <= tag) by_tag_.resize(tag + 1);
+    by_tag_[tag].push_back(e);
+  }
+}
+
+const std::vector<NodeId>& TagIndex::Lookup(const std::string& tag) const {
+  uint32_t id = collection_.FindTagId(tag);
+  if (id == collection::Collection::kInvalidTag || id >= by_tag_.size()) {
+    return empty_;
+  }
+  return by_tag_[id];
+}
+
+std::vector<std::string> TagIndex::Tags() const {
+  std::vector<std::string> tags;
+  for (uint32_t t = 0; t < by_tag_.size(); ++t) {
+    if (!by_tag_[t].empty()) tags.push_back(collection_.TagName(t));
+  }
+  return tags;
+}
+
+}  // namespace hopi::query

@@ -1,0 +1,36 @@
+// Tag -> element inverted index over a collection.
+//
+// The search-engine layer pairs this with the HOPI connection index: tag
+// lookups produce the candidate element sets, HOPI answers the // axes
+// between them (paper Sec 1.1: path expressions with wildcards).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "graph/digraph.h"
+
+namespace hopi::query {
+
+class TagIndex {
+ public:
+  /// Indexes all elements of the collection's live documents.
+  explicit TagIndex(const collection::Collection& collection);
+
+  /// Elements with the given tag, sorted ascending. Empty when unknown.
+  const std::vector<NodeId>& Lookup(const std::string& tag) const;
+
+  /// All indexed tag names.
+  std::vector<std::string> Tags() const;
+
+  size_t NumTags() const { return by_tag_.size(); }
+
+ private:
+  const collection::Collection& collection_;
+  std::vector<std::vector<NodeId>> by_tag_;  // tag id -> elements
+  std::vector<NodeId> empty_;
+};
+
+}  // namespace hopi::query

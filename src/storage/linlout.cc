@@ -1,0 +1,257 @@
+#include "storage/linlout.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace hopi::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'O', 'P', 'I', 'L', 'L', '0', '1'};
+
+bool ByIdCenter(const TableRow& a, const TableRow& b) {
+  return a.id != b.id ? a.id < b.id : a.center < b.center;
+}
+bool ByCenterId(const TableRow& a, const TableRow& b) {
+  return a.center != b.center ? a.center < b.center : a.id < b.id;
+}
+
+/// Equal-range over a forward run for one id.
+std::pair<size_t, size_t> ForwardRange(const std::vector<TableRow>& run,
+                                       NodeId id) {
+  auto lo = std::lower_bound(run.begin(), run.end(), id,
+                             [](const TableRow& r, NodeId x) {
+                               return r.id < x;
+                             });
+  auto hi = std::upper_bound(run.begin(), run.end(), id,
+                             [](NodeId x, const TableRow& r) {
+                               return x < r.id;
+                             });
+  return {static_cast<size_t>(lo - run.begin()),
+          static_cast<size_t>(hi - run.begin())};
+}
+
+/// Equal-range over a backward run for one center.
+std::pair<size_t, size_t> BackwardRange(const std::vector<TableRow>& run,
+                                        NodeId center) {
+  auto lo = std::lower_bound(run.begin(), run.end(), center,
+                             [](const TableRow& r, NodeId x) {
+                               return r.center < x;
+                             });
+  auto hi = std::upper_bound(run.begin(), run.end(), center,
+                             [](NodeId x, const TableRow& r) {
+                               return x < r.center;
+                             });
+  return {static_cast<size_t>(lo - run.begin()),
+          static_cast<size_t>(hi - run.begin())};
+}
+
+}  // namespace
+
+LinLoutStore LinLoutStore::FromCover(const twohop::TwoHopCover& cover,
+                                     bool with_distance) {
+  LinLoutStore store;
+  store.with_distance_ = with_distance;
+  for (NodeId v = 0; v < cover.NumNodes(); ++v) {
+    for (const twohop::LabelEntry& e : cover.In(v)) {
+      store.lin_fwd_.push_back({v, e.center, with_distance ? e.dist : 0});
+    }
+    for (const twohop::LabelEntry& e : cover.Out(v)) {
+      store.lout_fwd_.push_back({v, e.center, with_distance ? e.dist : 0});
+    }
+  }
+  std::sort(store.lin_fwd_.begin(), store.lin_fwd_.end(), ByIdCenter);
+  std::sort(store.lout_fwd_.begin(), store.lout_fwd_.end(), ByIdCenter);
+  store.BuildBackwardRuns();
+  return store;
+}
+
+void LinLoutStore::BuildBackwardRuns() {
+  lin_bwd_ = lin_fwd_;
+  lout_bwd_ = lout_fwd_;
+  std::sort(lin_bwd_.begin(), lin_bwd_.end(), ByCenterId);
+  std::sort(lout_bwd_.begin(), lout_bwd_.end(), ByCenterId);
+}
+
+twohop::TwoHopCover LinLoutStore::ToCover(size_t num_nodes) const {
+  twohop::TwoHopCover cover(num_nodes);
+  for (const TableRow& r : lin_fwd_) cover.AddIn(r.id, r.center, r.dist);
+  for (const TableRow& r : lout_fwd_) cover.AddOut(r.id, r.center, r.dist);
+  return cover;
+}
+
+bool LinLoutStore::TestConnection(NodeId id1, NodeId id2) const {
+  if (id1 == id2) return true;
+  auto [ol, oh] = ForwardRange(lout_fwd_, id1);
+  auto [il, ih] = ForwardRange(lin_fwd_, id2);
+  // The main SQL: merge-join LOUT(id1) with LIN(id2) on the center.
+  size_t i = ol, j = il;
+  while (i < oh && j < ih) {
+    if (lout_fwd_[i].center < lin_fwd_[j].center) {
+      ++i;
+    } else if (lout_fwd_[i].center > lin_fwd_[j].center) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  // The "simple additional queries" for the omitted self entries:
+  // center == id1 (needs id1 in LIN(id2)) or center == id2 (in LOUT(id1)).
+  for (size_t k = il; k < ih; ++k) {
+    if (lin_fwd_[k].center == id1) return true;
+  }
+  for (size_t k = ol; k < oh; ++k) {
+    if (lout_fwd_[k].center == id2) return true;
+  }
+  return false;
+}
+
+std::optional<uint32_t> LinLoutStore::MinDistance(NodeId id1,
+                                                  NodeId id2) const {
+  if (id1 == id2) return 0;
+  std::optional<uint32_t> best;
+  auto consider = [&best](uint32_t d) {
+    if (!best || d < *best) best = d;
+  };
+  auto [ol, oh] = ForwardRange(lout_fwd_, id1);
+  auto [il, ih] = ForwardRange(lin_fwd_, id2);
+  size_t i = ol, j = il;
+  while (i < oh && j < ih) {
+    if (lout_fwd_[i].center < lin_fwd_[j].center) {
+      ++i;
+    } else if (lout_fwd_[i].center > lin_fwd_[j].center) {
+      ++j;
+    } else {
+      consider(lout_fwd_[i].dist + lin_fwd_[j].dist);
+      ++i;
+      ++j;
+    }
+  }
+  for (size_t k = il; k < ih; ++k) {
+    if (lin_fwd_[k].center == id1) consider(lin_fwd_[k].dist);
+  }
+  for (size_t k = ol; k < oh; ++k) {
+    if (lout_fwd_[k].center == id2) consider(lout_fwd_[k].dist);
+  }
+  return best;
+}
+
+std::vector<NodeId> LinLoutStore::Descendants(NodeId id) const {
+  std::vector<NodeId> result;
+  auto probe_center = [this, &result, id](NodeId center) {
+    if (center != id) result.push_back(center);  // the center itself
+    auto [lo, hi] = BackwardRange(lin_bwd_, center);
+    for (size_t k = lo; k < hi; ++k) {
+      if (lin_bwd_[k].id != id) result.push_back(lin_bwd_[k].id);
+    }
+  };
+  auto [ol, oh] = ForwardRange(lout_fwd_, id);
+  for (size_t k = ol; k < oh; ++k) probe_center(lout_fwd_[k].center);
+  // Implicit self center: nodes whose LIN mentions `id`.
+  auto [lo, hi] = BackwardRange(lin_bwd_, id);
+  for (size_t k = lo; k < hi; ++k) result.push_back(lin_bwd_[k].id);
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<NodeId> LinLoutStore::Ancestors(NodeId id) const {
+  std::vector<NodeId> result;
+  auto probe_center = [this, &result, id](NodeId center) {
+    if (center != id) result.push_back(center);
+    auto [lo, hi] = BackwardRange(lout_bwd_, center);
+    for (size_t k = lo; k < hi; ++k) {
+      if (lout_bwd_[k].id != id) result.push_back(lout_bwd_[k].id);
+    }
+  };
+  auto [il, ih] = ForwardRange(lin_fwd_, id);
+  for (size_t k = il; k < ih; ++k) probe_center(lin_fwd_[k].center);
+  auto [lo, hi] = BackwardRange(lout_bwd_, id);
+  for (size_t k = lo; k < hi; ++k) result.push_back(lout_bwd_[k].id);
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<TableRow> LinLoutStore::ScanLin(NodeId id) const {
+  auto [lo, hi] = ForwardRange(lin_fwd_, id);
+  return {lin_fwd_.begin() + lo, lin_fwd_.begin() + hi};
+}
+
+std::vector<TableRow> LinLoutStore::ScanLout(NodeId id) const {
+  auto [lo, hi] = ForwardRange(lout_fwd_, id);
+  return {lout_fwd_.begin() + lo, lout_fwd_.begin() + hi};
+}
+
+uint64_t LinLoutStore::StorageIntegers() const {
+  uint64_t per_row = 2 + (with_distance_ ? 1 : 0);
+  // Forward table + backward index.
+  return NumEntries() * per_row * 2;
+}
+
+Status LinLoutStore::WriteToFile(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  auto write_u64 = [f](uint64_t v) {
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+  };
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+  ok = ok && write_u64(with_distance_ ? 1 : 0);
+  ok = ok && write_u64(lin_fwd_.size()) && write_u64(lout_fwd_.size());
+  auto write_run = [f, &ok](const std::vector<TableRow>& run) {
+    for (const TableRow& r : run) {
+      uint32_t buf[3] = {r.id, r.center, r.dist};
+      if (std::fwrite(buf, sizeof(buf), 1, f) != 1) {
+        ok = false;
+        return;
+      }
+    }
+  };
+  if (ok) write_run(lin_fwd_);
+  if (ok) write_run(lout_fwd_);
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<LinLoutStore> LinLoutStore::ReadFromFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  LinLoutStore store;
+  char magic[8];
+  uint64_t header[3];
+  if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (std::fread(header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return Status::Corruption("truncated header in " + path);
+  }
+  store.with_distance_ = header[0] != 0;
+  auto read_run = [f](std::vector<TableRow>* run, uint64_t count) {
+    run->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t buf[3];
+      if (std::fread(buf, sizeof(buf), 1, f) != 1) return false;
+      run->push_back({buf[0], buf[1], buf[2]});
+    }
+    return true;
+  };
+  bool ok = read_run(&store.lin_fwd_, header[1]) &&
+            read_run(&store.lout_fwd_, header[2]);
+  std::fclose(f);
+  if (!ok) return Status::Corruption("truncated rows in " + path);
+  if (!std::is_sorted(store.lin_fwd_.begin(), store.lin_fwd_.end(),
+                      ByIdCenter) ||
+      !std::is_sorted(store.lout_fwd_.begin(), store.lout_fwd_.end(),
+                      ByIdCenter)) {
+    return Status::Corruption("forward runs not sorted in " + path);
+  }
+  store.BuildBackwardRuns();
+  return store;
+}
+
+}  // namespace hopi::storage

@@ -1,0 +1,98 @@
+// LIN/LOUT index-organized tables (paper Sec 3.4 / Sec 5.1).
+//
+// The paper stores the cover in two Oracle tables,
+//   LIN(ID, INID[, DIST])  and  LOUT(ID, OUTID[, DIST]),
+// each as an index-organized table sorted by the *forward* key (ID, INID)
+// plus a *backward* index on (INID, ID) — doubling the stored integers.
+// This embedded store keeps exactly those four sorted runs and executes
+// the paper's SQL access paths:
+//   connection test:  intersect LOUT rows of ID1 with LIN rows of ID2
+//                     (SELECT COUNT(*) ... WHERE LOUT.OUTID = LIN.INID),
+//   distance lookup:  SELECT MIN(LOUT.DIST + LIN.DIST) ...,
+//   descendants:      backward LIN probes for every center in LOUT(ID),
+// plus the "simple additional queries" that compensate for nodes not being
+// stored in their own labels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "twohop/cover.h"
+#include "util/result.h"
+
+namespace hopi::storage {
+
+/// One table row: a node and one center from its label.
+struct TableRow {
+  NodeId id;
+  NodeId center;
+  uint32_t dist;
+
+  friend bool operator==(const TableRow& a, const TableRow& b) {
+    return a.id == b.id && a.center == b.center && a.dist == b.dist;
+  }
+};
+
+class LinLoutStore {
+ public:
+  LinLoutStore() = default;
+
+  /// Loads the cover into the four sorted runs.
+  static LinLoutStore FromCover(const twohop::TwoHopCover& cover,
+                                bool with_distance);
+
+  /// Reconstructs a TwoHopCover (for rebuilding an index from storage).
+  twohop::TwoHopCover ToCover(size_t num_nodes) const;
+
+  // ---- the paper's query shapes ----
+
+  /// True iff id1 ->* id2 according to the stored cover.
+  bool TestConnection(NodeId id1, NodeId id2) const;
+
+  /// SELECT MIN(LOUT.DIST + LIN.DIST) ... — nullopt when unconnected.
+  std::optional<uint32_t> MinDistance(NodeId id1, NodeId id2) const;
+
+  /// All strict descendants of `id` (sorted), via backward LIN probes.
+  std::vector<NodeId> Descendants(NodeId id) const;
+
+  /// All strict ancestors of `id` (sorted), via backward LOUT probes.
+  std::vector<NodeId> Ancestors(NodeId id) const;
+
+  /// Forward range scans (rows of one node), as the paper's
+  /// index-organized tables would return them.
+  std::vector<TableRow> ScanLin(NodeId id) const;
+  std::vector<TableRow> ScanLout(NodeId id) const;
+
+  // ---- storage accounting (Sec 7.2) ----
+
+  /// Total label entries (|L| — rows across LIN and LOUT).
+  uint64_t NumEntries() const { return lin_fwd_.size() + lout_fwd_.size(); }
+
+  /// Integers stored: 2 per row in the forward table + 2 per row in the
+  /// backward index (plus one DIST integer per forward row when
+  /// distance-aware), matching the paper's arithmetic.
+  uint64_t StorageIntegers() const;
+
+  bool with_distance() const { return with_distance_; }
+
+  // ---- persistence ----
+
+  Status WriteToFile(const std::string& path) const;
+  static Result<LinLoutStore> ReadFromFile(const std::string& path);
+
+ private:
+  // Forward runs sorted by (id, center); backward runs by (center, id).
+  std::vector<TableRow> lin_fwd_;
+  std::vector<TableRow> lin_bwd_;
+  std::vector<TableRow> lout_fwd_;
+  std::vector<TableRow> lout_bwd_;
+  bool with_distance_ = false;
+
+  void BuildBackwardRuns();
+};
+
+}  // namespace hopi::storage

@@ -1,0 +1,418 @@
+#include "twohop/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "graph/bitset.h"
+#include "graph/traversal.h"
+#include "twohop/center_graph.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hopi::twohop {
+
+namespace {
+
+/// The set T' of not-yet-covered connections, as per-source bitset rows.
+class UncoveredSet {
+ public:
+  explicit UncoveredSet(const TransitiveClosure& tc) {
+    rows_.reserve(tc.NumNodes());
+    for (NodeId u = 0; u < tc.NumNodes(); ++u) {
+      rows_.push_back(tc.DescendantsRow(u));  // copy
+      count_ += rows_.back().Count();
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  bool Test(NodeId u, NodeId v) const { return rows_[u].Test(v); }
+
+  void Remove(NodeId u, NodeId v) {
+    if (rows_[u].Clear(v)) --count_;
+  }
+
+  /// Removes all uncovered pairs (u, v) with v in `targets`; returns the
+  /// number removed. (Plain mode bulk removal.)
+  uint64_t RemoveRowSubset(NodeId u, const DynamicBitset& targets) {
+    uint64_t removed = rows_[u].SubtractWith(targets);
+    count_ -= removed;
+    return removed;
+  }
+
+  const DynamicBitset& Row(NodeId u) const { return rows_[u]; }
+
+ private:
+  std::vector<DynamicBitset> rows_;
+  uint64_t count_ = 0;
+};
+
+/// Shortest-path test: may w be the center for (u, v)? (Sec 5.2.)
+/// In plain mode the answer is always yes for connected triples.
+class CenterEligibility {
+ public:
+  CenterEligibility(const DistanceClosure* dc, bool with_distance)
+      : dc_(dc), with_distance_(with_distance) {}
+
+  /// Precondition: u ->* w ->* v all hold (w fixed by the caller; only
+  /// its distances matter here).
+  bool Eligible(NodeId u, NodeId w, NodeId v, uint32_t dist_uw,
+                uint32_t dist_wv) const {
+    (void)w;
+    if (!with_distance_) return true;
+    auto duv = dc_->Dist(u, v);
+    assert(duv.has_value());
+    return *duv == dist_uw + dist_wv;
+  }
+
+ private:
+  const DistanceClosure* dc_;
+  bool with_distance_;
+};
+
+/// One side of a candidate's center graph: node ids plus distances to/from
+/// the center (distances stay 0 in plain mode).
+struct Side {
+  std::vector<NodeId> nodes;
+  std::vector<uint32_t> dists;
+};
+
+/// Builds the ancestor side (Anc(w) + w) and descendant side (Desc(w) + w)
+/// of w's center graph.
+void BuildSides(const TransitiveClosure& tc, const DistanceClosure* dc,
+                bool with_distance, NodeId w, Side* in_side, Side* out_side) {
+  in_side->nodes.clear();
+  in_side->dists.clear();
+  out_side->nodes.clear();
+  out_side->dists.clear();
+  if (with_distance) {
+    for (const DistConnection& c : dc->ReverseRow(w)) {
+      in_side->nodes.push_back(c.node);
+      in_side->dists.push_back(c.dist);
+    }
+    in_side->nodes.push_back(w);
+    in_side->dists.push_back(0);
+    for (const DistConnection& c : dc->Row(w)) {
+      out_side->nodes.push_back(c.node);
+      out_side->dists.push_back(c.dist);
+    }
+    out_side->nodes.push_back(w);
+    out_side->dists.push_back(0);
+  } else {
+    tc.AncestorsRow(w).ForEach([&](size_t u) {
+      in_side->nodes.push_back(static_cast<NodeId>(u));
+      in_side->dists.push_back(0);
+    });
+    in_side->nodes.push_back(w);
+    in_side->dists.push_back(0);
+    tc.DescendantsRow(w).ForEach([&](size_t v) {
+      out_side->nodes.push_back(static_cast<NodeId>(v));
+      out_side->dists.push_back(0);
+    });
+    out_side->nodes.push_back(w);
+    out_side->dists.push_back(0);
+  }
+}
+
+/// Constructs center graphs restricted to uncovered pairs. Holds scratch
+/// buffers (an out-side index map and mask) so the hot loop is allocation
+/// free and, in plain mode, word-parallel over the uncovered bitset rows.
+class CenterGraphBuilder {
+ public:
+  explicit CenterGraphBuilder(size_t num_nodes)
+      : out_index_(num_nodes, UINT32_MAX), out_mask_(num_nodes) {}
+
+  BipartiteGraph Build(const UncoveredSet& uncovered,
+                       const CenterEligibility& elig, bool with_distance,
+                       NodeId w, const Side& in_side, const Side& out_side) {
+    BipartiteGraph cg(static_cast<uint32_t>(in_side.nodes.size()),
+                      static_cast<uint32_t>(out_side.nodes.size()));
+    if (with_distance) {
+      // Pairwise: every candidate pair needs the shortest-path test.
+      for (uint32_t i = 0; i < in_side.nodes.size(); ++i) {
+        NodeId u = in_side.nodes[i];
+        const DynamicBitset& row = uncovered.Row(u);
+        for (uint32_t j = 0; j < out_side.nodes.size(); ++j) {
+          NodeId v = out_side.nodes[j];
+          if (u == v || !row.Test(v)) continue;
+          if (!elig.Eligible(u, w, v, in_side.dists[i], out_side.dists[j])) {
+            continue;
+          }
+          cg.AddEdge(i, j);
+        }
+      }
+      return cg;
+    }
+    // Plain mode: intersect each ancestor's uncovered row with the
+    // out-side mask; every surviving bit is an edge.
+    for (uint32_t j = 0; j < out_side.nodes.size(); ++j) {
+      out_index_[out_side.nodes[j]] = j;
+      out_mask_.Set(out_side.nodes[j]);
+    }
+    for (uint32_t i = 0; i < in_side.nodes.size(); ++i) {
+      NodeId u = in_side.nodes[i];
+      uncovered.Row(u).ForEachIntersection(out_mask_, [&](size_t v) {
+        if (static_cast<NodeId>(v) != u) {
+          cg.AddEdge(i, out_index_[v]);
+        }
+      });
+    }
+    for (uint32_t j = 0; j < out_side.nodes.size(); ++j) {
+      out_index_[out_side.nodes[j]] = UINT32_MAX;
+      out_mask_.Clear(out_side.nodes[j]);
+    }
+    return cg;
+  }
+
+ private:
+  std::vector<uint32_t> out_index_;
+  DynamicBitset out_mask_;
+};
+
+/// Priority-queue entry for the lazy candidate queue.
+struct Candidate {
+  double priority;
+  NodeId node;
+  bool operator<(const Candidate& other) const {
+    return priority < other.priority;  // max-heap
+  }
+};
+
+/// Closed-form initial density for the plain mode: the initial center
+/// graph is complete bipartite over (a+1, d+1) vertices minus the (w,w)
+/// pair, and is its own densest subgraph.
+double PlainInitialPriority(uint64_t a, uint64_t d) {
+  uint64_t edges = (a + 1) * (d + 1) - 1;
+  if (edges == 0) return 0.0;
+  return static_cast<double>(edges) / static_cast<double>(a + d + 2);
+}
+
+/// Sampled upper-bound priority for the distance mode (Sec 5.2).
+double DistanceInitialPriority(const DistanceClosure& dc, NodeId w,
+                               uint32_t max_samples, double confidence,
+                               Rng* rng) {
+  const auto& anc = dc.ReverseRow(w);
+  const auto& desc = dc.Row(w);
+  uint64_t a = anc.size();
+  uint64_t d = desc.size();
+  uint64_t candidates = (a + 1) * (d + 1) - 1;
+  if (candidates == 0) return 0.0;
+
+  // Edges to/from w itself always satisfy the shortest-path condition, so
+  // sample only the a*d interior pairs and add the a + d guaranteed edges.
+  uint64_t interior = a * d;
+  uint64_t present = 0;
+  uint64_t samples = std::min<uint64_t>(interior, max_samples);
+  for (uint64_t s = 0; s < samples; ++s) {
+    const DistConnection& cu = anc[rng->NextBounded(a)];
+    const DistConnection& cv = desc[rng->NextBounded(d)];
+    if (cu.node == cv.node) continue;  // cyclic anc∩desc member: not a pair
+    auto duv = dc.Dist(cu.node, cv.node);
+    if (duv && *duv == cu.dist + cv.dist) ++present;
+  }
+  double upper_fraction = 1.0;
+  if (samples > 0) {
+    upper_fraction =
+        BinomialConfidenceInterval(present, samples, confidence).upper;
+  } else if (interior == 0) {
+    upper_fraction = 0.0;
+  }
+  double est_edges = upper_fraction * static_cast<double>(interior) +
+                     static_cast<double>(a + d);
+  // Max density of any graph with E edges is sqrt(E)/2 (balanced complete
+  // bipartite), so this is a safe upper bound with probability >= 0.99.
+  return std::sqrt(est_edges) / 2.0;
+}
+
+/// Applies center w with chosen sides: adds labels and removes covered
+/// pairs. Returns the number of pairs covered.
+uint64_t ApplyCenter(NodeId w, const Side& in_side, const Side& out_side,
+                     const std::vector<uint32_t>& in_chosen,
+                     const std::vector<uint32_t>& out_chosen,
+                     const CenterEligibility& elig, bool with_distance,
+                     UncoveredSet* uncovered, TwoHopCover* cover) {
+  for (uint32_t i : in_chosen) {
+    cover->AddOut(in_side.nodes[i], w, in_side.dists[i]);
+  }
+  for (uint32_t j : out_chosen) {
+    cover->AddIn(out_side.nodes[j], w, out_side.dists[j]);
+  }
+
+  uint64_t covered = 0;
+  if (!with_distance) {
+    DynamicBitset out_mask;
+    for (uint32_t j : out_chosen) out_mask.Set(out_side.nodes[j]);
+    for (uint32_t i : in_chosen) {
+      covered += uncovered->RemoveRowSubset(in_side.nodes[i], out_mask);
+    }
+  } else {
+    for (uint32_t i : in_chosen) {
+      NodeId u = in_side.nodes[i];
+      for (uint32_t j : out_chosen) {
+        NodeId v = out_side.nodes[j];
+        if (u == v || !uncovered->Test(u, v)) continue;
+        if (!elig.Eligible(u, w, v, in_side.dists[i], out_side.dists[j])) {
+          continue;
+        }
+        uncovered->Remove(u, v);
+        ++covered;
+      }
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+Result<TwoHopCover> BuildCoverFromClosure(const TransitiveClosure& tc,
+                                          const DistanceClosure* dc,
+                                          const CoverBuildOptions& options,
+                                          CoverBuildStats* stats) {
+  if (options.with_distance && dc == nullptr) {
+    return Status::InvalidArgument(
+        "distance-aware build requires a DistanceClosure");
+  }
+  CoverBuildStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  const size_t n = tc.NumNodes();
+  TwoHopCover cover(n);
+  UncoveredSet uncovered(tc);
+  stats->initial_connections = uncovered.count();
+  CenterEligibility elig(dc, options.with_distance);
+  Rng rng(options.sample_seed);
+
+  Side in_side, out_side;
+  CenterGraphBuilder cg_builder(n);
+
+  // --- Center preselection (Sec 4.2) ---
+  for (NodeId w : options.preselect_centers) {
+    if (uncovered.count() == 0) break;
+    assert(w < n);
+    BuildSides(tc, dc, options.with_distance, w, &in_side, &out_side);
+    // Use only nodes that still have an uncovered pair through w — the
+    // point of preselection is fewer redundant entries, not more.
+    std::vector<uint32_t> in_chosen, out_chosen;
+    BipartiteGraph cg = cg_builder.Build(uncovered, elig,
+                                         options.with_distance, w, in_side,
+                                         out_side);
+    for (uint32_t i = 0; i < cg.NumIn(); ++i) {
+      if (!cg.InAdj(i).empty()) in_chosen.push_back(i);
+    }
+    for (uint32_t j = 0; j < cg.NumOut(); ++j) {
+      if (!cg.OutAdj(j).empty()) out_chosen.push_back(j);
+    }
+    if (in_chosen.empty()) continue;
+    stats->preselect_covered +=
+        ApplyCenter(w, in_side, out_side, in_chosen, out_chosen, elig,
+                    options.with_distance, &uncovered, &cover);
+  }
+
+  // --- Greedy loop with the lazy priority queue (Sec 3.2) ---
+  std::priority_queue<Candidate> queue;
+  for (NodeId w = 0; w < n; ++w) {
+    double priority;
+    if (options.with_distance) {
+      priority = DistanceInitialPriority(
+          *dc, w, options.max_density_samples, options.density_confidence,
+          &rng);
+    } else {
+      priority = PlainInitialPriority(tc.AncestorsRow(w).Count(),
+                                      tc.DescendantsRow(w).Count());
+    }
+    if (priority > 0.0) queue.push({priority, w});
+  }
+
+  constexpr double kEps = 1e-9;
+  while (uncovered.count() > 0) {
+    if (queue.empty()) {
+      return Status::Internal(
+          "candidate queue drained with uncovered connections left");
+    }
+    Candidate cand = queue.top();
+    queue.pop();
+    NodeId w = cand.node;
+
+    BuildSides(tc, dc, options.with_distance, w, &in_side, &out_side);
+    BipartiteGraph cg = cg_builder.Build(uncovered, elig,
+                                         options.with_distance, w, in_side,
+                                         out_side);
+    ++stats->densest_recomputations;
+    DensestSubgraph ds = ApproxDensestSubgraph(cg);
+
+    if (ds.density <= 0.0) continue;  // nothing uncovered through w anymore
+    if (ds.density + kEps < cand.priority) {
+      // Stale: priority dropped since the estimate. Reinsert and retry.
+      queue.push({ds.density, w});
+      ++stats->queue_reinsertions;
+      continue;
+    }
+
+    uint64_t covered =
+        ApplyCenter(w, in_side, out_side, ds.in_vertices, ds.out_vertices,
+                    elig, options.with_distance, &uncovered, &cover);
+    assert(covered > 0);
+    (void)covered;
+    ++stats->centers_chosen;
+    // w may still be useful for its remaining uncovered pairs; its density
+    // can only have decreased, so the current value is a valid upper bound.
+    queue.push({ds.density, w});
+  }
+  return cover;
+}
+
+Result<TwoHopCover> BuildCover(const Digraph& g,
+                               const CoverBuildOptions& options,
+                               CoverBuildStats* stats) {
+  auto tc = TransitiveClosure::Build(g);
+  if (!tc.ok()) return tc.status();
+  if (options.with_distance) {
+    DistanceClosure dc = DistanceClosure::Build(g);
+    return BuildCoverFromClosure(*tc, &dc, options, stats);
+  }
+  return BuildCoverFromClosure(*tc, nullptr, options, stats);
+}
+
+Status ValidateCover(const TwoHopCover& cover, const Digraph& g,
+                     bool check_distances) {
+  if (cover.NumNodes() < g.NumNodes()) {
+    return Status::Internal("cover smaller than graph: " +
+                            std::to_string(cover.NumNodes()) + " vs " +
+                            std::to_string(g.NumNodes()));
+  }
+  DistanceClosure dc = DistanceClosure::Build(g);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    // Completeness + distance correctness over real connections.
+    for (const DistConnection& c : dc.Row(u)) {
+      if (!cover.IsConnected(u, c.node)) {
+        return Status::Internal("connection (" + std::to_string(u) + "," +
+                                std::to_string(c.node) + ") not covered");
+      }
+      if (check_distances) {
+        auto d = cover.Distance(u, c.node);
+        if (!d || *d != c.dist) {
+          return Status::Internal(
+              "distance mismatch for (" + std::to_string(u) + "," +
+              std::to_string(c.node) + "): cover says " +
+              (d ? std::to_string(*d) : "none") + ", graph says " +
+              std::to_string(c.dist));
+        }
+      }
+    }
+    // Soundness: cover must not claim connections the graph lacks.
+    size_t expected = dc.Row(u).size();
+    size_t claimed = 0;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (v != u && cover.IsConnected(u, v)) ++claimed;
+    }
+    if (claimed != expected) {
+      return Status::Internal("node " + std::to_string(u) + " claims " +
+                              std::to_string(claimed) + " descendants, graph has " +
+                              std::to_string(expected));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hopi::twohop

@@ -1,0 +1,59 @@
+// Center graphs and densest subgraphs (paper Sec 3.2).
+//
+// For a candidate center w, the center graph CG_w is an undirected
+// bipartite graph with a vertex u_in for every ancestor u of w (plus w
+// itself) and a vertex v_out for every descendant v (plus w), and an edge
+// (u_in, v_out) for every *not yet covered* connection (u, v). Choosing w
+// greedily means finding the densest subgraph of CG_w; the classic
+// linear-time 2-approximation (repeatedly remove a minimum-degree vertex,
+// return the densest intermediate graph) is implemented here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hopi::twohop {
+
+/// Bipartite graph with `num_in` left vertices and `num_out` right
+/// vertices, indexed 0-based per side.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(uint32_t num_in, uint32_t num_out)
+      : adj_in_(num_in), adj_out_(num_out) {}
+
+  /// Adds edge (in-vertex i, out-vertex j). No duplicate detection — the
+  /// builder feeds each candidate pair exactly once.
+  void AddEdge(uint32_t i, uint32_t j) {
+    adj_in_[i].push_back(j);
+    adj_out_[j].push_back(i);
+    ++num_edges_;
+  }
+
+  uint32_t NumIn() const { return static_cast<uint32_t>(adj_in_.size()); }
+  uint32_t NumOut() const { return static_cast<uint32_t>(adj_out_.size()); }
+  uint64_t NumEdges() const { return num_edges_; }
+
+  const std::vector<uint32_t>& InAdj(uint32_t i) const { return adj_in_[i]; }
+  const std::vector<uint32_t>& OutAdj(uint32_t j) const { return adj_out_[j]; }
+
+ private:
+  std::vector<std::vector<uint32_t>> adj_in_;   // in-vertex -> out-vertices
+  std::vector<std::vector<uint32_t>> adj_out_;  // out-vertex -> in-vertices
+  uint64_t num_edges_ = 0;
+};
+
+/// Densest-subgraph output: the chosen vertex subsets and their density.
+struct DensestSubgraph {
+  std::vector<uint32_t> in_vertices;   // indices on the in side
+  std::vector<uint32_t> out_vertices;  // indices on the out side
+  uint64_t edges = 0;                  // edges inside the subgraph
+  double density = 0.0;                // edges / (|in| + |out|)
+};
+
+/// 2-approximation by minimum-degree peeling. Isolated vertices are never
+/// part of the result (the paper removes them from CG_w up front).
+/// Returns a zero-density result for an edgeless graph.
+DensestSubgraph ApproxDensestSubgraph(const BipartiteGraph& g);
+
+}  // namespace hopi::twohop

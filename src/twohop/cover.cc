@@ -1,0 +1,161 @@
+#include "twohop/cover.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hopi::twohop {
+
+void TwoHopCover::EnsureNodes(size_t n) {
+  if (in_.size() < n) {
+    in_.resize(n);
+    out_.resize(n);
+  }
+}
+
+bool TwoHopCover::InsertEntry(std::vector<LabelEntry>* label, NodeId center,
+                              uint32_t dist) {
+  auto it = std::lower_bound(label->begin(), label->end(), center,
+                             [](const LabelEntry& e, NodeId c) {
+                               return e.center < c;
+                             });
+  if (it != label->end() && it->center == center) {
+    it->dist = std::min(it->dist, dist);
+    return false;
+  }
+  label->insert(it, {center, dist});
+  return true;
+}
+
+bool TwoHopCover::AddIn(NodeId v, NodeId center, uint32_t dist) {
+  assert(v < in_.size());
+  if (v == center) return false;  // implicit self entry
+  if (InsertEntry(&in_[v], center, dist)) {
+    ++size_;
+    return true;
+  }
+  return false;
+}
+
+bool TwoHopCover::AddOut(NodeId u, NodeId center, uint32_t dist) {
+  assert(u < out_.size());
+  if (u == center) return false;
+  if (InsertEntry(&out_[u], center, dist)) {
+    ++size_;
+    return true;
+  }
+  return false;
+}
+
+bool TwoHopCover::IsConnected(NodeId u, NodeId v) const {
+  if (u == v) return true;
+  const auto& lout = out_[u];
+  const auto& lin = in_[v];
+  // Implicit self entries: u ∈ Lout(u), v ∈ Lin(v).
+  // Center u: requires u ∈ Lin(v). Center v: requires v ∈ Lout(u).
+  auto contains = [](const std::vector<LabelEntry>& label, NodeId c) {
+    auto it = std::lower_bound(label.begin(), label.end(), c,
+                               [](const LabelEntry& e, NodeId cc) {
+                                 return e.center < cc;
+                               });
+    return it != label.end() && it->center == c;
+  };
+  if (contains(lin, u) || contains(lout, v)) return true;
+  // Merge-intersect the explicit label sets.
+  size_t i = 0, j = 0;
+  while (i < lout.size() && j < lin.size()) {
+    if (lout[i].center < lin[j].center) {
+      ++i;
+    } else if (lout[i].center > lin[j].center) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<uint32_t> TwoHopCover::Distance(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  const auto& lout = out_[u];
+  const auto& lin = in_[v];
+  std::optional<uint32_t> best;
+  auto consider = [&best](uint32_t d) {
+    if (!best || d < *best) best = d;
+  };
+  auto find = [](const std::vector<LabelEntry>& label,
+                 NodeId c) -> const LabelEntry* {
+    auto it = std::lower_bound(label.begin(), label.end(), c,
+                               [](const LabelEntry& e, NodeId cc) {
+                                 return e.center < cc;
+                               });
+    return it != label.end() && it->center == c ? &*it : nullptr;
+  };
+  // Center u (implicit in Lout(u) at distance 0).
+  if (const LabelEntry* e = find(lin, u)) consider(e->dist);
+  // Center v (implicit in Lin(v) at distance 0).
+  if (const LabelEntry* e = find(lout, v)) consider(e->dist);
+  size_t i = 0, j = 0;
+  while (i < lout.size() && j < lin.size()) {
+    if (lout[i].center < lin[j].center) {
+      ++i;
+    } else if (lout[i].center > lin[j].center) {
+      ++j;
+    } else {
+      consider(lout[i].dist + lin[j].dist);
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+void TwoHopCover::UnionWith(const TwoHopCover& other) {
+  EnsureNodes(other.NumNodes());
+  for (NodeId v = 0; v < other.NumNodes(); ++v) {
+    for (const LabelEntry& e : other.in_[v]) AddIn(v, e.center, e.dist);
+    for (const LabelEntry& e : other.out_[v]) AddOut(v, e.center, e.dist);
+  }
+}
+
+void TwoHopCover::ClearNode(NodeId v) {
+  assert(v < in_.size());
+  size_ -= in_[v].size() + out_[v].size();
+  in_[v].clear();
+  out_[v].clear();
+}
+
+void TwoHopCover::SetIn(NodeId v, std::vector<LabelEntry> entries) {
+  assert(std::is_sorted(entries.begin(), entries.end(),
+                        [](const LabelEntry& a, const LabelEntry& b) {
+                          return a.center < b.center;
+                        }));
+  size_ -= in_[v].size();
+  in_[v] = std::move(entries);
+  size_ += in_[v].size();
+}
+
+void TwoHopCover::SetOut(NodeId u, std::vector<LabelEntry> entries) {
+  assert(std::is_sorted(entries.begin(), entries.end(),
+                        [](const LabelEntry& a, const LabelEntry& b) {
+                          return a.center < b.center;
+                        }));
+  size_ -= out_[u].size();
+  out_[u] = std::move(entries);
+  size_ += out_[u].size();
+}
+
+bool TwoHopCover::MentionsCenter(NodeId center) const {
+  auto mentions = [center](const std::vector<LabelEntry>& label) {
+    auto it = std::lower_bound(label.begin(), label.end(), center,
+                               [](const LabelEntry& e, NodeId c) {
+                                 return e.center < c;
+                               });
+    return it != label.end() && it->center == center;
+  };
+  for (NodeId v = 0; v < in_.size(); ++v) {
+    if (mentions(in_[v]) || mentions(out_[v])) return true;
+  }
+  return false;
+}
+
+}  // namespace hopi::twohop

@@ -1,0 +1,91 @@
+// Two-hop labels and covers (paper Sec 3.1).
+//
+// Each node x carries a label L(x) = (Lin(x), Lout(x)). A connection
+// (u, v) is covered when Lout(u) and Lin(v) share a center node. Following
+// HOPI's storage rule (Sec 3.4) a node is never stored in its own label;
+// every query treats x as an implicit member of both Lin(x) and Lout(x)
+// with distance 0.
+//
+// Entries optionally carry the shortest distance to/from the center
+// (Sec 5); plain covers simply keep dist == 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace hopi::twohop {
+
+/// One label entry: a center node plus the shortest distance between the
+/// labeled node and the center (0 when distances are not tracked).
+struct LabelEntry {
+  NodeId center;
+  uint32_t dist;
+
+  friend bool operator==(const LabelEntry& a, const LabelEntry& b) {
+    return a.center == b.center && a.dist == b.dist;
+  }
+};
+
+/// A two-hop cover: Lin/Lout label sets for every node in [0, NumNodes).
+class TwoHopCover {
+ public:
+  TwoHopCover() = default;
+  explicit TwoHopCover(size_t num_nodes) : in_(num_nodes), out_(num_nodes) {}
+
+  void EnsureNodes(size_t n);
+  size_t NumNodes() const { return in_.size(); }
+
+  /// Adds `center` to Lin(v) with distance `dist` (center ->* v). Skips
+  /// self entries. If the center is already present, keeps the smaller
+  /// distance. Returns true if the entry count grew.
+  bool AddIn(NodeId v, NodeId center, uint32_t dist = 0);
+
+  /// Adds `center` to Lout(u) with distance `dist` (u ->* center).
+  bool AddOut(NodeId u, NodeId center, uint32_t dist = 0);
+
+  /// Cover size |L| = sum over nodes of |Lin| + |Lout| (paper Sec 3.1).
+  uint64_t Size() const { return size_; }
+
+  const std::vector<LabelEntry>& In(NodeId v) const { return in_[v]; }
+  const std::vector<LabelEntry>& Out(NodeId u) const { return out_[u]; }
+
+  /// Reachability test: true iff u == v or Lout(u) ∪ {u} intersects
+  /// Lin(v) ∪ {v}. O(|Lout(u)| + |Lin(v)|).
+  bool IsConnected(NodeId u, NodeId v) const;
+
+  /// Shortest distance u -> v implied by the labels: min over common
+  /// centers of dist(u,w) + dist(w,v), with the implicit self entries.
+  /// nullopt when not connected. Only meaningful for distance-aware
+  /// covers (plain covers return 0 for every connected pair).
+  std::optional<uint32_t> Distance(NodeId u, NodeId v) const;
+
+  /// Component-wise union with another cover over the same id space
+  /// (paper Sec 3.3/4.1: partition covers are unified by label union).
+  void UnionWith(const TwoHopCover& other);
+
+  /// Removes every label entry of `v` and every occurrence of the centers
+  /// listed in `centers` from v's labels — helper for the deletion paths.
+  /// (Specific deletion logic lives in hopi/maintenance.)
+  void ClearNode(NodeId v);
+
+  /// Replaces Lin(v) wholesale (maintenance paths). Size is re-accounted.
+  void SetIn(NodeId v, std::vector<LabelEntry> entries);
+  void SetOut(NodeId u, std::vector<LabelEntry> entries);
+
+  /// True if any label of any node mentions `center`.
+  bool MentionsCenter(NodeId center) const;
+
+ private:
+  static bool InsertEntry(std::vector<LabelEntry>* label, NodeId center,
+                          uint32_t dist);
+
+  std::vector<std::vector<LabelEntry>> in_;   // sorted by center id
+  std::vector<std::vector<LabelEntry>> out_;  // sorted by center id
+  uint64_t size_ = 0;
+};
+
+}  // namespace hopi::twohop

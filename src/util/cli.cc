@@ -1,0 +1,70 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hopi {
+
+Status CommandLine::Parse(int argc, char** argv,
+                          const std::vector<std::string>& known,
+                          CommandLine* out) {
+  auto is_known = [&known](const std::string& name) {
+    return known.empty() ||
+           std::find(known.begin(), known.end(), name) != known.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out->positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else if (body.rfind("no-", 0) == 0 && is_known(body.substr(3))) {
+      name = body.substr(3);
+      value = "false";
+    } else {
+      name = body;
+      // `--flag value` form only when the next token is not itself a flag
+      // and the bare form isn't a boolean enable.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!is_known(name)) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    out->flags_[name] = value;
+  }
+  return Status::OK();
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   std::string def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& name, int64_t def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace hopi

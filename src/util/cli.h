@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+//
+// Supports `--name=value` and `--name value` forms plus boolean
+// `--name` / `--no-name`. Unrecognized flags are reported, not ignored,
+// so bench invocations fail loudly on typos.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hopi {
+
+/// Parsed command line: flag map plus positional arguments.
+class CommandLine {
+ public:
+  /// Parses argv (skipping argv[0]). `known` lists accepted flag names;
+  /// an empty list accepts anything.
+  static Status Parse(int argc, char** argv,
+                      const std::vector<std::string>& known,
+                      CommandLine* out);
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// Returns the flag value or `def` when absent.
+  std::string GetString(const std::string& name, std::string def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hopi

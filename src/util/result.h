@@ -1,0 +1,71 @@
+// Result<T>: a value or a Status, in the spirit of arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace hopi {
+
+/// Holds either a successfully produced T or the Status explaining why the
+/// T could not be produced. A Result never holds an OK status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return value;` in Result-returning code.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(state_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Status of the result: OK() if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(state_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define HOPI_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto HOPI_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!HOPI_CONCAT_(_res_, __LINE__).ok())          \
+    return HOPI_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(HOPI_CONCAT_(_res_, __LINE__)).value()
+
+#define HOPI_CONCAT_INNER_(a, b) a##b
+#define HOPI_CONCAT_(a, b) HOPI_CONCAT_INNER_(a, b)
+
+}  // namespace hopi

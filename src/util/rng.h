@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (partitioner, data generators,
+// the distance-cover sampling estimator) take an explicit seed so that
+// benchmark tables are reproducible run-to-run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hopi {
+
+/// xoshiro256** — fast, high-quality, splittable-enough for our use.
+/// Not cryptographic. Deterministic across platforms (unlike std::mt19937
+/// paired with std::uniform_int_distribution, whose output is
+/// implementation-defined).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s`. Used by the DBLP
+  /// generator for power-law citation targets. O(1) per draw after O(n)
+  /// setup amortized via the rejection-inversion-free harmonic table.
+  /// Precondition: n > 0.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  // Cached harmonic table for NextZipf: rebuilt when (n, s) changes.
+  std::vector<double> zipf_cdf_;
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+};
+
+}  // namespace hopi

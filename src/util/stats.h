@@ -1,0 +1,47 @@
+// Small statistics helpers.
+//
+// The distance-aware cover build (paper Sec 5.2) estimates the edge count of
+// an initial center graph by sampling at most 13,600 candidate edges and
+// taking the upper bound of the 98% confidence interval for the edge
+// fraction. The interval arithmetic lives here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hopi {
+
+/// A two-sided confidence interval for a proportion.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// Normal-approximation (Wald) confidence interval for a binomial proportion
+/// observed as `successes` out of `samples`, at confidence `confidence`
+/// (e.g. 0.98). Bounds are clamped to [0,1]. With 13,600 samples at 98%
+/// confidence the interval length is at most 0.02, matching the paper's
+/// sizing argument.
+ConfidenceInterval BinomialConfidenceInterval(uint64_t successes,
+                                              uint64_t samples,
+                                              double confidence);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Needed for the z-value of the interval.
+double NormalQuantile(double p);
+
+/// Summary statistics for a series of measurements.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  size_t count = 0;
+};
+
+/// Computes summary statistics. Returns a zeroed Summary for empty input.
+Summary Summarize(std::vector<double> values);
+
+}  // namespace hopi

@@ -1,0 +1,101 @@
+// Status: lightweight error propagation for fallible operations.
+//
+// Follows the RocksDB/Arrow convention: functions that can fail return a
+// Status (or Result<T>, see result.h) instead of throwing. Internal
+// invariants are guarded with assertions, not Status.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hopi {
+
+/// Error taxonomy for the HOPI library. Kept deliberately small; the message
+/// string carries the specifics.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,      // malformed persistent data / XML
+  kOutOfBudget,     // a memory/connection budget was exhausted
+  kIOError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic status object. Cheap to copy in the OK case (empty
+/// message), and small enough to return by value everywhere.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfBudget(std::string msg) {
+    return Status(StatusCode::kOutOfBudget, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsOutOfBudget() const { return code_ == StatusCode::kOutOfBudget; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define HOPI_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::hopi::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace hopi

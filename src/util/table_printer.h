@@ -1,0 +1,32 @@
+// Aligned ASCII table output for the benchmark harnesses, so every bench
+// binary prints rows shaped like the paper's tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hopi {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; it may have fewer cells than the header (padded empty).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string Fmt(double v, int precision = 1);
+  /// Formats an integer with thousands separators ("1,289,930").
+  static std::string FmtCount(uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hopi

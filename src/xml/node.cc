@@ -1,0 +1,23 @@
+#include "xml/node.h"
+
+namespace hopi::xml {
+
+const std::string* Element::FindAttribute(std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+Element* Element::AddChild(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+size_t Element::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+}  // namespace hopi::xml

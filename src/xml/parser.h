@@ -1,0 +1,29 @@
+// Non-validating XML parser.
+//
+// Handles the subset needed for document collections: elements, attributes,
+// character data, comments, CDATA, processing instructions, DOCTYPE (all
+// skipped where irrelevant) and the five predefined entities plus numeric
+// character references. No namespaces resolution (prefixes are kept as part
+// of the tag/attribute name, which is all the XLink handling needs).
+#pragma once
+
+#include <string_view>
+
+#include "util/result.h"
+#include "xml/node.h"
+
+namespace hopi::xml {
+
+/// Parses a full XML document from `input`. `name` becomes Document::name.
+/// Errors are reported as Status::Corruption with a byte offset.
+Result<Document> ParseDocument(std::string_view input, std::string name);
+
+/// Serializes an element subtree back to XML text (pretty-printed with
+/// two-space indentation). Round-trips with ParseDocument modulo
+/// insignificant whitespace.
+std::string Serialize(const Element& root);
+
+/// Escapes &, <, >, ", ' for use in text or attribute values.
+std::string EscapeText(std::string_view text);
+
+}  // namespace hopi::xml

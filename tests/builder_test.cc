@@ -1,0 +1,258 @@
+// Property tests for the greedy 2-hop cover builder: every build, on every
+// graph shape, must produce a cover that is complete, sound and (in
+// distance mode) metric-exact — checked by the exhaustive validator.
+#include <gtest/gtest.h>
+
+#include "graph/closure.h"
+#include "test_util.h"
+#include "twohop/builder.h"
+
+namespace hopi::twohop {
+namespace {
+
+Digraph Chain(size_t n) {
+  Digraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Digraph BinaryTree(size_t n) {
+  Digraph g(n);
+  for (NodeId i = 1; i < n; ++i) g.AddEdge((i - 1) / 2, i);
+  return g;
+}
+
+Digraph Diamond() {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(CoverBuilderTest, EmptyGraph) {
+  Digraph g(5);
+  auto cover = BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->Size(), 0u);
+  EXPECT_TRUE(ValidateCover(*cover, g).ok());
+}
+
+TEST(CoverBuilderTest, SingleEdge) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  auto cover = BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g).ok());
+  EXPECT_TRUE(cover->IsConnected(0, 1));
+  EXPECT_FALSE(cover->IsConnected(1, 0));
+}
+
+TEST(CoverBuilderTest, ChainCoverIsCompact) {
+  Digraph g = Chain(32);
+  auto cover = BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g).ok());
+  // A chain of n nodes has n(n-1)/2 = 496 connections; the 2-hop cover
+  // must be far smaller than the closure.
+  EXPECT_LT(cover->Size(), 200u);
+}
+
+TEST(CoverBuilderTest, DiamondAndTree) {
+  for (const Digraph& g : {Diamond(), BinaryTree(31)}) {
+    auto cover = BuildCover(g);
+    ASSERT_TRUE(cover.ok());
+    EXPECT_TRUE(ValidateCover(*cover, g).ok());
+  }
+}
+
+TEST(CoverBuilderTest, CyclicGraph) {
+  Digraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);  // 3-cycle
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 3);  // 2-cycle downstream
+  g.AddEdge(4, 5);
+  auto cover = BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g).ok());
+  EXPECT_TRUE(cover->IsConnected(0, 5));
+  EXPECT_TRUE(cover->IsConnected(1, 0));  // via the cycle
+}
+
+TEST(CoverBuilderTest, SelfLoop) {
+  Digraph g(3);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  auto cover = BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g).ok());
+}
+
+TEST(CoverBuilderTest, StatsArepopulated) {
+  Digraph g = testing::RandomDag(50, 2.0, 3);
+  CoverBuildStats stats;
+  auto cover = BuildCover(g, {}, &stats);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_GT(stats.initial_connections, 0u);
+  EXPECT_GT(stats.centers_chosen, 0u);
+  EXPECT_GE(stats.densest_recomputations, stats.centers_chosen);
+}
+
+TEST(CoverBuilderTest, CompressionBeatsClosureOnDags) {
+  Digraph g = testing::RandomDag(120, 3.0, 8);
+  auto tc = TransitiveClosure::Build(g);
+  ASSERT_TRUE(tc.ok());
+  auto cover = BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  ASSERT_TRUE(ValidateCover(*cover, g).ok());
+  // The whole point of HOPI: |L| << |T|.
+  EXPECT_LT(cover->Size(), tc->NumConnections());
+}
+
+TEST(CoverBuilderTest, PreselectedCentersStillValid) {
+  Digraph g = testing::RandomDag(40, 2.0, 12);
+  CoverBuildOptions options;
+  options.preselect_centers = {5, 17, 30};
+  CoverBuildStats stats;
+  auto cover = BuildCover(g, options, &stats);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g).ok());
+}
+
+TEST(CoverBuilderTest, PreselectionCoversThroughCenter) {
+  // 0 -> 1 -> 2: preselecting center 1 covers everything up front.
+  Digraph g = Chain(3);
+  CoverBuildOptions options;
+  options.preselect_centers = {1};
+  CoverBuildStats stats;
+  auto cover = BuildCover(g, options, &stats);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g).ok());
+  EXPECT_EQ(stats.preselect_covered, 3u);  // (0,1) (0,2) (1,2)
+  EXPECT_EQ(stats.centers_chosen, 0u);     // greedy loop had nothing left
+}
+
+// ---- Parameterized property sweep: random DAGs ----
+
+struct DagParams {
+  size_t nodes;
+  double avg_out;
+  uint64_t seed;
+};
+
+class CoverBuilderDagProperty : public ::testing::TestWithParam<DagParams> {};
+
+TEST_P(CoverBuilderDagProperty, ValidOnRandomDag) {
+  const DagParams& p = GetParam();
+  Digraph g = testing::RandomDag(p.nodes, p.avg_out, p.seed);
+  auto cover = BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g).ok()) << "nodes=" << p.nodes
+                                             << " seed=" << p.seed;
+}
+
+TEST_P(CoverBuilderDagProperty, ValidWithDistanceOnRandomDag) {
+  const DagParams& p = GetParam();
+  Digraph g = testing::RandomDag(p.nodes, p.avg_out, p.seed);
+  CoverBuildOptions options;
+  options.with_distance = true;
+  auto cover = BuildCover(g, options);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g, /*check_distances=*/true).ok())
+      << "nodes=" << p.nodes << " seed=" << p.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoverBuilderDagProperty,
+    ::testing::Values(DagParams{10, 1.5, 1}, DagParams{10, 3.0, 2},
+                      DagParams{25, 1.0, 3}, DagParams{25, 2.5, 4},
+                      DagParams{40, 2.0, 5}, DagParams{40, 4.0, 6},
+                      DagParams{60, 1.5, 7}, DagParams{60, 3.0, 8},
+                      DagParams{80, 2.0, 9}, DagParams{15, 5.0, 10}));
+
+// ---- Parameterized property sweep: random cyclic digraphs ----
+
+struct DigraphParams {
+  size_t nodes;
+  size_t edges;
+  uint64_t seed;
+};
+
+class CoverBuilderCyclicProperty
+    : public ::testing::TestWithParam<DigraphParams> {};
+
+TEST_P(CoverBuilderCyclicProperty, ValidOnRandomDigraph) {
+  const DigraphParams& p = GetParam();
+  Digraph g = testing::RandomDigraph(p.nodes, p.edges, p.seed);
+  auto cover = BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g).ok()) << "seed=" << p.seed;
+}
+
+TEST_P(CoverBuilderCyclicProperty, ValidWithDistance) {
+  const DigraphParams& p = GetParam();
+  Digraph g = testing::RandomDigraph(p.nodes, p.edges, p.seed);
+  CoverBuildOptions options;
+  options.with_distance = true;
+  auto cover = BuildCover(g, options);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g, /*check_distances=*/true).ok())
+      << "seed=" << p.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoverBuilderCyclicProperty,
+    ::testing::Values(DigraphParams{8, 12, 11}, DigraphParams{12, 30, 12},
+                      DigraphParams{20, 40, 13}, DigraphParams{20, 80, 14},
+                      DigraphParams{30, 60, 15}, DigraphParams{30, 120, 16},
+                      DigraphParams{40, 70, 17}, DigraphParams{50, 100, 18}));
+
+TEST(CoverBuilderDistanceTest, ExactDistancesOnDiamond) {
+  Digraph g = Diamond();
+  g.AddEdge(0, 3);  // shortcut of length 1 beside two length-2 paths
+  CoverBuildOptions options;
+  options.with_distance = true;
+  auto cover = BuildCover(g, options);
+  ASSERT_TRUE(cover.ok());
+  ASSERT_TRUE(ValidateCover(*cover, g, true).ok());
+  EXPECT_EQ(*cover->Distance(0, 3), 1u);
+}
+
+TEST(CoverBuilderDistanceTest, LongChainDistances) {
+  Digraph g(20);
+  for (NodeId i = 0; i + 1 < 20; ++i) g.AddEdge(i, i + 1);
+  CoverBuildOptions options;
+  options.with_distance = true;
+  auto cover = BuildCover(g, options);
+  ASSERT_TRUE(cover.ok());
+  ASSERT_TRUE(ValidateCover(*cover, g, true).ok());
+  EXPECT_EQ(*cover->Distance(0, 19), 19u);
+  EXPECT_EQ(*cover->Distance(5, 6), 1u);
+}
+
+TEST(CoverBuilderTest, BuildFromPrecomputedClosure) {
+  Digraph g = testing::RandomDag(30, 2.0, 77);
+  auto tc = TransitiveClosure::Build(g);
+  ASSERT_TRUE(tc.ok());
+  auto cover = BuildCoverFromClosure(*tc, nullptr, {});
+  ASSERT_TRUE(cover.ok());
+  EXPECT_TRUE(ValidateCover(*cover, g).ok());
+}
+
+TEST(CoverBuilderTest, DistanceModeRequiresDistanceClosure) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  auto tc = TransitiveClosure::Build(g);
+  ASSERT_TRUE(tc.ok());
+  CoverBuildOptions options;
+  options.with_distance = true;
+  auto cover = BuildCoverFromClosure(*tc, nullptr, options);
+  EXPECT_TRUE(cover.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hopi::twohop

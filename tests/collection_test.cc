@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "collection/builder.h"
+#include "collection/collection.h"
+#include "xml/parser.h"
+
+namespace hopi::collection {
+namespace {
+
+/// Three-document fixture reproducing the paper's Figure 1 topology:
+/// d1 has elements 1,2,3 (tree 1->2, 1->3 via nesting), d2 has 4..7,
+/// d3 has 8,9, inter links 3->4 and 7->8, intra link within d2.
+class FigureOneCollection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d1_ = c_.AddDocument("d1.xml");
+    e1_ = c_.AddElement(d1_, "r");
+    e2_ = c_.AddElement(d1_, "a", e1_);
+    e3_ = c_.AddElement(d1_, "b", e1_);
+    d2_ = c_.AddDocument("d2.xml");
+    e4_ = c_.AddElement(d2_, "r");
+    e5_ = c_.AddElement(d2_, "a", e4_);
+    e6_ = c_.AddElement(d2_, "b", e5_);
+    e7_ = c_.AddElement(d2_, "c", e4_);
+    d3_ = c_.AddDocument("d3.xml");
+    e8_ = c_.AddElement(d3_, "r");
+    e9_ = c_.AddElement(d3_, "a", e8_);
+    ASSERT_TRUE(c_.AddLink(e3_, e4_));  // inter d1 -> d2
+    ASSERT_TRUE(c_.AddLink(e7_, e8_));  // inter d2 -> d3
+    ASSERT_TRUE(c_.AddLink(e6_, e7_));  // intra within d2
+  }
+
+  Collection c_;
+  DocId d1_, d2_, d3_;
+  NodeId e1_, e2_, e3_, e4_, e5_, e6_, e7_, e8_, e9_;
+};
+
+TEST_F(FigureOneCollection, Counts) {
+  EXPECT_EQ(c_.NumDocuments(), 3u);
+  EXPECT_EQ(c_.NumElements(), 9u);
+  EXPECT_EQ(c_.NumInterLinks(), 2u);
+  EXPECT_EQ(c_.NumIntraLinks(), 1u);
+  // Element graph: 6 tree edges + 3 links.
+  EXPECT_EQ(c_.ElementGraph().NumEdges(), 9u);
+}
+
+TEST_F(FigureOneCollection, DocumentGraph) {
+  const Digraph& gd = c_.DocumentGraph();
+  EXPECT_TRUE(gd.HasEdge(d1_, d2_));
+  EXPECT_TRUE(gd.HasEdge(d2_, d3_));
+  EXPECT_FALSE(gd.HasEdge(d1_, d3_));
+  EXPECT_EQ(c_.DocEdgeLinkCount(d1_, d2_), 1u);
+  EXPECT_EQ(c_.DocEdgeLinkCount(d1_, d3_), 0u);
+}
+
+TEST_F(FigureOneCollection, DocOfAndRoots) {
+  EXPECT_EQ(c_.DocOf(e5_), d2_);
+  EXPECT_EQ(c_.RootOf(d2_), e4_);
+  EXPECT_EQ(c_.ParentOf(e6_), e5_);
+  EXPECT_EQ(c_.ParentOf(e1_), kInvalidNode);
+}
+
+TEST_F(FigureOneCollection, TagInterning) {
+  EXPECT_EQ(c_.TagOf(e2_), "a");
+  EXPECT_EQ(c_.TagIdOf(e2_), c_.TagIdOf(e5_));  // same tag, same id
+  EXPECT_NE(c_.TagIdOf(e2_), c_.TagIdOf(e3_));
+  EXPECT_EQ(c_.FindTagId("nope"), Collection::kInvalidTag);
+}
+
+TEST_F(FigureOneCollection, TreeCountsMatchFigureFiveConventions) {
+  // anc incl. self: root=1, child=2, grandchild=3.
+  EXPECT_EQ(c_.TreeAncestorCount(e1_), 1u);
+  EXPECT_EQ(c_.TreeAncestorCount(e2_), 2u);
+  EXPECT_EQ(c_.TreeAncestorCount(e6_), 3u);
+  // desc incl. self.
+  EXPECT_EQ(c_.TreeDescendantCount(e1_), 3u);
+  EXPECT_EQ(c_.TreeDescendantCount(e4_), 4u);
+  EXPECT_EQ(c_.TreeDescendantCount(e6_), 1u);
+}
+
+TEST_F(FigureOneCollection, RemoveDocumentDetachesEverything) {
+  ASSERT_TRUE(c_.RemoveDocument(d2_).ok());
+  EXPECT_FALSE(c_.IsLive(d2_));
+  EXPECT_EQ(c_.NumLiveDocuments(), 2u);
+  EXPECT_EQ(c_.NumInterLinks(), 0u);   // both inter links touched d2
+  EXPECT_EQ(c_.NumIntraLinks(), 0u);   // d2's intra link dropped
+  EXPECT_EQ(c_.ElementGraph().OutDegree(e4_), 0u);
+  EXPECT_EQ(c_.ElementGraph().InDegree(e4_), 0u);
+  EXPECT_FALSE(c_.DocumentGraph().HasEdge(d1_, d2_));
+  // d1 and d3 untouched.
+  EXPECT_TRUE(c_.ElementGraph().HasEdge(e1_, e2_));
+  EXPECT_TRUE(c_.ElementGraph().HasEdge(e8_, e9_));
+  // Double removal rejected.
+  EXPECT_TRUE(c_.RemoveDocument(d2_).IsInvalidArgument());
+}
+
+TEST_F(FigureOneCollection, RemoveLink) {
+  ASSERT_TRUE(c_.RemoveLink(e3_, e4_).ok());
+  EXPECT_EQ(c_.NumInterLinks(), 1u);
+  EXPECT_FALSE(c_.DocumentGraph().HasEdge(d1_, d2_));
+  EXPECT_TRUE(c_.RemoveLink(e3_, e4_).IsNotFound());
+}
+
+TEST_F(FigureOneCollection, ParallelLinksCollapse) {
+  EXPECT_FALSE(c_.AddLink(e3_, e4_));  // duplicate
+  EXPECT_EQ(c_.NumInterLinks(), 2u);
+}
+
+TEST_F(FigureOneCollection, FindDocument) {
+  auto found = c_.FindDocument("d2.xml");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, d2_);
+  EXPECT_TRUE(c_.FindDocument("zzz").status().IsNotFound());
+}
+
+TEST_F(FigureOneCollection, ApproximateSizePositive) {
+  EXPECT_GT(c_.ApproximateSizeBytes(), 0u);
+}
+
+TEST(IngestorTest, ResolvesAllLinkForms) {
+  auto d1 = xml::ParseDocument(
+      "<r id=\"top\"><x id=\"anchor\"/><y idref=\"anchor\"/>"
+      "<z xlink:href=\"#top\"/><w xlink:href=\"b.xml#deep\"/>"
+      "<q xlink:href=\"b.xml\"/></r>",
+      "a.xml");
+  ASSERT_TRUE(d1.ok());
+  auto d2 = xml::ParseDocument("<r><s id=\"deep\"/></r>", "b.xml");
+  ASSERT_TRUE(d2.ok());
+
+  Collection c;
+  Ingestor ingestor(&c);
+  ASSERT_TRUE(ingestor.Ingest(*d1).ok());
+  // w and q dangle until b.xml arrives.
+  EXPECT_EQ(ingestor.report().dangling, 2u);
+  ASSERT_TRUE(ingestor.Ingest(*d2).ok());
+  EXPECT_EQ(ingestor.report().dangling, 0u);
+  EXPECT_EQ(ingestor.report().intra_links, 2u);  // idref + #top
+  EXPECT_EQ(ingestor.report().inter_links, 2u);  // b.xml#deep + b.xml
+  EXPECT_EQ(c.NumInterLinks(), 2u);
+}
+
+TEST(IngestorTest, DuplicateDocumentNameRejected) {
+  auto d = xml::ParseDocument("<r/>", "same.xml");
+  ASSERT_TRUE(d.ok());
+  Collection c;
+  Ingestor ingestor(&c);
+  ASSERT_TRUE(ingestor.Ingest(*d).ok());
+  EXPECT_TRUE(ingestor.Ingest(*d).status().IsInvalidArgument());
+}
+
+TEST(IngestorTest, ElementOrderParentsBeforeChildren) {
+  auto d = xml::ParseDocument("<a><b><c/></b><d/></a>", "t.xml");
+  ASSERT_TRUE(d.ok());
+  Collection c;
+  Ingestor ingestor(&c);
+  ASSERT_TRUE(ingestor.Ingest(*d).ok());
+  for (NodeId e = 0; e < c.NumElements(); ++e) {
+    NodeId p = c.ParentOf(e);
+    if (p != kInvalidNode) {
+      EXPECT_LT(p, e);
+    }
+  }
+  EXPECT_EQ(c.TreeDescendantCount(c.RootOf(0)), 4u);
+}
+
+TEST(BuildCollectionTest, BatchConvenience) {
+  std::vector<xml::Document> docs;
+  auto a = xml::ParseDocument("<r><l xlink:href=\"b.xml\"/></r>", "a.xml");
+  auto b = xml::ParseDocument("<r/>", "b.xml");
+  ASSERT_TRUE(a.ok() && b.ok());
+  docs.push_back(std::move(*a));
+  docs.push_back(std::move(*b));
+  Collection c;
+  auto report = BuildCollection(docs, &c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->documents, 2u);
+  EXPECT_EQ(report->inter_links, 1u);
+  EXPECT_EQ(c.NumElements(), 3u);
+}
+
+}  // namespace
+}  // namespace hopi::collection

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "datagen/dblp.h"
+#include "datagen/inex.h"
+#include "datagen/words.h"
+#include "datagen/xmark.h"
+
+namespace hopi::datagen {
+namespace {
+
+TEST(DblpGeneratorTest, ShapeMatchesPaperRatios) {
+  collection::Collection c;
+  DblpConfig config;
+  config.num_docs = 500;
+  config.seed = 1;
+  auto report = GenerateDblpCollection(config, &c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(c.NumLiveDocuments(), 500u);
+  // Paper: ~27 elements per doc, ~4 links per doc.
+  double els_per_doc = static_cast<double>(c.NumElements()) / 500.0;
+  EXPECT_GT(els_per_doc, 15.0);
+  EXPECT_LT(els_per_doc, 45.0);
+  double links_per_doc = static_cast<double>(c.NumInterLinks()) / 500.0;
+  EXPECT_GT(links_per_doc, 1.5);
+  EXPECT_LT(links_per_doc, 7.0);
+}
+
+TEST(DblpGeneratorTest, Deterministic) {
+  DblpConfig config;
+  config.num_docs = 50;
+  config.seed = 9;
+  collection::Collection a, b;
+  ASSERT_TRUE(GenerateDblpCollection(config, &a).ok());
+  ASSERT_TRUE(GenerateDblpCollection(config, &b).ok());
+  EXPECT_EQ(a.NumElements(), b.NumElements());
+  EXPECT_EQ(a.NumInterLinks(), b.NumInterLinks());
+  EXPECT_EQ(a.ElementGraph().NumEdges(), b.ElementGraph().NumEdges());
+}
+
+TEST(DblpGeneratorTest, PowerLawCitations) {
+  collection::Collection c;
+  DblpConfig config;
+  config.num_docs = 400;
+  config.seed = 3;
+  ASSERT_TRUE(GenerateDblpCollection(config, &c).ok());
+  // Early documents should collect far more in-links than late ones.
+  const Digraph& gd = c.DocumentGraph();
+  size_t early_in = 0, late_in = 0;
+  for (collection::DocId d = 0; d < 40; ++d) early_in += gd.InDegree(d);
+  for (collection::DocId d = 360; d < 400; ++d) late_in += gd.InDegree(d);
+  EXPECT_GT(early_in, 3 * std::max<size_t>(late_in, 1));
+}
+
+TEST(DblpGeneratorTest, NoDanglingReferences) {
+  collection::Collection c;
+  DblpConfig config;
+  config.num_docs = 120;
+  config.seed = 5;
+  auto report = GenerateDblpCollection(config, &c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->dangling, 0u);
+}
+
+TEST(DblpGeneratorTest, SingleDocumentEdgeCase) {
+  collection::Collection c;
+  DblpConfig config;
+  config.num_docs = 1;
+  ASSERT_TRUE(GenerateDblpCollection(config, &c).ok());
+  EXPECT_EQ(c.NumLiveDocuments(), 1u);
+  EXPECT_EQ(c.NumInterLinks(), 0u);
+}
+
+TEST(InexGeneratorTest, LinkFreeAtDocumentLevel) {
+  collection::Collection c;
+  InexConfig config;
+  config.num_docs = 30;
+  config.mean_elements_per_doc = 120;
+  auto report = GenerateInexCollection(config, &c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(c.NumInterLinks(), 0u);  // the defining INEX property
+  EXPECT_GT(c.NumIntraLinks(), 0u);  // internal cross references exist
+  EXPECT_EQ(c.DocumentGraph().NumEdges(), 0u);
+}
+
+TEST(InexGeneratorTest, ElementBudgetRoughlyHit) {
+  collection::Collection c;
+  InexConfig config;
+  config.num_docs = 40;
+  config.mean_elements_per_doc = 200;
+  ASSERT_TRUE(GenerateInexCollection(config, &c).ok());
+  double per_doc = static_cast<double>(c.NumElements()) / 40.0;
+  EXPECT_GT(per_doc, 60.0);
+  EXPECT_LT(per_doc, 400.0);
+}
+
+TEST(InexGeneratorTest, TreesAreDeep) {
+  collection::Collection c;
+  InexConfig config;
+  config.num_docs = 5;
+  config.mean_elements_per_doc = 150;
+  ASSERT_TRUE(GenerateInexCollection(config, &c).ok());
+  uint32_t max_depth = 0;
+  for (NodeId e = 0; e < c.NumElements(); ++e) {
+    max_depth = std::max(max_depth, c.TreeAncestorCount(e));
+  }
+  EXPECT_GE(max_depth, 5u);  // article > bdy > sec > ss1 > p
+}
+
+TEST(XmarkGeneratorTest, CrossDocumentReferences) {
+  collection::Collection c;
+  XmarkConfig config;
+  config.num_items = 60;
+  config.num_people = 40;
+  config.num_auctions = 50;
+  auto report = GenerateXmarkCollection(config, &c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(c.NumInterLinks(), 0u);
+  EXPECT_EQ(report->dangling, 0u);
+  // items + people + auctions grouped into documents of 25.
+  EXPECT_EQ(c.NumLiveDocuments(), 3u + 2u + 2u);
+}
+
+TEST(XmarkGeneratorTest, AuctionsReferenceItemsAndPeople) {
+  collection::Collection c;
+  XmarkConfig config;
+  ASSERT_TRUE(GenerateXmarkCollection(config, &c).ok());
+  // Some auction document must link into an item document.
+  bool auction_to_item = false;
+  for (const collection::Link& l : c.Links()) {
+    std::string from = c.DocName(c.DocOf(l.source));
+    std::string to = c.DocName(c.DocOf(l.target));
+    if (from.rfind("auctions", 0) == 0 && to.rfind("items", 0) == 0) {
+      auction_to_item = true;
+    }
+  }
+  EXPECT_TRUE(auction_to_item);
+}
+
+TEST(WordsTest, GeneratorsProduceNonEmpty) {
+  Rng rng(1);
+  EXPECT_FALSE(RandomWord(&rng).empty());
+  EXPECT_FALSE(RandomAuthorName(&rng).empty());
+  std::string words = RandomWords(&rng, 5);
+  EXPECT_EQ(std::count(words.begin(), words.end(), ' '), 4);
+}
+
+}  // namespace
+}  // namespace hopi::datagen

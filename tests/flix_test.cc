@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "datagen/inex.h"
+#include "datagen/xmark.h"
+#include "flix/flix.h"
+#include "graph/traversal.h"
+#include "test_util.h"
+
+namespace hopi::flix {
+namespace {
+
+using collection::Collection;
+
+/// Mixed collection: isolated tree docs (INEX-like) + linked clusters.
+Collection MixedCollection() {
+  Collection c;
+  // Three isolated pure-tree documents.
+  for (int i = 0; i < 3; ++i) {
+    collection::DocId d = c.AddDocument("tree" + std::to_string(i) + ".xml");
+    NodeId r = c.AddElement(d, "r");
+    NodeId s = c.AddElement(d, "s", r);
+    c.AddElement(d, "t", s);
+    c.AddElement(d, "u", r);
+  }
+  // A small linked pair (closure tier).
+  collection::DocId a = c.AddDocument("a.xml");
+  NodeId ar = c.AddElement(a, "r");
+  NodeId acite = c.AddElement(a, "cite", ar);
+  collection::DocId b = c.AddDocument("b.xml");
+  NodeId br = c.AddElement(b, "r");
+  c.AddElement(b, "x", br);
+  c.AddLink(acite, br);
+  return c;
+}
+
+TEST(FlixTest, TierAssignment) {
+  Collection c = MixedCollection();
+  auto flix = FlixIndex::Build(c);
+  ASSERT_TRUE(flix.ok());
+  EXPECT_EQ(flix->stats().components, 4u);  // 3 trees + 1 pair
+  EXPECT_EQ(flix->stats().tree_docs, 3u);
+  EXPECT_EQ(flix->stats().closure_components, 1u);
+  EXPECT_EQ(flix->stats().hopi_components, 0u);
+  EXPECT_EQ(flix->TierOf(c.RootOf(0)), Tier::kTree);
+  EXPECT_EQ(flix->TierOf(c.RootOf(3)), Tier::kClosure);
+}
+
+TEST(FlixTest, SmallClosureBudgetForcesHopiTier) {
+  Collection c = MixedCollection();
+  FlixOptions options;
+  options.closure_tier_max_connections = 2;  // pair component exceeds this
+  auto flix = FlixIndex::Build(c, options);
+  ASSERT_TRUE(flix.ok());
+  EXPECT_EQ(flix->stats().hopi_components, 1u);
+  EXPECT_EQ(flix->stats().closure_components, 0u);
+  EXPECT_GT(flix->stats().hopi_cover_entries, 0u);
+}
+
+TEST(FlixTest, ReachabilityMatchesGraphAcrossAllTiers) {
+  Collection c = MixedCollection();
+  FlixOptions small;
+  small.closure_tier_max_connections = 2;  // force a HOPI component too
+  for (const FlixOptions& options : {FlixOptions{}, small}) {
+    auto flix = FlixIndex::Build(c, options);
+    ASSERT_TRUE(flix.ok());
+    for (NodeId u = 0; u < c.NumElements(); ++u) {
+      std::vector<NodeId> reach = ReachableFrom(c.ElementGraph(), u);
+      for (NodeId v = 0; v < c.NumElements(); ++v) {
+        bool expected =
+            u == v || std::binary_search(reach.begin(), reach.end(), v);
+        EXPECT_EQ(flix->IsReachable(u, v), expected) << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(FlixTest, DistancesExactInEveryTier) {
+  Collection c = MixedCollection();
+  FlixOptions options;
+  options.cover.with_distance = true;
+  options.closure_tier_max_connections = 2;  // HOPI tier for the pair
+  auto flix = FlixIndex::Build(c, options);
+  ASSERT_TRUE(flix.ok());
+  for (NodeId u = 0; u < c.NumElements(); ++u) {
+    std::vector<uint32_t> bfs = BfsDistances(c.ElementGraph(), u);
+    for (NodeId v = 0; v < c.NumElements(); ++v) {
+      auto d = flix->Distance(u, v);
+      if (bfs[v] == kUnreachable) {
+        EXPECT_FALSE(d.has_value()) << u << "->" << v;
+      } else {
+        ASSERT_TRUE(d.has_value()) << u << "->" << v;
+        EXPECT_EQ(*d, bfs[v]) << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(FlixTest, InexCollectionIsAllTreeTier) {
+  // The INEX case from the paper: no links anywhere, HOPI stores ~2
+  // entries/node for nothing — FliX serves it from interval labels.
+  Collection c;
+  datagen::InexConfig config;
+  config.num_docs = 6;
+  config.mean_elements_per_doc = 60;
+  config.intra_ref_prob = 0.0;  // pure trees
+  ASSERT_TRUE(datagen::GenerateInexCollection(config, &c).ok());
+  auto flix = FlixIndex::Build(c);
+  ASSERT_TRUE(flix.ok());
+  EXPECT_EQ(flix->stats().tree_docs, 6u);
+  EXPECT_EQ(flix->stats().hopi_components, 0u);
+  EXPECT_EQ(flix->stats().closure_components, 0u);
+  // Spot-check reachability within one document.
+  NodeId root = c.RootOf(0);
+  for (NodeId e : c.ElementsOf(0)) {
+    EXPECT_TRUE(flix->IsReachable(root, e));
+  }
+}
+
+TEST(FlixTest, DblpCollectionMixesTiers) {
+  Collection c = hopi::testing::SmallDblp(60, 201);
+  FlixOptions options;
+  options.closure_tier_max_connections = 500;
+  auto flix = FlixIndex::Build(c, options);
+  ASSERT_TRUE(flix.ok());
+  // The big citation component lands in HOPI; uncited standalone pubs may
+  // be tree or closure tier.
+  EXPECT_GE(flix->stats().hopi_components, 1u);
+  // Full reachability cross-check against BFS on a sample.
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    EXPECT_EQ(flix->IsReachable(u, v),
+              hopi::IsReachable(c.ElementGraph(), u, v));
+  }
+}
+
+TEST(FlixTest, XmarkAllLinkedGoesHopi) {
+  Collection c;
+  datagen::XmarkConfig config;
+  config.num_items = 40;
+  config.num_people = 25;
+  config.num_auctions = 30;
+  ASSERT_TRUE(datagen::GenerateXmarkCollection(config, &c).ok());
+  FlixOptions options;
+  options.closure_tier_max_connections = 100;
+  auto flix = FlixIndex::Build(c, options);
+  ASSERT_TRUE(flix.ok());
+  EXPECT_GE(flix->stats().hopi_components, 1u);
+}
+
+TEST(TierNameTest, AllNamed) {
+  EXPECT_STREQ(TierName(Tier::kTree), "tree");
+  EXPECT_STREQ(TierName(Tier::kClosure), "closure");
+  EXPECT_STREQ(TierName(Tier::kHopi), "hopi");
+}
+
+}  // namespace
+}  // namespace hopi::flix

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/scc.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "test_util.h"
+
+namespace hopi {
+namespace {
+
+TEST(DigraphTest, AddNodesAndEdges) {
+  Digraph g;
+  NodeId a = g.AddNode();
+  NodeId b = g.AddNode();
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_TRUE(g.AddEdge(a, b));
+  EXPECT_FALSE(g.AddEdge(a, b));  // idempotent
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_FALSE(g.HasEdge(b, a));
+  EXPECT_EQ(g.OutDegree(a), 1u);
+  EXPECT_EQ(g.InDegree(b), 1u);
+}
+
+TEST(DigraphTest, RemoveEdge) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(DigraphTest, IsolateNodeDropsBothDirections) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 1);
+  g.IsolateNode(1);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+  EXPECT_EQ(g.InDegree(1), 0u);
+  EXPECT_EQ(g.NumNodes(), 4u);  // ids stay
+}
+
+TEST(DigraphTest, SelfLoopAllowed) {
+  Digraph g(1);
+  EXPECT_TRUE(g.AddEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(0, 0));
+}
+
+TEST(DigraphTest, ReversedSwapsDirections) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Digraph r = g.Reversed();
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_EQ(r.NumEdges(), 2u);
+}
+
+TEST(DigraphTest, EdgesEnumerates) {
+  Digraph g(3);
+  g.AddEdge(2, 0);
+  g.AddEdge(0, 1);
+  auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(TraversalTest, ReachableFromChain) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  // node 3 isolated
+  EXPECT_EQ(ReachableFrom(g, 0), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(ReachableFrom(g, 3), (std::vector<NodeId>{3}));
+  EXPECT_EQ(ReachingTo(g, 2), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TraversalTest, ReachableWithCycle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(ReachableFrom(g, 0), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(ReachingTo(g, 0), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(TraversalTest, MultiSourceUnion) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(ReachableFromAll(g, {0, 2}), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(TraversalTest, IsReachableMatchesSets) {
+  Digraph g = testing::RandomDag(50, 2.0, 17);
+  for (NodeId u = 0; u < 50; u += 7) {
+    std::vector<NodeId> reach = ReachableFrom(g, u);
+    for (NodeId v = 0; v < 50; ++v) {
+      bool in_set = std::binary_search(reach.begin(), reach.end(), v);
+      EXPECT_EQ(IsReachable(g, u, v), in_set) << u << "->" << v;
+    }
+  }
+}
+
+TEST(TraversalTest, BfsDistances) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 2);  // two paths to 2, both length 2
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 1u);
+  EXPECT_EQ(d[4], kUnreachable);
+  auto rd = BfsDistancesReverse(g, 2);
+  EXPECT_EQ(rd[0], 2u);
+  EXPECT_EQ(rd[1], 1u);
+  EXPECT_EQ(rd[2], 0u);
+}
+
+TEST(TraversalTest, BoundedBfsRespectsDepth) {
+  Digraph g(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1);
+  std::vector<NodeId> visited;
+  BoundedBfs(g, 0, 2, [&](NodeId v, uint32_t) { visited.push_back(v); });
+  EXPECT_EQ(visited, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TraversalTest, TopologicalSortDag) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  std::vector<NodeId> order;
+  ASSERT_TRUE(TopologicalSort(g, &order));
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Edge& e : g.Edges()) EXPECT_LT(pos[e.from], pos[e.to]);
+}
+
+TEST(TraversalTest, TopologicalSortDetectsCycle) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  std::vector<NodeId> order;
+  EXPECT_FALSE(TopologicalSort(g, &order));
+}
+
+TEST(SccTest, ChainIsAllSingletons) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 3u);
+  EXPECT_NE(scc.component[0], scc.component[1]);
+}
+
+TEST(SccTest, CycleCollapses) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+}
+
+TEST(SccTest, TarjanOrderIsReverseTopological) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  SccResult scc = StronglyConnectedComponents(g);
+  // Component ids: if a reaches b then comp(a) > comp(b).
+  EXPECT_GT(scc.component[0], scc.component[1]);
+  EXPECT_GT(scc.component[1], scc.component[2]);
+}
+
+TEST(SccTest, CondensationIsDag) {
+  Digraph g = testing::RandomDigraph(60, 150, 5);
+  Condensation cond = Condense(g);
+  std::vector<NodeId> order;
+  EXPECT_TRUE(TopologicalSort(cond.dag, &order));
+  // Every original node appears in exactly one member list.
+  size_t members = 0;
+  for (const auto& m : cond.members) members += m.size();
+  EXPECT_EQ(members, g.NumNodes());
+}
+
+TEST(SccTest, DeepGraphNoStackOverflow) {
+  // Iterative Tarjan must handle a 200k-node path.
+  const size_t n = 200000;
+  Digraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+TEST(SubgraphTest, InducedKeepsInternalEdges) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  InducedSubgraph sub = BuildInducedSubgraph(g, {1, 2, 4});
+  EXPECT_EQ(sub.graph.NumNodes(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);  // only 1->2 survives
+  NodeId l1 = sub.Local(1), l2 = sub.Local(2);
+  EXPECT_TRUE(sub.graph.HasEdge(l1, l2));
+  EXPECT_EQ(sub.Global(l1), 1u);
+  EXPECT_EQ(sub.Local(0), kInvalidNode);
+}
+
+TEST(SubgraphTest, DuplicateNodesIgnored) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  InducedSubgraph sub = BuildInducedSubgraph(g, {0, 1, 0, 1});
+  EXPECT_EQ(sub.graph.NumNodes(), 2u);
+}
+
+}  // namespace
+}  // namespace hopi

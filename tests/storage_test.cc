@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "hopi/build.h"
+#include "storage/linlout.h"
+#include "test_util.h"
+#include "twohop/builder.h"
+
+namespace hopi::storage {
+namespace {
+
+twohop::TwoHopCover SampleCover(bool with_distance, uint64_t seed = 5) {
+  Digraph g = hopi::testing::RandomDag(40, 2.0, seed);
+  twohop::CoverBuildOptions options;
+  options.with_distance = with_distance;
+  auto cover = twohop::BuildCover(g, options);
+  EXPECT_TRUE(cover.ok());
+  return std::move(cover).value();
+}
+
+TEST(LinLoutStoreTest, ConnectionTestMatchesCover) {
+  twohop::TwoHopCover cover = SampleCover(false);
+  LinLoutStore store = LinLoutStore::FromCover(cover, false);
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    for (NodeId v = 0; v < cover.NumNodes(); ++v) {
+      EXPECT_EQ(store.TestConnection(u, v), cover.IsConnected(u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(LinLoutStoreTest, MinDistanceMatchesCover) {
+  twohop::TwoHopCover cover = SampleCover(true);
+  LinLoutStore store = LinLoutStore::FromCover(cover, true);
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    for (NodeId v = 0; v < cover.NumNodes(); ++v) {
+      EXPECT_EQ(store.MinDistance(u, v), cover.Distance(u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(LinLoutStoreTest, DescendantsAncestorsMatchGraph) {
+  Digraph g = hopi::testing::RandomDag(35, 2.0, 9);
+  auto cover = twohop::BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  LinLoutStore store = LinLoutStore::FromCover(*cover, false);
+  twohop::IndexedCover indexed(*cover);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(store.Descendants(u), indexed.Descendants(u));
+    EXPECT_EQ(store.Ancestors(u), indexed.Ancestors(u));
+  }
+}
+
+TEST(LinLoutStoreTest, EntryAccounting) {
+  twohop::TwoHopCover cover = SampleCover(false);
+  LinLoutStore store = LinLoutStore::FromCover(cover, false);
+  EXPECT_EQ(store.NumEntries(), cover.Size());
+  // 2 ints per forward row, doubled by the backward index.
+  EXPECT_EQ(store.StorageIntegers(), cover.Size() * 4);
+  LinLoutStore dstore = LinLoutStore::FromCover(cover, true);
+  EXPECT_EQ(dstore.StorageIntegers(), cover.Size() * 6);
+}
+
+TEST(LinLoutStoreTest, ScansAreSortedAndComplete) {
+  twohop::TwoHopCover cover = SampleCover(false, 11);
+  LinLoutStore store = LinLoutStore::FromCover(cover, false);
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    auto lin = store.ScanLin(u);
+    EXPECT_EQ(lin.size(), cover.In(u).size());
+    for (size_t i = 1; i < lin.size(); ++i) {
+      EXPECT_LT(lin[i - 1].center, lin[i].center);
+    }
+    auto lout = store.ScanLout(u);
+    EXPECT_EQ(lout.size(), cover.Out(u).size());
+  }
+}
+
+TEST(LinLoutStoreTest, RoundTripThroughCover) {
+  twohop::TwoHopCover cover = SampleCover(true, 13);
+  LinLoutStore store = LinLoutStore::FromCover(cover, true);
+  twohop::TwoHopCover back = store.ToCover(cover.NumNodes());
+  EXPECT_EQ(back.Size(), cover.Size());
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    EXPECT_EQ(back.In(u).size(), cover.In(u).size());
+    EXPECT_EQ(back.Out(u).size(), cover.Out(u).size());
+  }
+}
+
+class LinLoutPersistenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "hopi_store_test.bin";
+};
+
+TEST_F(LinLoutPersistenceTest, WriteReadRoundTrip) {
+  twohop::TwoHopCover cover = SampleCover(true, 17);
+  LinLoutStore store = LinLoutStore::FromCover(cover, true);
+  ASSERT_TRUE(store.WriteToFile(path_).ok());
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumEntries(), store.NumEntries());
+  EXPECT_TRUE(loaded->with_distance());
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    for (NodeId v = 0; v < cover.NumNodes(); v += 3) {
+      EXPECT_EQ(loaded->TestConnection(u, v), store.TestConnection(u, v));
+      EXPECT_EQ(loaded->MinDistance(u, v), store.MinDistance(u, v));
+    }
+  }
+}
+
+TEST_F(LinLoutPersistenceTest, MissingFileIsIOError) {
+  auto loaded = LinLoutStore::ReadFromFile("/nonexistent/dir/f.bin");
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST_F(LinLoutPersistenceTest, BadMagicIsCorruption) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTHOPI!xxxxxxxxxxxxxxxxxxxxxxxxxxx", f);
+  std::fclose(f);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST_F(LinLoutPersistenceTest, TruncatedRowsDetected) {
+  twohop::TwoHopCover cover = SampleCover(false, 19);
+  LinLoutStore store = LinLoutStore::FromCover(cover, false);
+  ASSERT_TRUE(store.WriteToFile(path_).ok());
+  // Chop the file.
+  FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_TRUE(::truncate(path_.c_str(), size - 8) == 0);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST(LinLoutStoreTest, EmptyStoreAnswersNothing) {
+  LinLoutStore store = LinLoutStore::FromCover(twohop::TwoHopCover(5), false);
+  EXPECT_EQ(store.NumEntries(), 0u);
+  EXPECT_FALSE(store.TestConnection(0, 1));
+  EXPECT_TRUE(store.TestConnection(2, 2));  // reflexive
+  EXPECT_TRUE(store.Descendants(3).empty());
+  EXPECT_TRUE(store.Ancestors(3).empty());
+  EXPECT_EQ(store.MinDistance(4, 4), std::optional<uint32_t>(0));
+}
+
+TEST(LinLoutStoreTest, PlainStoreDistancesAreZero) {
+  // A plain store (no DIST column) still answers MinDistance: connected
+  // pairs report 0 — the paper's plain index simply cannot rank.
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  auto cover = twohop::BuildCover(g);
+  ASSERT_TRUE(cover.ok());
+  LinLoutStore store = LinLoutStore::FromCover(*cover, false);
+  auto d = store.MinDistance(0, 2);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 0u);
+}
+
+TEST(LinLoutStoreTest, EndToEndWithBuiltIndex) {
+  collection::Collection c = hopi::testing::SmallDblp(30, 21);
+  auto index = BuildIndex(&c);
+  ASSERT_TRUE(index.ok());
+  LinLoutStore store = LinLoutStore::FromCover(index->cover(), false);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    EXPECT_EQ(store.TestConnection(u, v), index->IsReachable(u, v));
+  }
+}
+
+}  // namespace
+}  // namespace hopi::storage

@@ -1,0 +1,53 @@
+// Shared helpers for the HOPI test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collection/collection.h"
+#include "datagen/dblp.h"
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace hopi::testing {
+
+/// Random DAG: `n` nodes, each node gets edges to ~`avg_out` later nodes.
+/// Edges only go forward in id order, so the result is acyclic.
+inline Digraph RandomDag(size_t n, double avg_out, uint64_t seed) {
+  Rng rng(seed);
+  Digraph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    uint64_t out = rng.NextBounded(static_cast<uint64_t>(2 * avg_out) + 1);
+    for (uint64_t k = 0; k < out; ++k) {
+      NodeId v = static_cast<NodeId>(
+          u + 1 + rng.NextBounded(n - u - 1));
+      g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+/// Random digraph that may contain cycles: `m` uniformly random edges.
+inline Digraph RandomDigraph(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  Digraph g(n);
+  for (size_t k = 0; k < m; ++k) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u != v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+/// A small DBLP-like collection for integration tests.
+inline collection::Collection SmallDblp(size_t docs = 60, uint64_t seed = 7) {
+  collection::Collection c;
+  datagen::DblpConfig config;
+  config.num_docs = docs;
+  config.seed = seed;
+  auto report = datagen::GenerateDblpCollection(config, &c);
+  (void)report;
+  return c;
+}
+
+}  // namespace hopi::testing

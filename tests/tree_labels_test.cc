@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "collection/tree_labels.h"
+#include "test_util.h"
+
+namespace hopi::collection {
+namespace {
+
+TEST(TreeLabelsTest, AncestorshipMatchesParentWalk) {
+  Collection c = hopi::testing::SmallDblp(30, 61);
+  TreeLabels labels(c);
+  auto walk_is_anc = [&c](NodeId anc, NodeId node) {
+    for (NodeId x = node; x != kInvalidNode; x = c.ParentOf(x)) {
+      if (x == anc) return true;
+    }
+    return false;
+  };
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    bool expected = c.DocOf(a) == c.DocOf(b) && walk_is_anc(a, b);
+    EXPECT_EQ(labels.IsAncestorOrSelf(a, b), expected) << a << " vs " << b;
+  }
+}
+
+TEST(TreeLabelsTest, CountsMatchCollectionHelpers) {
+  Collection c = hopi::testing::SmallDblp(25, 67);
+  TreeLabels labels(c);
+  for (NodeId e = 0; e < c.NumElements(); ++e) {
+    EXPECT_EQ(labels.AncestorCount(e), c.TreeAncestorCount(e));
+    EXPECT_EQ(labels.DescendantCount(e), c.TreeDescendantCount(e));
+  }
+}
+
+TEST(TreeLabelsTest, PrePostAreProperIntervals) {
+  Collection c = hopi::testing::SmallDblp(10, 71);
+  TreeLabels labels(c);
+  for (DocId d = 0; d < c.NumDocuments(); ++d) {
+    const auto& els = c.ElementsOf(d);
+    // Pre and post orders are permutations of [0, |doc|).
+    std::vector<bool> pre_seen(els.size(), false), post_seen(els.size(), false);
+    for (NodeId e : els) {
+      ASSERT_LT(labels.Pre(e), els.size());
+      ASSERT_LT(labels.Post(e), els.size());
+      EXPECT_FALSE(pre_seen[labels.Pre(e)]);
+      EXPECT_FALSE(post_seen[labels.Post(e)]);
+      pre_seen[labels.Pre(e)] = true;
+      post_seen[labels.Post(e)] = true;
+    }
+    // Root spans the whole interval.
+    NodeId root = c.RootOf(d);
+    EXPECT_EQ(labels.Pre(root), 0u);
+    EXPECT_EQ(labels.Post(root), els.size() - 1);
+  }
+}
+
+TEST(TreeLabelsTest, SelfIsAncestorOrSelf) {
+  Collection c = hopi::testing::SmallDblp(5, 73);
+  TreeLabels labels(c);
+  for (NodeId e = 0; e < c.NumElements(); ++e) {
+    EXPECT_TRUE(labels.IsAncestorOrSelf(e, e));
+  }
+}
+
+TEST(TreeLabelsTest, CrossDocumentNeverAncestor) {
+  Collection c = hopi::testing::SmallDblp(5, 79);
+  TreeLabels labels(c);
+  NodeId a = c.RootOf(0);
+  NodeId b = c.RootOf(1);
+  EXPECT_FALSE(labels.IsAncestorOrSelf(a, b));
+  EXPECT_FALSE(labels.IsAncestorOrSelf(b, a));
+}
+
+TEST(TreeLabelsTest, SkipsRemovedDocuments) {
+  Collection c = hopi::testing::SmallDblp(6, 83);
+  ASSERT_TRUE(c.RemoveDocument(2).ok());
+  TreeLabels labels(c);  // must not crash on dead elements
+  NodeId live_root = c.RootOf(0);
+  EXPECT_TRUE(labels.IsAncestorOrSelf(live_root, live_root));
+}
+
+}  // namespace
+}  // namespace hopi::collection

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace hopi {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::OK());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("thing is missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing is missing");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::OutOfBudget("x").IsOutOfBudget());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::IOError("disk"); };
+  auto wrapper = [&fails]() -> Status {
+    HOPI_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(4);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextZipf(100, 1.1)];
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], counts[99]);
+  EXPECT_GT(counts[0], 20000 / 100);  // rank 0 far above uniform share
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(6);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(StatsTest, NormalQuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.99), 2.326348, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.01), -2.326348, 1e-5);
+}
+
+TEST(StatsTest, ConfidenceIntervalShrinksWithSamples) {
+  auto wide = BinomialConfidenceInterval(50, 100, 0.98);
+  auto narrow = BinomialConfidenceInterval(5000, 10000, 0.98);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+TEST(StatsTest, PaperSampleSizeGivesShortInterval) {
+  // Sec 5.2: 13,600 samples at 98% confidence -> interval length <= 0.02.
+  auto ci = BinomialConfidenceInterval(6800, 13600, 0.98);
+  EXPECT_LE(ci.upper - ci.lower, 0.02 + 1e-9);
+}
+
+TEST(StatsTest, IntervalCoversTruth) {
+  // Sample from a known p and check the 98% CI contains it almost always.
+  Rng rng(77);
+  const double p = 0.37;
+  int covered = 0;
+  const int experiments = 200;
+  for (int e = 0; e < experiments; ++e) {
+    uint64_t hits = 0;
+    const uint64_t n = 2000;
+    for (uint64_t i = 0; i < n; ++i) hits += rng.NextBernoulli(p);
+    auto ci = BinomialConfidenceInterval(hits, n, 0.98);
+    if (ci.lower <= p && p <= ci.upper) ++covered;
+  }
+  EXPECT_GE(covered, experiments * 90 / 100);
+}
+
+TEST(StatsTest, DegenerateProportionsStayBounded) {
+  auto zero = BinomialConfidenceInterval(0, 1000, 0.98);
+  EXPECT_EQ(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.0);  // safe overestimate
+  auto one = BinomialConfidenceInterval(1000, 1000, 0.98);
+  EXPECT_EQ(one.upper, 1.0);
+  EXPECT_LT(one.lower, 1.0);
+  auto empty = BinomialConfidenceInterval(0, 0, 0.98);
+  EXPECT_EQ(empty.lower, 0.0);
+  EXPECT_EQ(empty.upper, 1.0);
+}
+
+TEST(StatsTest, SummaryBasics) {
+  Summary s = Summarize({3.0, 1.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.mean, 2.5);
+  EXPECT_EQ(s.median, 2.5);
+  Summary empty = Summarize({});
+  EXPECT_EQ(empty.count, 0u);
+}
+
+TEST(CliTest, ParsesAllForms) {
+  const char* argv[] = {"prog",         "--docs=100", "--name", "dblp",
+                        "--verbose",    "--no-color", "pos1"};
+  CommandLine cli;
+  ASSERT_TRUE(CommandLine::Parse(7, const_cast<char**>(argv),
+                                 {"docs", "name", "verbose", "color"}, &cli)
+                  .ok());
+  EXPECT_EQ(cli.GetInt("docs", 0), 100);
+  EXPECT_EQ(cli.GetString("name", ""), "dblp");
+  EXPECT_TRUE(cli.GetBool("verbose", false));
+  EXPECT_FALSE(cli.GetBool("color", true));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(CliTest, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--tpyo=1"};
+  CommandLine cli;
+  Status s = CommandLine::Parse(2, const_cast<char**>(argv), {"docs"}, &cli);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(CliTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CommandLine cli;
+  ASSERT_TRUE(CommandLine::Parse(1, const_cast<char**>(argv), {}, &cli).ok());
+  EXPECT_EQ(cli.GetInt("docs", 42), 42);
+  EXPECT_EQ(cli.GetDouble("ratio", 1.5), 1.5);
+  EXPECT_FALSE(cli.Has("docs"));
+}
+
+TEST(TablePrinterTest, AlignsAndFormats) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"short", TablePrinter::FmtCount(1289930)});
+  t.AddRow({"a-much-longer-name", TablePrinter::Fmt(3.14159, 2)});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("1,289,930"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtCountSmallNumbers) {
+  EXPECT_EQ(TablePrinter::FmtCount(0), "0");
+  EXPECT_EQ(TablePrinter::FmtCount(999), "999");
+  EXPECT_EQ(TablePrinter::FmtCount(1000), "1,000");
+}
+
+}  // namespace
+}  // namespace hopi

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace hopi::xml {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = ParseDocument("<root/>", "a.xml");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->name, "a.xml");
+  EXPECT_EQ(doc->root->tag(), "root");
+  EXPECT_TRUE(doc->root->children().empty());
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto doc = ParseDocument("<a><b>hello</b><c><d/></c></a>", "x");
+  ASSERT_TRUE(doc.ok());
+  const Element& a = *doc->root;
+  ASSERT_EQ(a.children().size(), 2u);
+  EXPECT_EQ(a.children()[0]->tag(), "b");
+  EXPECT_EQ(a.children()[0]->text(), "hello");
+  EXPECT_EQ(a.children()[1]->children()[0]->tag(), "d");
+  EXPECT_EQ(a.SubtreeSize(), 4u);
+}
+
+TEST(XmlParserTest, Attributes) {
+  auto doc = ParseDocument(
+      "<book id=\"b1\" xlink:href='other.xml#e5' empty=\"\"/>", "x");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc->root->FindAttribute("id"), nullptr);
+  EXPECT_EQ(*doc->root->FindAttribute("id"), "b1");
+  EXPECT_EQ(*doc->root->FindAttribute("xlink:href"), "other.xml#e5");
+  EXPECT_EQ(*doc->root->FindAttribute("empty"), "");
+  EXPECT_EQ(doc->root->FindAttribute("absent"), nullptr);
+}
+
+TEST(XmlParserTest, EntitiesDecoded) {
+  auto doc = ParseDocument("<t a=\"&lt;x&gt;\">&amp;&quot;&apos;&#65;&#x42;</t>",
+                           "x");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root->FindAttribute("a"), "<x>");
+  EXPECT_EQ(doc->root->text(), "&\"'AB");
+}
+
+TEST(XmlParserTest, UnicodeCharacterReference) {
+  auto doc = ParseDocument("<t>&#228;</t>", "x");  // ä
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "\xC3\xA4");
+}
+
+TEST(XmlParserTest, PrologCommentsDoctype) {
+  auto doc = ParseDocument(
+      "<?xml version=\"1.0\"?>\n<!-- hi -->\n<!DOCTYPE root>\n<root>x</root>",
+      "x");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "x");
+}
+
+TEST(XmlParserTest, CommentsInsideContentSkipped) {
+  auto doc = ParseDocument("<a>one<!-- skip -->two</a>", "x");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "onetwo");
+}
+
+TEST(XmlParserTest, CdataPreserved) {
+  auto doc = ParseDocument("<a><![CDATA[1 < 2 & so]]></a>", "x");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "1 < 2 & so");
+}
+
+TEST(XmlParserTest, MismatchedTagRejected) {
+  auto doc = ParseDocument("<a><b></a></b>", "x");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsCorruption());
+}
+
+TEST(XmlParserTest, TruncatedInputRejected) {
+  EXPECT_FALSE(ParseDocument("<a><b>", "x").ok());
+  EXPECT_FALSE(ParseDocument("<a attr=", "x").ok());
+  EXPECT_FALSE(ParseDocument("", "x").ok());
+}
+
+TEST(XmlParserTest, UnknownEntityRejected) {
+  EXPECT_FALSE(ParseDocument("<a>&nope;</a>", "x").ok());
+}
+
+TEST(XmlParserTest, TextOutsideRootRejected) {
+  EXPECT_FALSE(ParseDocument("stray<a/>", "x").ok());
+}
+
+TEST(XmlParserTest, DeeplyNestedNoOverflow) {
+  std::string input;
+  const int depth = 50000;
+  for (int i = 0; i < depth; ++i) input += "<d>";
+  for (int i = 0; i < depth; ++i) input += "</d>";
+  auto doc = ParseDocument(input, "deep.xml");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->SubtreeSize(), static_cast<size_t>(depth));
+}
+
+TEST(XmlSerializeTest, RoundTrip) {
+  auto doc = ParseDocument(
+      "<lib><book id=\"b1\"><title>T &amp; U</title></book><book id=\"b2\"/>"
+      "</lib>",
+      "x");
+  ASSERT_TRUE(doc.ok());
+  std::string text = Serialize(*doc->root);
+  auto again = ParseDocument(text, "y");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->root->SubtreeSize(), doc->root->SubtreeSize());
+  EXPECT_EQ(*again->root->children()[0]->FindAttribute("id"), "b1");
+  EXPECT_EQ(again->root->children()[0]->children()[0]->text(), "T & U");
+}
+
+TEST(XmlSerializeTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeText("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+}  // namespace
+}  // namespace hopi::xml
