@@ -1,10 +1,14 @@
 // Query micro-benchmarks (google-benchmark): HOPI label intersection vs
 // the materialized transitive closure, in memory and through the
-// LIN/LOUT store. Query performance was evaluated in the EDBT 2004 paper
-// [26]; this harness provides the comparable numbers for our build.
+// LIN/LOUT store — both via the raw backends and via the QueryEngine
+// facade, whose batch path dedupes probes and caches hot label sets.
+// Query performance was evaluated in the EDBT 2004 paper [26]; this
+// harness provides the comparable numbers for our build.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "engine/backends.h"
+#include "engine/engine.h"
 #include "hopi/baseline.h"
 #include "hopi/build.h"
 #include "storage/linlout.h"
@@ -21,35 +25,56 @@ struct Fixture {
   std::unique_ptr<HopiIndex> dist_index;
   std::unique_ptr<TransitiveClosureIndex> closure;
   std::unique_ptr<storage::LinLoutStore> store;
+  std::unique_ptr<engine::QueryEngine> engine_hopi;
+  std::unique_ptr<engine::QueryEngine> engine_store;
+  std::unique_ptr<engine::QueryEngine> engine_closure;
 
   static Fixture& Get() {
-    static Fixture f = Make();
+    static Fixture f;
     return f;
   }
 
-  static Fixture Make() {
-    Fixture f;
-    f.collection = MakeDblp(300, 42);
+  Fixture() {
+    collection = MakeDblp(300, 42);
     IndexBuildOptions options;
     options.partition.strategy = partition::PartitionStrategy::kTcSizeAware;
     options.partition.max_connections = 30000;
-    auto index = BuildIndex(&f.collection, options);
-    if (!index.ok()) std::abort();
-    f.index = std::make_unique<HopiIndex>(std::move(index).value());
+    auto built = BuildIndex(&collection, options);
+    if (!built.ok()) std::abort();
+    index = std::make_unique<HopiIndex>(std::move(built).value());
     options.with_distance = true;
-    auto dist = BuildIndex(&f.collection, options);
+    auto dist = BuildIndex(&collection, options);
     if (!dist.ok()) std::abort();
-    f.dist_index = std::make_unique<HopiIndex>(std::move(dist).value());
-    f.closure = std::make_unique<TransitiveClosureIndex>(
-        TransitiveClosureIndex::Build(f.collection.ElementGraph(), true));
-    f.store = std::make_unique<storage::LinLoutStore>(
-        storage::LinLoutStore::FromCover(f.index->cover(), false));
-    return f;
+    dist_index = std::make_unique<HopiIndex>(std::move(dist).value());
+    closure = std::make_unique<TransitiveClosureIndex>(
+        TransitiveClosureIndex::Build(collection.ElementGraph(), true));
+    store = std::make_unique<storage::LinLoutStore>(
+        storage::LinLoutStore::FromCover(index->cover(), false));
+    engine_hopi = std::make_unique<engine::QueryEngine>(
+        engine::QueryEngine::ForIndex(*index));
+    engine_store = std::make_unique<engine::QueryEngine>(
+        engine::QueryEngine::ForStore(collection, *store));
+    engine_closure = std::make_unique<engine::QueryEngine>(
+        engine::QueryEngine::ForClosure(collection, *closure, true));
   }
 
   std::pair<NodeId, NodeId> RandomPair(Rng* rng) const {
     return {static_cast<NodeId>(rng->NextBounded(collection.NumElements())),
             static_cast<NodeId>(rng->NextBounded(collection.NumElements()))};
+  }
+
+  /// A batch with the skew a reachability join produces: probes drawn
+  /// from a small pool of hot sources/targets, so dedup and the label
+  /// cache both have something to exploit.
+  std::vector<engine::NodePair> SkewedBatch(size_t size, Rng* rng) const {
+    std::vector<engine::NodePair> pool;
+    for (size_t i = 0; i < size / 4; ++i) pool.push_back(RandomPair(rng));
+    std::vector<engine::NodePair> batch;
+    batch.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      batch.push_back(pool[rng->NextBounded(pool.size())]);
+    }
+    return batch;
   }
 };
 
@@ -135,6 +160,69 @@ void BM_Descendants_LinLoutStore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Descendants_LinLoutStore);
+
+// ---- the QueryEngine facade: batched, deduped, label-cached ----
+
+void RunEngineBatch(benchmark::State& state, engine::QueryEngine* engine) {
+  Fixture& f = Fixture::Get();
+  Rng rng(4);
+  std::vector<engine::NodePair> batch = f.SkewedBatch(256, &rng);
+  size_t hits = 0, misses = 0, probes = 0;
+  for (auto _ : state) {
+    engine::BatchResponse r = engine->Batch({.pairs = batch});
+    benchmark::DoNotOptimize(&r);
+    hits += r.stats.cache_hits;
+    misses += r.stats.cache_misses;
+    probes += r.stats.probes;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(probes));
+  if (hits + misses > 0) {
+    state.counters["cache_hit_rate"] =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+}
+
+void BM_EngineBatch_Hopi(benchmark::State& state) {
+  RunEngineBatch(state, Fixture::Get().engine_hopi.get());
+}
+BENCHMARK(BM_EngineBatch_Hopi);
+
+void BM_EngineBatch_LinLoutStore(benchmark::State& state) {
+  RunEngineBatch(state, Fixture::Get().engine_store.get());
+}
+BENCHMARK(BM_EngineBatch_LinLoutStore);
+
+void BM_EngineBatch_MaterializedTC(benchmark::State& state) {
+  RunEngineBatch(state, Fixture::Get().engine_closure.get());
+}
+BENCHMARK(BM_EngineBatch_MaterializedTC);
+
+// The same skewed workload as scalar calls, for the batching delta.
+void BM_EngineScalarLoop_LinLoutStore(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(4);
+  std::vector<engine::NodePair> batch = f.SkewedBatch(256, &rng);
+  size_t probes = 0;
+  for (auto _ : state) {
+    for (const auto& [u, v] : batch) {
+      benchmark::DoNotOptimize(f.store->TestConnection(u, v));
+    }
+    probes += batch.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(probes));
+}
+BENCHMARK(BM_EngineScalarLoop_LinLoutStore);
+
+void BM_EnginePathQuery_Hopi(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    auto r = f.engine_hopi->Query(
+        {.expression = "//inproceedings//cite//title", .max_matches = 100});
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->count);
+  }
+}
+BENCHMARK(BM_EnginePathQuery_Hopi);
 
 }  // namespace
 

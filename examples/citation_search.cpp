@@ -6,9 +6,8 @@
 #include <iostream>
 
 #include "datagen/dblp.h"
+#include "engine/engine.h"
 #include "hopi/build.h"
-#include "query/path_query.h"
-#include "query/tag_index.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -40,35 +39,32 @@ int main(int argc, char** argv) {
   std::cout << "HOPI index: " << index->CoverSize() << " entries in "
             << build_watch.ElapsedSeconds() << "s\n\n";
 
-  query::TagIndex tags(c);
+  // All queries flow through the facade.
+  engine::QueryEngine engine = engine::QueryEngine::ForIndex(*index);
 
   // Which publications does pub0 (the most-cited classic) reach?
   NodeId classic = c.RootOf(0);
   std::cout << "the classic pub0 is reachable from "
-            << index->Ancestors(classic).size()
+            << engine.Ancestors(classic).size()
             << " elements across the collection\n";
 
   // Path queries with wildcards, crossing citation links.
   for (const char* q : {"//inproceedings//cite//title",
                         "//inproceedings//cite//cite//author",
                         "//booktitle"}) {
-    auto expr = query::PathExpression::Parse(q);
-    if (!expr.ok()) continue;
     Stopwatch watch;
-    auto count = query::CountPathResults(*expr, *index, tags);
+    auto count = engine.Query({.expression = q, .count_only = true});
     if (!count.ok()) continue;
-    std::cout << q << "  ->  " << *count << " results in "
+    std::cout << q << "  ->  " << count->count << " results in "
               << watch.ElapsedMicros() << "us\n";
   }
 
   // Materialize a few ranked matches for the 2-step query.
-  auto expr = query::PathExpression::Parse("//inproceedings//cite");
-  query::PathQueryOptions qopts;
-  qopts.max_matches = 5;
-  auto matches = query::EvaluatePath(*expr, *index, tags, qopts);
+  auto matches = engine.Query(
+      {.expression = "//inproceedings//cite", .max_matches = 5});
   if (matches.ok()) {
     std::cout << "\nsample //inproceedings//cite matches:\n";
-    for (const auto& m : *matches) {
+    for (const auto& m : matches->matches) {
       std::cout << "  " << c.DocName(c.DocOf(m.bindings[0])) << " cites via "
                 << c.DocName(c.DocOf(m.bindings[1])) << "\n";
     }

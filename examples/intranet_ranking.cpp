@@ -7,9 +7,8 @@
 #include <iostream>
 
 #include "datagen/xmark.h"
+#include "engine/engine.h"
 #include "hopi/build.h"
-#include "query/path_query.h"
-#include "query/tag_index.h"
 #include "storage/linlout.h"
 
 int main() {
@@ -34,18 +33,17 @@ int main() {
     return 1;
   }
 
-  query::TagIndex tags(c);
+  engine::QueryEngine engine = engine::QueryEngine::ForIndex(*index);
 
   // "Find auctions connected to an item description" — ranked by how
   // direct the connection is (itemref link vs longer bidder->person->watch
   // chains).
-  auto expr = query::PathExpression::Parse("//open_auction//description");
-  query::PathQueryOptions qopts;
-  qopts.max_matches = 10;
-  auto matches = query::EvaluatePath(*expr, *index, tags, qopts);
+  const char* query_text = "//open_auction//description";
+  auto matches =
+      engine.Query({.expression = query_text, .max_matches = 10});
   if (!matches.ok()) return 1;
   std::cout << "\n//open_auction//description, ranked by distance:\n";
-  for (const auto& m : *matches) {
+  for (const auto& m : matches->matches) {
     std::cout << "  auction-elem #" << m.bindings[0] << " -> desc #"
               << m.bindings[1] << "  hops=" << m.total_distance
               << "  score=" << m.score << "\n";
@@ -53,10 +51,10 @@ int main() {
 
   // Limited-length query: only near matches (Sec 5.1's "limited-length
   // paths between nodes with certain tags").
-  qopts.max_step_distance = 3;
-  auto near = query::EvaluatePath(*expr, *index, tags, qopts);
+  auto near = engine.Query(
+      {.expression = query_text, .max_matches = 10, .max_step_distance = 3});
   if (near.ok()) {
-    std::cout << "with max_step_distance=3: " << near->size()
+    std::cout << "with max_step_distance=3: " << near->matches.size()
               << " matches survive\n";
   }
 
@@ -67,13 +65,26 @@ int main() {
   std::string path = "/tmp/hopi_intranet.idx";
   if (!store.WriteToFile(path).ok()) return 1;
   auto loaded = storage::LinLoutStore::ReadFromFile(path);
-  if (!loaded.ok()) return 1;
+  if (!loaded.ok()) {
+    std::cerr << loaded.status() << "\n";
+    return 1;
+  }
   std::cout << "\npersisted " << store.NumEntries() << " entries ("
             << store.StorageIntegers() * 4 / 1024
-            << " KiB as integers); reload OK, spot check: "
-            << (loaded->TestConnection(0, 1) == index->IsReachable(0, 1)
-                    ? "consistent"
-                    : "MISMATCH")
-            << "\n";
+            << " KiB as integers)\n";
+
+  // Serve the same query from the reloaded store: only the backend
+  // changes, the facade and the results stay identical.
+  engine::QueryEngine restarted = engine::QueryEngine::ForStore(c, *loaded);
+  auto rematches =
+      restarted.Query({.expression = query_text, .max_matches = 10});
+  if (!rematches.ok()) return 1;
+  bool consistent = rematches->matches.size() == matches->matches.size();
+  for (size_t i = 0; consistent && i < rematches->matches.size(); ++i) {
+    consistent = rematches->matches[i].bindings == matches->matches[i].bindings;
+  }
+  std::cout << "after restart from disk (backend: "
+            << restarted.backend().Name() << "): "
+            << (consistent ? "identical ranked matches" : "MISMATCH") << "\n";
   return 0;
 }

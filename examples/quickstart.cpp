@@ -1,5 +1,6 @@
 // Quickstart: parse a few linked XML documents, build a HOPI index, and
-// ask reachability / distance / descendant questions across documents.
+// ask reachability / distance / descendant questions across documents
+// through the QueryEngine facade.
 //
 //   $ ./quickstart
 //
@@ -7,9 +8,8 @@
 #include <iostream>
 
 #include "collection/builder.h"
+#include "engine/engine.h"
 #include "hopi/build.h"
-#include "query/path_query.h"
-#include "query/tag_index.h"
 #include "xml/parser.h"
 
 int main() {
@@ -59,25 +59,31 @@ int main() {
   }
   std::cout << "index built: " << index->CoverSize() << " label entries\n";
 
-  // 4. Reachability across the citation link: the book's root reaches the
+  // 4. Wrap the index in the QueryEngine facade — the single entry point
+  //    for reachability, batches, and path queries. Other backends
+  //    (LinLoutStore, the closure baseline) plug into the same facade.
+  engine::QueryEngine engine = engine::QueryEngine::ForIndex(*index);
+
+  // 5. Reachability across the citation link: the book's root reaches the
   //    cited paper's author element.
   auto lib_doc = collection.FindDocument("library.xml");
-  auto papers_doc = collection.FindDocument("papers.xml");
   NodeId book_root = collection.RootOf(*lib_doc);
-
-  query::TagIndex tags(collection);
-  NodeId hopi_author = query::TagIndex(collection).Lookup("author")[1];
+  NodeId hopi_author = engine.tags().Lookup("author")[1];
+  engine::ReachabilityResponse reach = engine.Reachability(
+      {.source = book_root, .target = hopi_author, .want_distance = true});
   std::cout << "book root ->* cited author? "
-            << (index->IsReachable(book_root, hopi_author) ? "yes" : "no")
-            << " (distance "
-            << index->Distance(book_root, hopi_author).value_or(0) << ")\n";
+            << (reach.reachable ? "yes" : "no") << " (distance "
+            << reach.distance.value_or(0) << ")\n";
 
-  // 5. Wildcard path query crossing the link: //book//author finds both
+  // 6. Wildcard path query crossing the link: //book//author finds both
   //    the book's own author and the cited paper's author.
-  auto expr = query::PathExpression::Parse("//book//author");
-  auto matches = query::EvaluatePath(*expr, *index, tags);
+  auto response = engine.Query({.expression = "//book//author"});
+  if (!response.ok()) {
+    std::cerr << response.status() << "\n";
+    return 1;
+  }
   std::cout << "//book//author matches (ranked by connection length):\n";
-  for (const auto& m : *matches) {
+  for (const auto& m : response->matches) {
     NodeId author = m.bindings.back();
     std::cout << "  element #" << author << " in "
               << collection.DocName(collection.DocOf(author))
@@ -85,9 +91,26 @@ int main() {
               << m.score << "\n";
   }
 
-  // 6. Descendant enumeration (the // axis over trees AND links).
-  std::cout << "book root has " << index->Descendants(book_root).size()
+  // 7. Batched reachability: repeated probes are deduped and label sets
+  //    are reused (borrowed zero-copy from the in-memory cover here;
+  //    file-backed stores go through the LRU cache instead). The stats
+  //    come back with the answers.
+  engine::BatchRequest batch;
+  for (NodeId e = 0; e < collection.NumElements(); ++e) {
+    if (e == book_root) continue;  // reachability is reflexive
+    batch.pairs.push_back({book_root, e});
+    batch.pairs.push_back({book_root, e});  // duplicate on purpose
+  }
+  engine::BatchResponse bulk = engine.Batch(batch);
+  size_t reachable_count = 0;
+  for (bool r : bulk.reachable) reachable_count += r ? 1 : 0;
+  std::cout << "batch: " << bulk.stats.probes << " probes -> "
+            << bulk.stats.unique_probes << " unique, "
+            << bulk.stats.labels_borrowed << " label reads (zero-copy), "
+            << reachable_count / 2 << " elements reachable from the book\n";
+
+  // 8. Descendant enumeration (the // axis over trees AND links).
+  std::cout << "book root has " << engine.Descendants(book_root).size()
             << " descendants (crossing the citation into papers.xml)\n";
-  (void)papers_doc;
   return 0;
 }

@@ -9,10 +9,8 @@
 
 #include "datagen/dblp.h"
 #include "datagen/xmark.h"
+#include "engine/engine.h"
 #include "hopi/build.h"
-#include "query/path_query.h"
-#include "query/similarity.h"
-#include "query/tag_index.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -58,35 +56,34 @@ int main(int argc, char** argv) {
   std::cout << "index: " << index->CoverSize() << " entries ("
             << build_watch.ElapsedSeconds() << "s)\n\n";
 
-  // 3. Query.
-  auto expr = query::PathExpression::Parse(query_text);
-  if (!expr.ok()) {
-    std::cerr << expr.status() << "\n";
-    return 2;
-  }
-  query::TagIndex tags(c);
-  query::TagSimilarity similarity = query::TagSimilarity::DblpDefaults();
-  query::PathQueryOptions qopts;
-  qopts.similarity = &similarity;
-  qopts.max_matches = static_cast<size_t>(cli.GetInt("limit", 10));
+  // 3. Query through the facade: the engine owns the tag index, the
+  //    ontology for ~tag steps, and the hot-label cache.
+  engine::QueryEngineOptions engine_options;
+  engine_options.similarity = query::TagSimilarity::DblpDefaults();
+  engine::QueryEngine engine =
+      engine::QueryEngine::ForIndex(*index, std::move(engine_options));
+
+  engine::PathQueryRequest request;
+  request.expression = query_text;
+  request.max_matches = static_cast<size_t>(cli.GetInt("limit", 10));
   if (cli.Has("max-dist")) {
-    qopts.max_step_distance =
+    request.max_step_distance =
         static_cast<uint32_t>(cli.GetInt("max-dist", 0));
   }
 
   Stopwatch query_watch;
-  auto matches = query::EvaluatePath(*expr, *index, tags, qopts);
-  if (!matches.ok()) {
-    std::cerr << matches.status() << "\n";
-    return 1;
+  auto response = engine.Query(request);
+  if (!response.ok()) {
+    std::cerr << response.status() << "\n";
+    return response.status().IsInvalidArgument() ? 2 : 1;
   }
-  std::cout << expr->ToString() << "  (" << query_watch.ElapsedMicros()
+  std::cout << query_text << "  (" << query_watch.ElapsedMicros()
             << "us)\n";
-  if (matches->empty()) {
+  if (response->matches.empty()) {
     std::cout << "  no matches\n";
     return 0;
   }
-  for (const query::PathMatch& m : *matches) {
+  for (const query::PathMatch& m : response->matches) {
     std::cout << "  score=" << m.score << " dist=" << m.total_distance
               << "  ";
     for (size_t i = 0; i < m.bindings.size(); ++i) {

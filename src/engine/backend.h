@@ -1,0 +1,100 @@
+// ReachabilityBackend: the pluggable access-path seam of the query layer.
+//
+// The paper's query section (Sec 5.1) treats the 2-hop cover as one
+// access path among several — the in-memory labels, the LIN/LOUT
+// index-organized tables, and plain traversal / materialized closure.
+// This interface captures the operations every access path must answer
+// so the QueryEngine facade (engine/engine.h) and the path evaluator
+// (query/path_query.h) can run against any of them interchangeably.
+//
+// Adapters for the three concrete access paths live in
+// engine/backends.h. The interface is header-only on purpose: lower
+// layers (query) implement against it without linking the engine
+// library, which keeps the module graph acyclic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "twohop/cover.h"
+
+namespace hopi::engine {
+
+/// One LIN or LOUT label set: (center, dist) rows sorted by center id.
+/// The distance is 0 for backends built without the DIST column.
+using Label = std::vector<twohop::LabelEntry>;
+
+/// A single (source, target) reachability probe.
+using NodePair = std::pair<NodeId, NodeId>;
+
+class ReachabilityBackend {
+ public:
+  virtual ~ReachabilityBackend() = default;
+
+  /// Short identifier for stats and bench tables ("hopi", "linlout",
+  /// "closure", ...).
+  virtual std::string_view Name() const = 0;
+
+  /// True when Distance() returns exact shortest-path lengths; plain
+  /// backends report 0 for every connected pair.
+  virtual bool with_distance() const = 0;
+
+  // ---- scalar queries (the HopiIndex surface) ----
+
+  /// True iff u ->* v in the element-level graph (reflexive).
+  virtual bool IsReachable(NodeId u, NodeId v) const = 0;
+
+  /// Shortest connection length u -> v, or nullopt when unconnected.
+  virtual std::optional<uint32_t> Distance(NodeId u, NodeId v) const = 0;
+
+  /// All strict descendants of u (the wildcard // axis), sorted.
+  virtual std::vector<NodeId> Descendants(NodeId u) const = 0;
+
+  /// All strict ancestors of u, sorted.
+  virtual std::vector<NodeId> Ancestors(NodeId u) const = 0;
+
+  // ---- vectorized queries ----
+
+  /// Batch hook: out[i] = IsReachable(pairs[i]). The default loops over
+  /// the scalar call; backends with a cheaper bulk path override it.
+  /// Callers that want cross-probe dedup and label caching should go
+  /// through QueryEngine::Batch instead of calling this directly.
+  virtual std::vector<bool> TestConnections(
+      std::span<const NodePair> pairs) const {
+    std::vector<bool> out(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = IsReachable(pairs[i].first, pairs[i].second);
+    }
+    return out;
+  }
+
+  // ---- label export (the hot-label cache hook) ----
+
+  /// True when the backend stores 2-hop labels and can export them via
+  /// OutLabel/InLabel. Label-less backends (materialized closure, BFS)
+  /// return false and the batch path falls back to TestConnections.
+  virtual bool HasLabels() const { return false; }
+
+  /// LOUT(u) rows sorted by center; empty for out-of-range nodes.
+  virtual Label OutLabel(NodeId /*u*/) const { return {}; }
+
+  /// LIN(v) rows sorted by center; empty for out-of-range nodes.
+  virtual Label InLabel(NodeId /*v*/) const { return {}; }
+
+  /// Zero-copy label access: backends whose labels already live in
+  /// memory in Label layout return a pointer that stays valid for the
+  /// backend's lifetime, and the batch path skips the copy into the LRU
+  /// cache. Backends that materialize labels on demand (LinLoutStore
+  /// converts table rows) return nullptr and are served through the
+  /// cache instead.
+  virtual const Label* BorrowOutLabel(NodeId /*u*/) const { return nullptr; }
+  virtual const Label* BorrowInLabel(NodeId /*v*/) const { return nullptr; }
+};
+
+}  // namespace hopi::engine

@@ -1,0 +1,96 @@
+// The three concrete ReachabilityBackend adapters (paper Sec 5.1's
+// access paths):
+//
+//   HopiIndexBackend   in-memory 2-hop cover labels (engine/hopi_backend.h),
+//   LinLoutBackend     the file-backed LIN/LOUT index-organized tables
+//                      (storage/linlout.h),
+//   ClosureBackend     the materialized transitive closure baseline
+//                      (hopi/baseline.h).
+//
+// All adapters are non-owning views: the wrapped index must outlive the
+// adapter. They are header-only so thin shims can construct them
+// without linking the engine library.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "engine/backend.h"
+#include "engine/hopi_backend.h"
+#include "hopi/baseline.h"
+#include "storage/linlout.h"
+
+namespace hopi::engine {
+
+/// Adapter over the LIN/LOUT index-organized tables. Labels are
+/// materialized from table rows on demand, so the engine's LRU cache is
+/// what makes repeated probes cheap.
+class LinLoutBackend final : public ReachabilityBackend {
+ public:
+  explicit LinLoutBackend(const storage::LinLoutStore& store)
+      : store_(&store) {}
+
+  std::string_view Name() const override { return "linlout"; }
+  bool with_distance() const override { return store_->with_distance(); }
+
+  bool IsReachable(NodeId u, NodeId v) const override {
+    return store_->TestConnection(u, v);
+  }
+  std::optional<uint32_t> Distance(NodeId u, NodeId v) const override {
+    return store_->MinDistance(u, v);
+  }
+  std::vector<NodeId> Descendants(NodeId u) const override {
+    return store_->Descendants(u);
+  }
+  std::vector<NodeId> Ancestors(NodeId u) const override {
+    return store_->Ancestors(u);
+  }
+
+  bool HasLabels() const override { return true; }
+  Label OutLabel(NodeId u) const override {
+    Label label;
+    store_->LoutLabel(u, &label);
+    return label;
+  }
+  Label InLabel(NodeId v) const override {
+    Label label;
+    store_->LinLabel(v, &label);
+    return label;
+  }
+
+ private:
+  const storage::LinLoutStore* store_;
+};
+
+/// Adapter over the materialized transitive-closure baseline. Carries no
+/// 2-hop labels, so the QueryEngine batch path probes it directly.
+class ClosureBackend final : public ReachabilityBackend {
+ public:
+  /// `with_distance` must match the flag the closure was built with
+  /// (TransitiveClosureIndex does not expose it).
+  ClosureBackend(const TransitiveClosureIndex& closure, bool with_distance)
+      : closure_(&closure), with_distance_(with_distance) {}
+
+  std::string_view Name() const override { return "closure"; }
+  bool with_distance() const override { return with_distance_; }
+
+  bool IsReachable(NodeId u, NodeId v) const override {
+    return closure_->IsReachable(u, v);
+  }
+  std::optional<uint32_t> Distance(NodeId u, NodeId v) const override {
+    return closure_->Distance(u, v);
+  }
+  std::vector<NodeId> Descendants(NodeId u) const override {
+    return closure_->Descendants(u);
+  }
+  std::vector<NodeId> Ancestors(NodeId u) const override {
+    return closure_->Ancestors(u);
+  }
+
+ private:
+  const TransitiveClosureIndex* closure_;
+  bool with_distance_;
+};
+
+}  // namespace hopi::engine

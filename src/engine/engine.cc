@@ -1,0 +1,162 @@
+#include "engine/engine.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "engine/backends.h"
+
+namespace hopi::engine {
+
+namespace {
+
+uint64_t PairKey(const NodePair& p) {
+  return (static_cast<uint64_t>(p.first) << 32) | p.second;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const collection::Collection& collection,
+                         std::unique_ptr<ReachabilityBackend> backend,
+                         QueryEngineOptions options)
+    : collection_(&collection),
+      backend_(std::move(backend)),
+      tags_(collection),
+      similarity_(std::move(options.similarity)),
+      cache_(options.label_cache_capacity) {}
+
+QueryEngine QueryEngine::ForIndex(const HopiIndex& index,
+                                  QueryEngineOptions options) {
+  return QueryEngine(*index.collection(),
+                     std::make_unique<HopiIndexBackend>(index),
+                     std::move(options));
+}
+
+QueryEngine QueryEngine::ForStore(const collection::Collection& collection,
+                                  const storage::LinLoutStore& store,
+                                  QueryEngineOptions options) {
+  return QueryEngine(collection, std::make_unique<LinLoutBackend>(store),
+                     std::move(options));
+}
+
+QueryEngine QueryEngine::ForClosure(const collection::Collection& collection,
+                                    const TransitiveClosureIndex& closure,
+                                    bool with_distance,
+                                    QueryEngineOptions options) {
+  return QueryEngine(collection,
+                     std::make_unique<ClosureBackend>(closure, with_distance),
+                     std::move(options));
+}
+
+ReachabilityResponse QueryEngine::Reachability(
+    const ReachabilityRequest& request) const {
+  ReachabilityResponse response;
+  response.reachable = backend_->IsReachable(request.source, request.target);
+  if (request.want_distance && response.reachable) {
+    response.distance = backend_->Distance(request.source, request.target);
+  }
+  return response;
+}
+
+const Label* QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
+                                     BatchStats* stats) const {
+  bool out = side == LabelCache::Side::kOut;
+  // Zero-copy path for backends whose labels already sit in memory.
+  if (const Label* borrowed = out ? backend_->BorrowOutLabel(node)
+                                  : backend_->BorrowInLabel(node)) {
+    ++stats->labels_borrowed;
+    return borrowed;
+  }
+  if (const Label* hit = cache_.Get(side, node)) {
+    ++stats->cache_hits;
+    return hit;
+  }
+  ++stats->cache_misses;
+  Label label = out ? backend_->OutLabel(node) : backend_->InLabel(node);
+  return cache_.Put(side, node, std::move(label));
+}
+
+BatchResponse QueryEngine::Batch(const BatchRequest& request) const {
+  BatchResponse response;
+  response.stats.probes = request.pairs.size();
+
+  // Dedup repeated (u, v) probes: answer each distinct pair once, then
+  // scatter the answers back to every occurrence.
+  std::unordered_map<uint64_t, size_t> slot_of;
+  slot_of.reserve(request.pairs.size());
+  std::vector<NodePair> unique;
+  std::vector<size_t> slot(request.pairs.size());
+  for (size_t i = 0; i < request.pairs.size(); ++i) {
+    auto [it, inserted] =
+        slot_of.try_emplace(PairKey(request.pairs[i]), unique.size());
+    if (inserted) unique.push_back(request.pairs[i]);
+    slot[i] = it->second;
+  }
+  response.stats.unique_probes = unique.size();
+
+  std::vector<bool> reachable(unique.size());
+  std::vector<std::optional<uint32_t>> distance(
+      request.want_distances ? unique.size() : 0);
+
+  if (backend_->HasLabels()) {
+    for (size_t k = 0; k < unique.size(); ++k) {
+      auto [u, v] = unique[k];
+      if (u == v) {
+        reachable[k] = true;
+        if (request.want_distances) distance[k] = 0;
+        continue;
+      }
+      const Label* lout =
+          FetchLabel(LabelCache::Side::kOut, u, &response.stats);
+      const Label* lin = FetchLabel(LabelCache::Side::kIn, v, &response.stats);
+      twohop::LabelJoinResult join =
+          twohop::JoinLabels(u, v, *lout, *lin, request.want_distances);
+      reachable[k] = join.connected;
+      if (request.want_distances) distance[k] = join.distance;
+    }
+  } else {
+    response.stats.backend_probes = unique.size();
+    reachable = backend_->TestConnections(unique);
+    if (request.want_distances) {
+      for (size_t k = 0; k < unique.size(); ++k) {
+        if (reachable[k]) {
+          distance[k] = backend_->Distance(unique[k].first, unique[k].second);
+        }
+      }
+    }
+  }
+
+  response.reachable.resize(request.pairs.size());
+  if (request.want_distances) {
+    response.distances.resize(request.pairs.size());
+  }
+  for (size_t i = 0; i < request.pairs.size(); ++i) {
+    response.reachable[i] = reachable[slot[i]];
+    if (request.want_distances) response.distances[i] = distance[slot[i]];
+  }
+  return response;
+}
+
+Result<PathQueryResponse> QueryEngine::Query(
+    const PathQueryRequest& request) const {
+  HOPI_ASSIGN_OR_RETURN(query::PathExpression expr,
+                        query::PathExpression::Parse(request.expression));
+  PathQueryResponse response;
+  if (request.count_only) {
+    HOPI_ASSIGN_OR_RETURN(
+        response.count,
+        query::CountPathResults(expr, *backend_, *collection_, tags_));
+    return response;
+  }
+  query::PathQueryOptions options;
+  options.max_matches = request.max_matches;
+  options.max_step_distance = request.max_step_distance;
+  options.min_tag_similarity = request.min_tag_similarity;
+  if (similarity_) options.similarity = &*similarity_;
+  HOPI_ASSIGN_OR_RETURN(
+      response.matches,
+      query::EvaluatePath(expr, *backend_, *collection_, tags_, options));
+  response.count = response.matches.size();
+  return response;
+}
+
+}  // namespace hopi::engine

@@ -1,0 +1,172 @@
+// QueryEngine: the unified facade over the paper's access paths.
+//
+// Owns the glue a search engine needs around one ReachabilityBackend —
+// the collection, the tag inverted index, an optional tag-similarity
+// ontology, and a bounded LRU cache of hot LIN/LOUT label sets — and
+// exposes typed request/response structs so raw reachability, batched
+// reachability joins, and wildcard path queries all flow through one
+// entry point (paper Sec 5.1; ROADMAP items "batch reachability joins"
+// and "cache hot LIN/LOUT sets").
+//
+// The batch path dedupes repeated (u, v) probes across a request and
+// intersects label sets served from the LRU cache; per-call hit/miss
+// counters are surfaced in the response stats.
+//
+// A QueryEngine is single-threaded: the label cache mutates on reads.
+// Run one engine per serving thread (they can share the backend, which
+// is immutable).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "engine/backend.h"
+#include "engine/label_cache.h"
+#include "hopi/baseline.h"
+#include "hopi/index.h"
+#include "query/path_query.h"
+#include "query/similarity.h"
+#include "query/tag_index.h"
+#include "storage/linlout.h"
+#include "util/result.h"
+
+namespace hopi::engine {
+
+struct QueryEngineOptions {
+  /// Maximum label sets held by the hot-label LRU cache (LIN and LOUT
+  /// entries count separately).
+  size_t label_cache_capacity = 4096;
+  /// Ontology for ~tag path steps; approximate steps behave like exact
+  /// ones when unset.
+  std::optional<query::TagSimilarity> similarity;
+};
+
+// ---- typed requests / responses ----
+
+struct ReachabilityRequest {
+  NodeId source = 0;
+  NodeId target = 0;
+  /// Also compute the connection length (meaningful for distance-aware
+  /// backends; plain ones report 0 for connected pairs).
+  bool want_distance = false;
+};
+
+struct ReachabilityResponse {
+  bool reachable = false;
+  /// Set iff want_distance and the pair is connected.
+  std::optional<uint32_t> distance;
+};
+
+struct BatchRequest {
+  std::vector<NodePair> pairs;
+  bool want_distances = false;
+};
+
+struct BatchStats {
+  size_t probes = 0;           // pairs in the request
+  size_t unique_probes = 0;    // after in-batch dedup
+  size_t cache_hits = 0;       // label sets served from the LRU cache
+  size_t cache_misses = 0;     // label sets fetched from the backend
+  size_t labels_borrowed = 0;  // zero-copy label reads (in-memory covers)
+  size_t backend_probes = 0;   // direct probes (label-less backends only)
+};
+
+struct BatchResponse {
+  /// Parallel to BatchRequest::pairs (duplicates answered once,
+  /// scattered back to every occurrence).
+  std::vector<bool> reachable;
+  /// Parallel to pairs when want_distances; empty otherwise.
+  std::vector<std::optional<uint32_t>> distances;
+  BatchStats stats;
+};
+
+struct PathQueryRequest {
+  /// "//book//~author" — parsed with query::PathExpression::Parse.
+  std::string expression;
+  /// Maximum matches to materialize (ignored when count_only).
+  size_t max_matches = 1000;
+  /// Drop matches with a step distance above this (distance-aware
+  /// backends only).
+  uint32_t max_step_distance = UINT32_MAX;
+  /// Synonyms below this similarity are not expanded for ~tag steps.
+  double min_tag_similarity = 0.3;
+  /// Count distinct final-step elements instead of materializing
+  /// matches (the typical "find all results" engine call). Counting
+  /// always uses exact semantics: max_step_distance, min_tag_similarity
+  /// and the engine's ontology apply only to materializing queries
+  /// (matching the pre-facade CountPathResults contract).
+  bool count_only = false;
+};
+
+struct PathQueryResponse {
+  /// Ranked matches; empty when count_only.
+  std::vector<query::PathMatch> matches;
+  /// matches.size(), or the distinct final-step count when count_only.
+  size_t count = 0;
+};
+
+// ---- the facade ----
+
+class QueryEngine {
+ public:
+  /// Takes ownership of the backend; `collection` must outlive the
+  /// engine (the tag index is built here, so construction is O(n)).
+  QueryEngine(const collection::Collection& collection,
+              std::unique_ptr<ReachabilityBackend> backend,
+              QueryEngineOptions options = {});
+
+  // Convenience factories over the three standard access paths. The
+  // wrapped index/store/closure is NOT owned and must outlive the
+  // engine.
+  static QueryEngine ForIndex(const HopiIndex& index,
+                              QueryEngineOptions options = {});
+  static QueryEngine ForStore(const collection::Collection& collection,
+                              const storage::LinLoutStore& store,
+                              QueryEngineOptions options = {});
+  static QueryEngine ForClosure(const collection::Collection& collection,
+                                const TransitiveClosureIndex& closure,
+                                bool with_distance,
+                                QueryEngineOptions options = {});
+
+  /// Single reachability probe (bypasses the batch machinery).
+  ReachabilityResponse Reachability(const ReachabilityRequest& request) const;
+
+  /// Batched reachability: dedupes repeated pairs, serves label sets
+  /// from the LRU cache, reports per-call stats.
+  BatchResponse Batch(const BatchRequest& request) const;
+
+  /// Wildcard path query ("//a//~b//c") evaluated against the backend.
+  Result<PathQueryResponse> Query(const PathQueryRequest& request) const;
+
+  // Axis enumeration pass-throughs.
+  std::vector<NodeId> Descendants(NodeId u) const {
+    return backend_->Descendants(u);
+  }
+  std::vector<NodeId> Ancestors(NodeId u) const {
+    return backend_->Ancestors(u);
+  }
+
+  const ReachabilityBackend& backend() const { return *backend_; }
+  const collection::Collection& collection() const { return *collection_; }
+  const query::TagIndex& tags() const { return tags_; }
+  /// Lifetime counters of the hot-label cache (across all batches).
+  const LabelCache& label_cache() const { return cache_; }
+
+ private:
+  /// Label fetch through the cache; counts the outcome into `stats`.
+  const Label* FetchLabel(LabelCache::Side side, NodeId node,
+                          BatchStats* stats) const;
+
+  const collection::Collection* collection_;
+  std::unique_ptr<ReachabilityBackend> backend_;
+  query::TagIndex tags_;
+  std::optional<query::TagSimilarity> similarity_;
+  mutable LabelCache cache_;
+};
+
+}  // namespace hopi::engine

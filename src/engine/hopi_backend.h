@@ -1,0 +1,65 @@
+// HopiIndexBackend: the in-memory 2-hop cover as a ReachabilityBackend.
+//
+// Split out of engine/backends.h so the query module's deprecated
+// HopiIndex shims can construct it without pulling the storage and
+// baseline headers into their dependency surface.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "engine/backend.h"
+#include "hopi/index.h"
+
+namespace hopi::engine {
+
+/// Adapter over the in-memory HopiIndex (2-hop cover labels). Labels
+/// are borrowed straight from the cover — no copies, no cache needed.
+class HopiIndexBackend final : public ReachabilityBackend {
+ public:
+  explicit HopiIndexBackend(const HopiIndex& index) : index_(&index) {}
+
+  std::string_view Name() const override { return "hopi"; }
+  bool with_distance() const override { return index_->with_distance(); }
+
+  bool IsReachable(NodeId u, NodeId v) const override {
+    return index_->IsReachable(u, v);
+  }
+  std::optional<uint32_t> Distance(NodeId u, NodeId v) const override {
+    return index_->Distance(u, v);
+  }
+  std::vector<NodeId> Descendants(NodeId u) const override {
+    return index_->Descendants(u);
+  }
+  std::vector<NodeId> Ancestors(NodeId u) const override {
+    return index_->Ancestors(u);
+  }
+
+  bool HasLabels() const override { return true; }
+  Label OutLabel(NodeId u) const override {
+    const Label* label = BorrowOutLabel(u);
+    return label ? *label : Label{};
+  }
+  Label InLabel(NodeId v) const override {
+    const Label* label = BorrowInLabel(v);
+    return label ? *label : Label{};
+  }
+  const Label* BorrowOutLabel(NodeId u) const override {
+    const twohop::TwoHopCover& cover = index_->cover();
+    return u < cover.NumNodes() ? &cover.Out(u) : &kEmpty;
+  }
+  const Label* BorrowInLabel(NodeId v) const override {
+    const twohop::TwoHopCover& cover = index_->cover();
+    return v < cover.NumNodes() ? &cover.In(v) : &kEmpty;
+  }
+
+ private:
+  static const Label kEmpty;
+
+  const HopiIndex* index_;
+};
+
+inline const Label HopiIndexBackend::kEmpty{};
+
+}  // namespace hopi::engine

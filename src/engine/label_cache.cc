@@ -1,0 +1,44 @@
+#include "engine/label_cache.h"
+
+#include <utility>
+
+namespace hopi::engine {
+
+LabelCache::LabelCache(size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity) {}
+
+const Label* LabelCache::Get(Side side, NodeId node) {
+  auto it = map_.find(KeyFor(side, node));
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->label;
+}
+
+const Label* LabelCache::Put(Side side, NodeId node, Label label) {
+  uint64_t key = KeyFor(side, node);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->label = std::move(label);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->label;
+  }
+  if (map_.size() >= capacity_) {
+    ++evictions_;
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front({key, std::move(label)});
+  map_.emplace(key, lru_.begin());
+  return &lru_.front().label;
+}
+
+void LabelCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace hopi::engine

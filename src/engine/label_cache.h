@@ -1,0 +1,71 @@
+// Bounded LRU cache of hot LIN/LOUT label sets (ROADMAP: "cache hot
+// LIN/LOUT sets behind the storage layer").
+//
+// The QueryEngine batch path keys entries by (side, node): one entry per
+// cached LOUT(u) or LIN(v) label set. Repeated probes against the same
+// node — the common case in reachability joins, where one source is
+// tested against many targets — then skip the backend's label fetch
+// (a binary search over the table runs for LinLoutStore, a row copy for
+// the in-memory cover).
+//
+// Not thread-safe; callers serialize access (the facade documents this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "engine/backend.h"
+
+namespace hopi::engine {
+
+class LabelCache {
+ public:
+  /// Which label set of a node an entry caches.
+  enum class Side : uint8_t { kOut = 0, kIn = 1 };
+
+  /// `capacity` is the maximum number of cached label sets. Clamped to
+  /// at least 2 so a probe's LOUT fetch can never evict the LIN fetch of
+  /// the same pair (and vice versa).
+  explicit LabelCache(size_t capacity);
+
+  static uint64_t KeyFor(Side side, NodeId node) {
+    return (static_cast<uint64_t>(node) << 1) |
+           static_cast<uint64_t>(side);
+  }
+
+  /// Returns the cached label and marks it most-recently-used, or
+  /// nullptr on a miss. The pointer stays valid until the entry is
+  /// evicted (i.e. at least until `capacity - 1` further insertions).
+  const Label* Get(Side side, NodeId node);
+
+  /// Inserts (or overwrites) an entry, evicting the least-recently-used
+  /// one when full. Returns a pointer to the stored label.
+  const Label* Put(Side side, NodeId node, Label label);
+
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // ---- lifetime counters (across all batches served) ----
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    Label label;
+  };
+
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace hopi::engine

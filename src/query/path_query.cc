@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "engine/hopi_backend.h"
+
 namespace hopi::query {
 
 Result<PathExpression> PathExpression::Parse(const std::string& text) {
@@ -48,6 +50,8 @@ std::string PathExpression::ToString() const {
 
 namespace {
 
+using engine::ReachabilityBackend;
+
 /// One candidate element with its tag-similarity weight (1.0 unless the
 /// step is approximate and the element matched through a synonym).
 struct Candidate {
@@ -58,12 +62,11 @@ struct Candidate {
 /// Candidate elements for one step: tag lookup, synonym expansion for
 /// approximate steps, or every live element for the wildcard.
 std::vector<Candidate> StepCandidates(const PathStep& step,
-                                      const HopiIndex& index,
+                                      const collection::Collection& c,
                                       const TagIndex& tags,
                                       const PathQueryOptions& options) {
   std::vector<Candidate> out;
   if (step.tag == "*") {
-    const collection::Collection& c = *index.collection();
     for (NodeId e = 0; e < c.NumElements(); ++e) {
       collection::DocId d = c.DocOf(e);
       if (d != collection::kInvalidDoc && c.IsLive(d)) {
@@ -89,8 +92,9 @@ std::vector<Candidate> StepCandidates(const PathStep& step,
 
 /// Depth-first enumeration of bindings.
 void Enumerate(const std::vector<std::vector<Candidate>>& candidates,
-               const HopiIndex& index, const PathQueryOptions& options,
-               size_t step, std::vector<NodeId>* bindings, double tag_score,
+               const ReachabilityBackend& backend,
+               const PathQueryOptions& options, size_t step,
+               std::vector<NodeId>* bindings, double tag_score,
                std::vector<PathMatch>* out) {
   if (out->size() >= options.max_matches) return;
   if (step == candidates.size()) {
@@ -99,8 +103,8 @@ void Enumerate(const std::vector<std::vector<Candidate>>& candidates,
     match.score = tag_score;
     for (size_t i = 1; i < bindings->size(); ++i) {
       uint32_t d = 0;
-      if (index.with_distance()) {
-        auto dist = index.Distance((*bindings)[i - 1], (*bindings)[i]);
+      if (backend.with_distance()) {
+        auto dist = backend.Distance((*bindings)[i - 1], (*bindings)[i]);
         d = dist ? *dist : 0;
       }
       match.total_distance += d;
@@ -112,16 +116,17 @@ void Enumerate(const std::vector<std::vector<Candidate>>& candidates,
   for (const Candidate& cand : candidates[step]) {
     if (step > 0) {
       NodeId prev = bindings->back();
-      if (prev == cand.element || !index.IsReachable(prev, cand.element)) {
+      if (prev == cand.element || !backend.IsReachable(prev, cand.element)) {
         continue;
       }
-      if (options.max_step_distance != UINT32_MAX && index.with_distance()) {
-        auto d = index.Distance(prev, cand.element);
+      if (options.max_step_distance != UINT32_MAX &&
+          backend.with_distance()) {
+        auto d = backend.Distance(prev, cand.element);
         if (!d || *d > options.max_step_distance) continue;
       }
     }
     bindings->push_back(cand.element);
-    Enumerate(candidates, index, options, step + 1, bindings,
+    Enumerate(candidates, backend, options, step + 1, bindings,
               tag_score * cand.tag_score, out);
     bindings->pop_back();
     if (out->size() >= options.max_matches) return;
@@ -130,22 +135,22 @@ void Enumerate(const std::vector<std::vector<Candidate>>& candidates,
 
 }  // namespace
 
-Result<std::vector<PathMatch>> EvaluatePath(const PathExpression& expr,
-                                            const HopiIndex& index,
-                                            const TagIndex& tags,
-                                            const PathQueryOptions& options) {
+Result<std::vector<PathMatch>> EvaluatePath(
+    const PathExpression& expr, const engine::ReachabilityBackend& backend,
+    const collection::Collection& collection, const TagIndex& tags,
+    const PathQueryOptions& options) {
   if (expr.steps.empty()) {
     return Status::InvalidArgument("empty path expression");
   }
   std::vector<std::vector<Candidate>> candidates;
   candidates.reserve(expr.steps.size());
   for (const PathStep& step : expr.steps) {
-    candidates.push_back(StepCandidates(step, index, tags, options));
+    candidates.push_back(StepCandidates(step, collection, tags, options));
     if (candidates.back().empty()) return std::vector<PathMatch>{};
   }
   std::vector<PathMatch> matches;
   std::vector<NodeId> bindings;
-  Enumerate(candidates, index, options, 0, &bindings, 1.0, &matches);
+  Enumerate(candidates, backend, options, 0, &bindings, 1.0, &matches);
   std::stable_sort(matches.begin(), matches.end(),
                    [](const PathMatch& a, const PathMatch& b) {
                      return a.score > b.score;
@@ -154,7 +159,9 @@ Result<std::vector<PathMatch>> EvaluatePath(const PathExpression& expr,
 }
 
 Result<size_t> CountPathResults(const PathExpression& expr,
-                                const HopiIndex& index, const TagIndex& tags) {
+                                const engine::ReachabilityBackend& backend,
+                                const collection::Collection& collection,
+                                const TagIndex& tags) {
   if (expr.steps.empty()) {
     return Status::InvalidArgument("empty path expression");
   }
@@ -162,14 +169,14 @@ Result<size_t> CountPathResults(const PathExpression& expr,
   // Forward filtering: keep, per step, the candidates reachable from some
   // survivor of the previous step. Set-based, no enumeration blowup.
   std::vector<Candidate> frontier =
-      StepCandidates(expr.steps.front(), index, tags, options);
+      StepCandidates(expr.steps.front(), collection, tags, options);
   for (size_t s = 1; s < expr.steps.size() && !frontier.empty(); ++s) {
     std::vector<Candidate> next_candidates =
-        StepCandidates(expr.steps[s], index, tags, options);
+        StepCandidates(expr.steps[s], collection, tags, options);
     // Union of descendants of the frontier, then intersect.
     std::set<NodeId> reachable;
     for (const Candidate& f : frontier) {
-      for (NodeId d : index.Descendants(f.element)) reachable.insert(d);
+      for (NodeId d : backend.Descendants(f.element)) reachable.insert(d);
     }
     std::vector<Candidate> survivors;
     for (const Candidate& c : next_candidates) {
@@ -178,6 +185,20 @@ Result<size_t> CountPathResults(const PathExpression& expr,
     frontier = std::move(survivors);
   }
   return frontier.size();
+}
+
+Result<std::vector<PathMatch>> EvaluatePath(const PathExpression& expr,
+                                            const HopiIndex& index,
+                                            const TagIndex& tags,
+                                            const PathQueryOptions& options) {
+  engine::HopiIndexBackend backend(index);
+  return EvaluatePath(expr, backend, *index.collection(), tags, options);
+}
+
+Result<size_t> CountPathResults(const PathExpression& expr,
+                                const HopiIndex& index, const TagIndex& tags) {
+  engine::HopiIndexBackend backend(index);
+  return CountPathResults(expr, backend, *index.collection(), tags);
 }
 
 }  // namespace hopi::query

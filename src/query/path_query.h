@@ -1,4 +1,4 @@
-// Wildcard path expressions over the HOPI index.
+// Wildcard path expressions over a pluggable reachability backend.
 //
 // Supports the paper's motivating query class: XPath-style descendant
 // chains with wildcards across documents and links, e.g.
@@ -7,6 +7,12 @@
 // element-level graph, i.e. tree edges AND links); `*` matches any tag.
 // Results can be ranked by connection length, the XXL-style scoring the
 // distance-aware index exists for (paper Sec 5.1).
+//
+// Evaluation runs against the engine::ReachabilityBackend interface, so
+// the same query executes over the in-memory HOPI labels, the LIN/LOUT
+// tables, or the materialized-closure baseline (engine/backends.h).
+// Most callers should go through the engine::QueryEngine facade rather
+// than calling these free functions directly.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "collection/collection.h"
+#include "engine/backend.h"
 #include "hopi/index.h"
 #include "query/similarity.h"
 #include "query/tag_index.h"
@@ -46,7 +54,7 @@ struct PathExpression {
 struct PathMatch {
   std::vector<NodeId> bindings;  // one element per step
   /// Sum of connection lengths between consecutive bindings (only
-  /// meaningful with a distance-aware index; 0 otherwise).
+  /// meaningful with a distance-aware backend; 0 otherwise).
   uint32_t total_distance = 0;
   /// XXL-style score: product over consecutive pairs of 1/(1+dist),
   /// additionally multiplied by the tag similarity of every approximate
@@ -67,15 +75,31 @@ struct PathQueryOptions {
   double min_tag_similarity = 0.3;
 };
 
-/// Evaluates `expr` and returns matches sorted by descending score
-/// (insertion order for plain indexes).
-Result<std::vector<PathMatch>> EvaluatePath(const PathExpression& expr,
-                                            const HopiIndex& index,
-                                            const TagIndex& tags,
-                                            const PathQueryOptions& options = {});
+/// Evaluates `expr` against a reachability backend and returns matches
+/// sorted by descending score (insertion order for plain backends).
+/// `collection` supplies the live-element universe for wildcard steps.
+Result<std::vector<PathMatch>> EvaluatePath(
+    const PathExpression& expr, const engine::ReachabilityBackend& backend,
+    const collection::Collection& collection, const TagIndex& tags,
+    const PathQueryOptions& options = {});
 
 /// Counts distinct elements matching the final step (cheaper than
 /// materializing matches; the typical "find all results" engine call).
+Result<size_t> CountPathResults(const PathExpression& expr,
+                                const engine::ReachabilityBackend& backend,
+                                const collection::Collection& collection,
+                                const TagIndex& tags);
+
+// ---- deprecated shims ----
+//
+// Pre-facade overloads hard-wired to HopiIndex. They wrap the index in a
+// HopiIndexBackend and forward; prefer the backend overloads (or the
+// QueryEngine facade) in new code.
+
+Result<std::vector<PathMatch>> EvaluatePath(
+    const PathExpression& expr, const HopiIndex& index, const TagIndex& tags,
+    const PathQueryOptions& options = {});
+
 Result<size_t> CountPathResults(const PathExpression& expr,
                                 const HopiIndex& index, const TagIndex& tags);
 

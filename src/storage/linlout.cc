@@ -8,7 +8,19 @@ namespace hopi::storage {
 
 namespace {
 
-constexpr char kMagic[8] = {'H', 'O', 'P', 'I', 'L', 'L', '0', '1'};
+// On-disk layout: a versioned header followed by the two forward runs.
+//   magic   "HOPI"                  (4 bytes)
+//   version uint32                  (kFormatVersion)
+//   flags   uint32                  (kFlagDistance when the DIST column
+//                                    is meaningful; other bits reserved)
+//   counts  2 x uint64              (lin rows, lout rows)
+//   rows    3 x uint32 per row      (id, center, dist)
+// Format v1 packed the version into an 8-byte magic ("HOPILL01"); its
+// files now fail with a clear version error instead of being misread.
+constexpr char kMagic[4] = {'H', 'O', 'P', 'I'};
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kFlagDistance = 1u << 0;
+constexpr uint32_t kKnownFlags = kFlagDistance;
 
 bool ByIdCenter(const TableRow& a, const TableRow& b) {
   return a.id != b.id ? a.id < b.id : a.center < b.center;
@@ -83,58 +95,26 @@ twohop::TwoHopCover LinLoutStore::ToCover(size_t num_nodes) const {
 
 bool LinLoutStore::TestConnection(NodeId id1, NodeId id2) const {
   if (id1 == id2) return true;
+  // The main SQL — merge-join LOUT(id1) with LIN(id2) on the center —
+  // plus the "simple additional queries" for the omitted self entries,
+  // both via the shared 2-hop join over the table ranges.
   auto [ol, oh] = ForwardRange(lout_fwd_, id1);
   auto [il, ih] = ForwardRange(lin_fwd_, id2);
-  // The main SQL: merge-join LOUT(id1) with LIN(id2) on the center.
-  size_t i = ol, j = il;
-  while (i < oh && j < ih) {
-    if (lout_fwd_[i].center < lin_fwd_[j].center) {
-      ++i;
-    } else if (lout_fwd_[i].center > lin_fwd_[j].center) {
-      ++j;
-    } else {
-      return true;
-    }
-  }
-  // The "simple additional queries" for the omitted self entries:
-  // center == id1 (needs id1 in LIN(id2)) or center == id2 (in LOUT(id1)).
-  for (size_t k = il; k < ih; ++k) {
-    if (lin_fwd_[k].center == id1) return true;
-  }
-  for (size_t k = ol; k < oh; ++k) {
-    if (lout_fwd_[k].center == id2) return true;
-  }
-  return false;
+  return twohop::JoinLabelRanges(id1, id2, lout_fwd_.data() + ol, oh - ol,
+                                 lin_fwd_.data() + il, ih - il,
+                                 /*want_distance=*/false)
+      .connected;
 }
 
 std::optional<uint32_t> LinLoutStore::MinDistance(NodeId id1,
                                                   NodeId id2) const {
   if (id1 == id2) return 0;
-  std::optional<uint32_t> best;
-  auto consider = [&best](uint32_t d) {
-    if (!best || d < *best) best = d;
-  };
   auto [ol, oh] = ForwardRange(lout_fwd_, id1);
   auto [il, ih] = ForwardRange(lin_fwd_, id2);
-  size_t i = ol, j = il;
-  while (i < oh && j < ih) {
-    if (lout_fwd_[i].center < lin_fwd_[j].center) {
-      ++i;
-    } else if (lout_fwd_[i].center > lin_fwd_[j].center) {
-      ++j;
-    } else {
-      consider(lout_fwd_[i].dist + lin_fwd_[j].dist);
-      ++i;
-      ++j;
-    }
-  }
-  for (size_t k = il; k < ih; ++k) {
-    if (lin_fwd_[k].center == id1) consider(lin_fwd_[k].dist);
-  }
-  for (size_t k = ol; k < oh; ++k) {
-    if (lout_fwd_[k].center == id2) consider(lout_fwd_[k].dist);
-  }
-  return best;
+  return twohop::JoinLabelRanges(id1, id2, lout_fwd_.data() + ol, oh - ol,
+                                 lin_fwd_.data() + il, ih - il,
+                                 /*want_distance=*/true)
+      .distance;
 }
 
 std::vector<NodeId> LinLoutStore::Descendants(NodeId id) const {
@@ -184,6 +164,29 @@ std::vector<TableRow> LinLoutStore::ScanLout(NodeId id) const {
   return {lout_fwd_.begin() + lo, lout_fwd_.begin() + hi};
 }
 
+namespace {
+void RowsToLabel(const std::vector<TableRow>& run, size_t lo, size_t hi,
+                 std::vector<twohop::LabelEntry>* out) {
+  out->clear();
+  out->reserve(hi - lo);
+  for (size_t k = lo; k < hi; ++k) {
+    out->push_back({run[k].center, run[k].dist});
+  }
+}
+}  // namespace
+
+void LinLoutStore::LinLabel(NodeId id,
+                            std::vector<twohop::LabelEntry>* out) const {
+  auto [lo, hi] = ForwardRange(lin_fwd_, id);
+  RowsToLabel(lin_fwd_, lo, hi, out);
+}
+
+void LinLoutStore::LoutLabel(NodeId id,
+                             std::vector<twohop::LabelEntry>* out) const {
+  auto [lo, hi] = ForwardRange(lout_fwd_, id);
+  RowsToLabel(lout_fwd_, lo, hi, out);
+}
+
 uint64_t LinLoutStore::StorageIntegers() const {
   uint64_t per_row = 2 + (with_distance_ ? 1 : 0);
   // Forward table + backward index.
@@ -193,11 +196,15 @@ uint64_t LinLoutStore::StorageIntegers() const {
 Status LinLoutStore::WriteToFile(const std::string& path) const {
   FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
+  auto write_u32 = [f](uint32_t v) {
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+  };
   auto write_u64 = [f](uint64_t v) {
     return std::fwrite(&v, sizeof(v), 1, f) == 1;
   };
   bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
-  ok = ok && write_u64(with_distance_ ? 1 : 0);
+  ok = ok && write_u32(kFormatVersion);
+  ok = ok && write_u32(with_distance_ ? kFlagDistance : 0);
   ok = ok && write_u64(lin_fwd_.size()) && write_u64(lout_fwd_.size());
   auto write_run = [f, &ok](const std::vector<TableRow>& run) {
     for (const TableRow& r : run) {
@@ -219,18 +226,61 @@ Result<LinLoutStore> LinLoutStore::ReadFromFile(const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   LinLoutStore store;
-  char magic[8];
-  uint64_t header[3];
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t counts[2];
   if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     std::fclose(f);
-    return Status::Corruption("bad magic in " + path);
+    return Status::Corruption("not a HOPI LIN/LOUT file (bad magic): " +
+                              path);
   }
-  if (std::fread(header, sizeof(header), 1, f) != 1) {
+  if (std::fread(&version, sizeof(version), 1, f) != 1 ||
+      std::fread(&flags, sizeof(flags), 1, f) != 1) {
     std::fclose(f);
     return Status::Corruption("truncated header in " + path);
   }
-  store.with_distance_ = header[0] != 0;
+  if (version != kFormatVersion) {
+    std::fclose(f);
+    return Status::Unsupported(
+        "LIN/LOUT file " + path + " has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kFormatVersion) +
+        " — rebuild the store from the cover");
+  }
+  if ((flags & ~kKnownFlags) != 0) {
+    std::fclose(f);
+    return Status::Corruption("unknown header flags in " + path);
+  }
+  if (std::fread(counts, sizeof(counts), 1, f) != 1) {
+    std::fclose(f);
+    return Status::Corruption("truncated header in " + path);
+  }
+  // Validate the (untrusted) row counts against the actual file size
+  // before reserving memory for them: a corrupt counts field must fail
+  // with a Status, not a bad_alloc. (long positions are 64-bit on the
+  // POSIX platforms this project targets.)
+  long data_start = std::ftell(f);
+  std::fseek(f, 0, SEEK_END);
+  long file_end = std::ftell(f);
+  if (data_start < 0 || file_end < 0 ||
+      std::fseek(f, data_start, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot determine size of " + path);
+  }
+  uint64_t remaining =
+      file_end >= data_start ? static_cast<uint64_t>(file_end - data_start)
+                             : 0;
+  constexpr uint64_t kRowBytes = 3 * sizeof(uint32_t);
+  if (counts[0] > remaining / kRowBytes ||
+      counts[1] > remaining / kRowBytes ||
+      (counts[0] + counts[1]) * kRowBytes != remaining) {
+    std::fclose(f);
+    return Status::Corruption("row counts inconsistent with file size in " +
+                              path);
+  }
+  store.with_distance_ = (flags & kFlagDistance) != 0;
   auto read_run = [f](std::vector<TableRow>* run, uint64_t count) {
     run->reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
@@ -240,8 +290,8 @@ Result<LinLoutStore> LinLoutStore::ReadFromFile(const std::string& path) {
     }
     return true;
   };
-  bool ok = read_run(&store.lin_fwd_, header[1]) &&
-            read_run(&store.lout_fwd_, header[2]);
+  bool ok = read_run(&store.lin_fwd_, counts[0]) &&
+            read_run(&store.lout_fwd_, counts[1]);
   std::fclose(f);
   if (!ok) return Status::Corruption("truncated rows in " + path);
   if (!std::is_sorted(store.lin_fwd_.begin(), store.lin_fwd_.end(),

@@ -67,6 +67,11 @@ class LinLoutStore {
   std::vector<TableRow> ScanLin(NodeId id) const;
   std::vector<TableRow> ScanLout(NodeId id) const;
 
+  /// Forward range scans exported as 2-hop label entries, filling
+  /// `out` in one pass — the QueryEngine label-cache fill path.
+  void LinLabel(NodeId id, std::vector<twohop::LabelEntry>* out) const;
+  void LoutLabel(NodeId id, std::vector<twohop::LabelEntry>* out) const;
+
   // ---- storage accounting (Sec 7.2) ----
 
   /// Total label entries (|L| — rows across LIN and LOUT).
@@ -80,6 +85,11 @@ class LinLoutStore {
   bool with_distance() const { return with_distance_; }
 
   // ---- persistence ----
+  //
+  // Files carry a versioned header (magic "HOPI" + format version +
+  // flags, see linlout.cc). Stale-version files fail with Unsupported;
+  // foreign or truncated files fail with Corruption — never garbage
+  // rows.
 
   Status WriteToFile(const std::string& path) const;
   static Result<LinLoutStore> ReadFromFile(const std::string& path);

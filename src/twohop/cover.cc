@@ -46,67 +46,22 @@ bool TwoHopCover::AddOut(NodeId u, NodeId center, uint32_t dist) {
   return false;
 }
 
+LabelJoinResult JoinLabels(NodeId u, NodeId v,
+                           const std::vector<LabelEntry>& lout,
+                           const std::vector<LabelEntry>& lin,
+                           bool want_distance) {
+  return JoinLabelRanges(u, v, lout.data(), lout.size(), lin.data(),
+                         lin.size(), want_distance);
+}
+
 bool TwoHopCover::IsConnected(NodeId u, NodeId v) const {
   if (u == v) return true;
-  const auto& lout = out_[u];
-  const auto& lin = in_[v];
-  // Implicit self entries: u ∈ Lout(u), v ∈ Lin(v).
-  // Center u: requires u ∈ Lin(v). Center v: requires v ∈ Lout(u).
-  auto contains = [](const std::vector<LabelEntry>& label, NodeId c) {
-    auto it = std::lower_bound(label.begin(), label.end(), c,
-                               [](const LabelEntry& e, NodeId cc) {
-                                 return e.center < cc;
-                               });
-    return it != label.end() && it->center == c;
-  };
-  if (contains(lin, u) || contains(lout, v)) return true;
-  // Merge-intersect the explicit label sets.
-  size_t i = 0, j = 0;
-  while (i < lout.size() && j < lin.size()) {
-    if (lout[i].center < lin[j].center) {
-      ++i;
-    } else if (lout[i].center > lin[j].center) {
-      ++j;
-    } else {
-      return true;
-    }
-  }
-  return false;
+  return JoinLabels(u, v, out_[u], in_[v], /*want_distance=*/false).connected;
 }
 
 std::optional<uint32_t> TwoHopCover::Distance(NodeId u, NodeId v) const {
   if (u == v) return 0;
-  const auto& lout = out_[u];
-  const auto& lin = in_[v];
-  std::optional<uint32_t> best;
-  auto consider = [&best](uint32_t d) {
-    if (!best || d < *best) best = d;
-  };
-  auto find = [](const std::vector<LabelEntry>& label,
-                 NodeId c) -> const LabelEntry* {
-    auto it = std::lower_bound(label.begin(), label.end(), c,
-                               [](const LabelEntry& e, NodeId cc) {
-                                 return e.center < cc;
-                               });
-    return it != label.end() && it->center == c ? &*it : nullptr;
-  };
-  // Center u (implicit in Lout(u) at distance 0).
-  if (const LabelEntry* e = find(lin, u)) consider(e->dist);
-  // Center v (implicit in Lin(v) at distance 0).
-  if (const LabelEntry* e = find(lout, v)) consider(e->dist);
-  size_t i = 0, j = 0;
-  while (i < lout.size() && j < lin.size()) {
-    if (lout[i].center < lin[j].center) {
-      ++i;
-    } else if (lout[i].center > lin[j].center) {
-      ++j;
-    } else {
-      consider(lout[i].dist + lin[j].dist);
-      ++i;
-      ++j;
-    }
-  }
-  return best;
+  return JoinLabels(u, v, out_[u], in_[v], /*want_distance=*/true).distance;
 }
 
 void TwoHopCover::UnionWith(const TwoHopCover& other) {

@@ -10,6 +10,7 @@
 // (Sec 5); plain covers simply keep dist == 0.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -29,6 +30,72 @@ struct LabelEntry {
     return a.center == b.center && a.dist == b.dist;
   }
 };
+
+/// Result of joining one Lout label with one Lin label.
+struct LabelJoinResult {
+  bool connected = false;
+  /// Minimum connection length implied by the labels; only computed
+  /// when requested, nullopt when not connected.
+  std::optional<uint32_t> distance;
+};
+
+/// The core 2-hop join under the implicit-self-entry rule (Sec 3.4):
+/// (u, v) with u != v is connected when Lout(u) and Lin(v) share a
+/// center, u appears as a center in Lin(v), or v appears as a center in
+/// Lout(u). Both ranges must be sorted by center id. This is the single
+/// definition of the join, shared by TwoHopCover queries, the LinLout
+/// table scans (Entry = storage::TableRow), and the QueryEngine batch
+/// path; callers handle the reflexive u == v case themselves.
+/// `Entry` needs `.center` (NodeId) and `.dist` (uint32_t) fields.
+template <typename Entry>
+LabelJoinResult JoinLabelRanges(NodeId u, NodeId v, const Entry* lout,
+                                size_t lout_n, const Entry* lin, size_t lin_n,
+                                bool want_distance) {
+  LabelJoinResult result;
+  auto consider = [&result](uint32_t d) {
+    if (!result.distance || d < *result.distance) result.distance = d;
+  };
+  auto find = [](const Entry* entries, size_t n, NodeId c) -> const Entry* {
+    const Entry* it = std::lower_bound(
+        entries, entries + n, c,
+        [](const Entry& e, NodeId cc) { return e.center < cc; });
+    return it != entries + n && it->center == c ? it : nullptr;
+  };
+  // Implicit self entries: u ∈ Lout(u) at distance 0 (center u requires
+  // u ∈ Lin(v)), v ∈ Lin(v) at distance 0 (center v requires
+  // v ∈ Lout(u)).
+  if (const Entry* e = find(lin, lin_n, u)) {
+    result.connected = true;
+    if (want_distance) consider(e->dist);
+  }
+  if (const Entry* e = find(lout, lout_n, v)) {
+    result.connected = true;
+    if (want_distance) consider(e->dist);
+  }
+  if (result.connected && !want_distance) return result;
+  // Merge-intersect the explicit label sets.
+  size_t i = 0, j = 0;
+  while (i < lout_n && j < lin_n) {
+    if (lout[i].center < lin[j].center) {
+      ++i;
+    } else if (lout[i].center > lin[j].center) {
+      ++j;
+    } else {
+      result.connected = true;
+      if (!want_distance) return result;
+      consider(lout[i].dist + lin[j].dist);
+      ++i;
+      ++j;
+    }
+  }
+  return result;
+}
+
+/// JoinLabelRanges over whole LabelEntry label sets.
+LabelJoinResult JoinLabels(NodeId u, NodeId v,
+                           const std::vector<LabelEntry>& lout,
+                           const std::vector<LabelEntry>& lin,
+                           bool want_distance);
 
 /// A two-hop cover: Lin/Lout label sets for every node in [0, NumNodes).
 class TwoHopCover {

@@ -11,8 +11,10 @@ namespace hopi {
 
 /// Holds either a successfully produced T or the Status explaining why the
 /// T could not be produced. A Result never holds an OK status.
+/// [[nodiscard]] like Status: discarding a Result drops both the value
+/// and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value — enables `return value;` in Result-returning code.
   Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -30,7 +30,9 @@ const char* StatusCodeName(StatusCode code);
 
 /// Value-semantic status object. Cheap to copy in the OK case (empty
 /// message), and small enough to return by value everywhere.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures — callers
+/// must check (or explicitly cast to void with a reason).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/backends.h"
+#include "engine/engine.h"
+#include "engine/label_cache.h"
+#include "hopi/build.h"
+#include "query/path_query.h"
+#include "test_util.h"
+
+namespace hopi::engine {
+namespace {
+
+using collection::Collection;
+
+/// One distance-aware index over a small DBLP-like collection, exposed
+/// through all three backends.
+class BackendParityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    c_ = hopi::testing::SmallDblp(40, 5);
+    IndexBuildOptions options;
+    options.with_distance = true;
+    auto index = BuildIndex(&c_, options);
+    ASSERT_TRUE(index.ok()) << index.status();
+    index_ = std::make_unique<HopiIndex>(std::move(index).value());
+    store_ = std::make_unique<storage::LinLoutStore>(
+        storage::LinLoutStore::FromCover(index_->cover(), true));
+    closure_ = std::make_unique<TransitiveClosureIndex>(
+        TransitiveClosureIndex::Build(c_.ElementGraph(), true));
+    backends_.push_back(std::make_unique<HopiIndexBackend>(*index_));
+    backends_.push_back(std::make_unique<LinLoutBackend>(*store_));
+    backends_.push_back(std::make_unique<ClosureBackend>(*closure_, true));
+  }
+
+  Collection c_;
+  std::unique_ptr<HopiIndex> index_;
+  std::unique_ptr<storage::LinLoutStore> store_;
+  std::unique_ptr<TransitiveClosureIndex> closure_;
+  std::vector<std::unique_ptr<ReachabilityBackend>> backends_;
+};
+
+TEST_F(BackendParityFixture, ReachabilityAndDistanceAgree) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(c_.NumElements()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(c_.NumElements()));
+    bool expect_reach = backends_[0]->IsReachable(u, v);
+    auto expect_dist = backends_[0]->Distance(u, v);
+    for (size_t b = 1; b < backends_.size(); ++b) {
+      EXPECT_EQ(backends_[b]->IsReachable(u, v), expect_reach)
+          << backends_[b]->Name() << " " << u << "->" << v;
+      EXPECT_EQ(backends_[b]->Distance(u, v), expect_dist)
+          << backends_[b]->Name() << " " << u << "->" << v;
+    }
+  }
+}
+
+TEST_F(BackendParityFixture, AxisEnumerationAgrees) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(c_.NumElements()));
+    auto expect_desc = backends_[0]->Descendants(u);
+    auto expect_anc = backends_[0]->Ancestors(u);
+    for (size_t b = 1; b < backends_.size(); ++b) {
+      EXPECT_EQ(backends_[b]->Descendants(u), expect_desc)
+          << backends_[b]->Name() << " node " << u;
+      EXPECT_EQ(backends_[b]->Ancestors(u), expect_anc)
+          << backends_[b]->Name() << " node " << u;
+    }
+  }
+}
+
+TEST_F(BackendParityFixture, DefaultTestConnectionsMatchesScalar) {
+  Rng rng(17);
+  std::vector<NodePair> pairs;
+  for (int i = 0; i < 200; ++i) {
+    pairs.push_back({static_cast<NodeId>(rng.NextBounded(c_.NumElements())),
+                     static_cast<NodeId>(rng.NextBounded(c_.NumElements()))});
+  }
+  for (const auto& backend : backends_) {
+    std::vector<bool> bulk = backend->TestConnections(pairs);
+    ASSERT_EQ(bulk.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(bulk[i],
+                backend->IsReachable(pairs[i].first, pairs[i].second));
+    }
+  }
+}
+
+TEST_F(BackendParityFixture, PathQueryParityAcrossBackends) {
+  query::TagIndex tags(c_);
+  for (const char* q : {"//inproceedings//cite//title",
+                        "//inproceedings//author", "//abstract//sentence"}) {
+    auto expr = query::PathExpression::Parse(q);
+    ASSERT_TRUE(expr.ok());
+    auto expect = query::EvaluatePath(*expr, *backends_[0], c_, tags);
+    ASSERT_TRUE(expect.ok());
+    auto expect_count = query::CountPathResults(*expr, *backends_[0], c_, tags);
+    ASSERT_TRUE(expect_count.ok());
+    for (size_t b = 1; b < backends_.size(); ++b) {
+      auto matches = query::EvaluatePath(*expr, *backends_[b], c_, tags);
+      ASSERT_TRUE(matches.ok());
+      ASSERT_EQ(matches->size(), expect->size()) << backends_[b]->Name();
+      for (size_t i = 0; i < matches->size(); ++i) {
+        EXPECT_EQ((*matches)[i].bindings, (*expect)[i].bindings)
+            << backends_[b]->Name() << " " << q << " match " << i;
+        EXPECT_EQ((*matches)[i].total_distance, (*expect)[i].total_distance);
+        EXPECT_DOUBLE_EQ((*matches)[i].score, (*expect)[i].score);
+      }
+      auto count = query::CountPathResults(*expr, *backends_[b], c_, tags);
+      ASSERT_TRUE(count.ok());
+      EXPECT_EQ(*count, *expect_count) << backends_[b]->Name() << " " << q;
+    }
+  }
+}
+
+TEST_F(BackendParityFixture, DeprecatedShimMatchesBackendOverload) {
+  query::TagIndex tags(c_);
+  auto expr = query::PathExpression::Parse("//inproceedings//cite");
+  ASSERT_TRUE(expr.ok());
+  auto via_shim = query::EvaluatePath(*expr, *index_, tags);
+  auto via_backend = query::EvaluatePath(*expr, *backends_[0], c_, tags);
+  ASSERT_TRUE(via_shim.ok() && via_backend.ok());
+  ASSERT_EQ(via_shim->size(), via_backend->size());
+  for (size_t i = 0; i < via_shim->size(); ++i) {
+    EXPECT_EQ((*via_shim)[i].bindings, (*via_backend)[i].bindings);
+  }
+  auto count_shim = query::CountPathResults(*expr, *index_, tags);
+  auto count_backend = query::CountPathResults(*expr, *backends_[0], c_, tags);
+  ASSERT_TRUE(count_shim.ok() && count_backend.ok());
+  EXPECT_EQ(*count_shim, *count_backend);
+}
+
+// ---- the facade ----
+
+class QueryEngineFixture : public BackendParityFixture {
+ protected:
+  void SetUp() override {
+    BackendParityFixture::SetUp();
+    engines_.push_back(
+        std::make_unique<QueryEngine>(QueryEngine::ForIndex(*index_)));
+    engines_.push_back(
+        std::make_unique<QueryEngine>(QueryEngine::ForStore(c_, *store_)));
+    engines_.push_back(std::make_unique<QueryEngine>(
+        QueryEngine::ForClosure(c_, *closure_, true)));
+  }
+
+  std::vector<NodePair> RandomPairs(size_t n, uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<NodePair> pairs;
+    for (size_t i = 0; i < n; ++i) {
+      pairs.push_back(
+          {static_cast<NodeId>(rng.NextBounded(c_.NumElements())),
+           static_cast<NodeId>(rng.NextBounded(c_.NumElements()))});
+    }
+    return pairs;
+  }
+
+  std::vector<std::unique_ptr<QueryEngine>> engines_;
+};
+
+TEST_F(QueryEngineFixture, ScalarReachabilityMatchesBackend) {
+  for (const auto& engine : engines_) {
+    ReachabilityResponse r =
+        engine->Reachability({.source = 0, .target = 1, .want_distance = true});
+    EXPECT_EQ(r.reachable, engine->backend().IsReachable(0, 1));
+    if (r.reachable) {
+      EXPECT_EQ(r.distance, engine->backend().Distance(0, 1));
+    }
+  }
+}
+
+TEST_F(QueryEngineFixture, BatchMatchesScalarAcrossAllBackends) {
+  std::vector<NodePair> pairs = RandomPairs(300, 19);
+  // Append duplicates and reflexive probes.
+  for (size_t i = 0; i < 100; ++i) pairs.push_back(pairs[i]);
+  pairs.push_back({7, 7});
+  for (const auto& engine : engines_) {
+    BatchResponse r = engine->Batch({.pairs = pairs, .want_distances = true});
+    ASSERT_EQ(r.reachable.size(), pairs.size());
+    ASSERT_EQ(r.distances.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      auto [u, v] = pairs[i];
+      EXPECT_EQ(r.reachable[i], engine->backend().IsReachable(u, v))
+          << engine->backend().Name() << " " << u << "->" << v;
+      EXPECT_EQ(r.distances[i], engine->backend().Distance(u, v))
+          << engine->backend().Name() << " " << u << "->" << v;
+    }
+  }
+}
+
+TEST_F(QueryEngineFixture, BatchDedupesRepeatedProbes) {
+  QueryEngine& engine = *engines_[1];  // LIN/LOUT store backend
+  std::vector<NodePair> pairs;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (NodeId v = 0; v < 20; ++v) pairs.push_back({0, v});
+  }
+  BatchResponse r = engine.Batch({.pairs = pairs});
+  EXPECT_EQ(r.stats.probes, 200u);
+  EXPECT_EQ(r.stats.unique_probes, 20u);
+  // Two label fetches per distinct non-reflexive pair (the (0,0) probe
+  // needs no labels): LOUT(0) misses once and hits 18 times, each of
+  // the 19 LIN(v) sets misses once.
+  EXPECT_EQ(r.stats.cache_hits + r.stats.cache_misses, 2u * 19u);
+  EXPECT_EQ(r.stats.cache_hits, 18u);  // LOUT(0) reused within the batch
+  EXPECT_EQ(r.stats.backend_probes, 0u);
+}
+
+TEST_F(QueryEngineFixture, HopiBackendBorrowsLabelsZeroCopy) {
+  QueryEngine& engine = *engines_[0];  // in-memory cover backend
+  std::vector<NodePair> pairs;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (NodeId v = 0; v < 20; ++v) pairs.push_back({0, v});
+  }
+  BatchResponse r = engine.Batch({.pairs = pairs});
+  EXPECT_EQ(r.stats.unique_probes, 20u);
+  // In-memory labels are borrowed straight from the cover: no cache
+  // traffic, no backend probes, two borrows per non-reflexive pair.
+  EXPECT_EQ(r.stats.labels_borrowed, 2u * 19u);
+  EXPECT_EQ(r.stats.cache_hits + r.stats.cache_misses, 0u);
+  EXPECT_EQ(r.stats.backend_probes, 0u);
+}
+
+TEST_F(QueryEngineFixture, RepeatedBatchServedFromLabelCache) {
+  QueryEngine& engine = *engines_[1];  // LIN/LOUT store backend
+  std::vector<NodePair> pairs = RandomPairs(100, 23);
+  BatchResponse first = engine.Batch({.pairs = pairs});
+  EXPECT_GT(first.stats.cache_misses, 0u);
+  BatchResponse second = engine.Batch({.pairs = pairs});
+  // Every label set is hot now (cache capacity far exceeds the pool).
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+  EXPECT_GT(second.stats.cache_hits, 0u);
+  EXPECT_EQ(second.reachable, first.reachable);
+}
+
+TEST_F(QueryEngineFixture, LabelLessBackendFallsBackToDirectProbes) {
+  QueryEngine& engine = *engines_[2];  // closure backend: no labels
+  std::vector<NodePair> pairs = RandomPairs(50, 29);
+  pairs.push_back(pairs[0]);
+  BatchResponse r = engine.Batch({.pairs = pairs});
+  EXPECT_EQ(r.stats.cache_hits, 0u);
+  EXPECT_EQ(r.stats.cache_misses, 0u);
+  EXPECT_EQ(r.stats.backend_probes, r.stats.unique_probes);
+  EXPECT_LT(r.stats.unique_probes, r.stats.probes);
+}
+
+TEST_F(QueryEngineFixture, QueryMatchesFreeFunctions) {
+  query::TagIndex tags(c_);
+  auto expr = query::PathExpression::Parse("//inproceedings//cite//title");
+  ASSERT_TRUE(expr.ok());
+  for (const auto& engine : engines_) {
+    auto response = engine->Query({.expression = "//inproceedings//cite//title"});
+    ASSERT_TRUE(response.ok()) << response.status();
+    auto expect =
+        query::EvaluatePath(*expr, engine->backend(), c_, tags);
+    ASSERT_TRUE(expect.ok());
+    ASSERT_EQ(response->matches.size(), expect->size());
+    EXPECT_EQ(response->count, expect->size());
+    for (size_t i = 0; i < expect->size(); ++i) {
+      EXPECT_EQ(response->matches[i].bindings, (*expect)[i].bindings);
+    }
+
+    auto count = engine->Query(
+        {.expression = "//inproceedings//cite//title", .count_only = true});
+    ASSERT_TRUE(count.ok());
+    auto expect_count =
+        query::CountPathResults(*expr, engine->backend(), c_, tags);
+    ASSERT_TRUE(expect_count.ok());
+    EXPECT_EQ(count->count, *expect_count);
+    EXPECT_TRUE(count->matches.empty());
+  }
+}
+
+TEST_F(QueryEngineFixture, QueryRejectsMalformedExpression) {
+  auto response = engines_[0]->Query({.expression = "//a/b"});
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsInvalidArgument());
+}
+
+TEST_F(QueryEngineFixture, SimilarityOptionExpandsApproximateSteps) {
+  QueryEngineOptions options;
+  options.similarity = query::TagSimilarity::DblpDefaults();
+  QueryEngine engine = QueryEngine::ForIndex(*index_, std::move(options));
+  auto exact = engine.Query({.expression = "//book//author"});
+  auto approx = engine.Query({.expression = "//~book//author"});
+  ASSERT_TRUE(exact.ok() && approx.ok());
+  EXPECT_GE(approx->count, exact->count);
+}
+
+// ---- the LRU label cache ----
+
+Label MakeLabel(NodeId center) { return Label{{center, 1}}; }
+
+TEST(LabelCacheTest, HitsAndMisses) {
+  LabelCache cache(8);
+  EXPECT_EQ(cache.Get(LabelCache::Side::kOut, 1), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(42));
+  const Label* hit = cache.Get(LabelCache::Side::kOut, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0].center, 42u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(LabelCacheTest, SidesAreDistinct) {
+  LabelCache cache(8);
+  cache.Put(LabelCache::Side::kOut, 5, MakeLabel(1));
+  EXPECT_EQ(cache.Get(LabelCache::Side::kIn, 5), nullptr);
+  cache.Put(LabelCache::Side::kIn, 5, MakeLabel(2));
+  EXPECT_EQ((*cache.Get(LabelCache::Side::kOut, 5))[0].center, 1u);
+  EXPECT_EQ((*cache.Get(LabelCache::Side::kIn, 5))[0].center, 2u);
+}
+
+TEST(LabelCacheTest, EvictsLeastRecentlyUsed) {
+  LabelCache cache(3);
+  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(1));
+  cache.Put(LabelCache::Side::kOut, 2, MakeLabel(2));
+  cache.Put(LabelCache::Side::kOut, 3, MakeLabel(3));
+  // Touch 1 so 2 becomes the LRU entry.
+  ASSERT_NE(cache.Get(LabelCache::Side::kOut, 1), nullptr);
+  cache.Put(LabelCache::Side::kOut, 4, MakeLabel(4));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get(LabelCache::Side::kOut, 2), nullptr);  // evicted
+  EXPECT_NE(cache.Get(LabelCache::Side::kOut, 1), nullptr);
+  EXPECT_NE(cache.Get(LabelCache::Side::kOut, 3), nullptr);
+  EXPECT_NE(cache.Get(LabelCache::Side::kOut, 4), nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LabelCacheTest, PutOverwritesInPlace) {
+  LabelCache cache(2);
+  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(1));
+  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(9));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ((*cache.Get(LabelCache::Side::kOut, 1))[0].center, 9u);
+}
+
+TEST(LabelCacheTest, CapacityClampedToTwo) {
+  // A capacity-0/1 cache would let a probe's LIN fetch evict its own
+  // LOUT fetch mid-join; the constructor clamps to 2.
+  LabelCache cache(0);
+  EXPECT_EQ(cache.capacity(), 2u);
+  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(1));
+  cache.Put(LabelCache::Side::kIn, 2, MakeLabel(2));
+  EXPECT_NE(cache.Get(LabelCache::Side::kOut, 1), nullptr);
+  EXPECT_NE(cache.Get(LabelCache::Side::kIn, 2), nullptr);
+}
+
+TEST(LabelCacheTest, ClearResetsEntriesButKeepsCounters) {
+  LabelCache cache(4);
+  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(1));
+  ASSERT_NE(cache.Get(LabelCache::Side::kOut, 1), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(LabelCache::Side::kOut, 1), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(QueryEngineFixture, SmallCacheEvictsUnderPressure) {
+  QueryEngineOptions options;
+  options.label_cache_capacity = 4;
+  QueryEngine engine = QueryEngine::ForStore(c_, *store_, std::move(options));
+  // Probe far more than 4 distinct nodes; answers must stay correct
+  // while the cache churns.
+  std::vector<NodePair> pairs = RandomPairs(200, 31);
+  BatchResponse r = engine.Batch({.pairs = pairs});
+  EXPECT_GT(engine.label_cache().evictions(), 0u);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(r.reachable[i],
+              engine.backend().IsReachable(pairs[i].first, pairs[i].second));
+  }
+}
+
+}  // namespace
+}  // namespace hopi::engine

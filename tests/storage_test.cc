@@ -78,6 +78,18 @@ TEST(LinLoutStoreTest, ScansAreSortedAndComplete) {
   }
 }
 
+TEST(LinLoutStoreTest, LabelExportMatchesCover) {
+  twohop::TwoHopCover cover = SampleCover(true, 41);
+  LinLoutStore store = LinLoutStore::FromCover(cover, true);
+  std::vector<twohop::LabelEntry> label;
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    store.LinLabel(u, &label);
+    EXPECT_EQ(label, cover.In(u));
+    store.LoutLabel(u, &label);
+    EXPECT_EQ(label, cover.Out(u));
+  }
+}
+
 TEST(LinLoutStoreTest, RoundTripThroughCover) {
   twohop::TwoHopCover cover = SampleCover(true, 13);
   LinLoutStore store = LinLoutStore::FromCover(cover, true);
@@ -123,6 +135,87 @@ TEST_F(LinLoutPersistenceTest, BadMagicIsCorruption) {
   std::fclose(f);
   auto loaded = LinLoutStore::ReadFromFile(path_);
   EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST_F(LinLoutPersistenceTest, TruncatedHeaderDetected) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("HOPI", f);  // magic only, no version/flags/counts
+  std::fclose(f);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+}
+
+TEST_F(LinLoutPersistenceTest, StaleFormatVersionIsUnsupported) {
+  twohop::TwoHopCover cover = SampleCover(false, 23);
+  LinLoutStore store = LinLoutStore::FromCover(cover, false);
+  ASSERT_TRUE(store.WriteToFile(path_).ok());
+  // Patch the version field (bytes 4..8) to a future version.
+  FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  uint32_t future_version = 99;
+  std::fseek(f, 4, SEEK_SET);
+  ASSERT_EQ(std::fwrite(&future_version, sizeof(future_version), 1, f), 1u);
+  std::fclose(f);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(loaded.status().IsUnsupported()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("99"), std::string::npos);
+}
+
+TEST_F(LinLoutPersistenceTest, OldV1LayoutReportsVersionError) {
+  // A v1 file started with the 8-byte magic "HOPILL01": the first four
+  // bytes match the current magic and the next four parse as a bogus
+  // version, so stale files fail clearly instead of being misread.
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("HOPILL01", f);
+  uint64_t v1_header[3] = {0, 0, 0};
+  ASSERT_EQ(std::fwrite(v1_header, sizeof(v1_header), 1, f), 1u);
+  std::fclose(f);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(loaded.status().IsUnsupported()) << loaded.status();
+}
+
+TEST_F(LinLoutPersistenceTest, UnknownHeaderFlagsAreCorruption) {
+  twohop::TwoHopCover cover = SampleCover(false, 29);
+  LinLoutStore store = LinLoutStore::FromCover(cover, false);
+  ASSERT_TRUE(store.WriteToFile(path_).ok());
+  // Set a reserved flag bit (bytes 8..12 hold the flags).
+  FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  uint32_t bogus_flags = 1u << 7;
+  std::fseek(f, 8, SEEK_SET);
+  ASSERT_EQ(std::fwrite(&bogus_flags, sizeof(bogus_flags), 1, f), 1u);
+  std::fclose(f);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+}
+
+TEST_F(LinLoutPersistenceTest, BogusRowCountsAreCorruption) {
+  twohop::TwoHopCover cover = SampleCover(false, 37);
+  LinLoutStore store = LinLoutStore::FromCover(cover, false);
+  ASSERT_TRUE(store.WriteToFile(path_).ok());
+  // Patch the LIN row count (bytes 12..20) to an absurd value: the
+  // reader must fail with Corruption, not attempt the allocation.
+  FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  uint64_t bogus_count = UINT64_MAX / 2;
+  std::fseek(f, 12, SEEK_SET);
+  ASSERT_EQ(std::fwrite(&bogus_count, sizeof(bogus_count), 1, f), 1u);
+  std::fclose(f);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+}
+
+TEST_F(LinLoutPersistenceTest, DistanceFlagRoundTrips) {
+  twohop::TwoHopCover cover = SampleCover(true, 31);
+  for (bool with_distance : {false, true}) {
+    LinLoutStore store = LinLoutStore::FromCover(cover, with_distance);
+    ASSERT_TRUE(store.WriteToFile(path_).ok());
+    auto loaded = LinLoutStore::ReadFromFile(path_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(loaded->with_distance(), with_distance);
+  }
 }
 
 TEST_F(LinLoutPersistenceTest, TruncatedRowsDetected) {

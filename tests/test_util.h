@@ -1,6 +1,8 @@
 // Shared helpers for the HOPI test suite.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <cstdint>
 #include <vector>
 
@@ -46,7 +48,7 @@ inline collection::Collection SmallDblp(size_t docs = 60, uint64_t seed = 7) {
   config.num_docs = docs;
   config.seed = seed;
   auto report = datagen::GenerateDblpCollection(config, &c);
-  (void)report;
+  EXPECT_TRUE(report.ok()) << report.status();
   return c;
 }
 
