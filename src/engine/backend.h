@@ -26,9 +26,16 @@
 
 namespace hopi::engine {
 
-/// One LIN or LOUT label set: (center, dist) rows sorted by center id.
-/// The distance is 0 for backends built without the DIST column.
+/// One owned LIN or LOUT label set: (center, dist) rows sorted by
+/// center id. The distance is 0 for backends built without the DIST
+/// column.
 using Label = std::vector<twohop::LabelEntry>;
+
+/// A borrowed, read-only view of one label set — same rows and sort
+/// order as Label, but the storage belongs to whoever produced the
+/// view (an in-memory cover, the engine's LRU cache, or an mmapped
+/// file image). See BorrowOutLabel() for the lifetime contract.
+using LabelView = std::span<const twohop::LabelEntry>;
 
 /// A single (source, target) reachability probe.
 using NodePair = std::pair<NodeId, NodeId>;
@@ -75,26 +82,51 @@ class ReachabilityBackend {
   }
 
   // ---- label export (the hot-label cache hook) ----
+  //
+  // The QueryEngine batch path obtains each probe's LOUT(u)/LIN(v)
+  // label set through exactly one of two routes:
+  //
+  //   borrow — BorrowOutLabel/BorrowInLabel return a LabelView into
+  //            storage the backend already owns (an in-memory cover's
+  //            vectors, an mmapped file image). Zero copies; the LRU
+  //            cache is bypassed entirely.
+  //   copy   — OutLabel/InLabel materialize an owned Label (e.g.
+  //            LinLoutStore converts table rows). The engine pays the
+  //            copy once, stores it in its LRU cache, and serves
+  //            repeats from the cache.
+  //
+  // A backend opts into the borrow route by returning an engaged
+  // optional; the engine never mixes routes for one backend call.
 
-  /// True when the backend stores 2-hop labels and can export them via
-  /// OutLabel/InLabel. Label-less backends (materialized closure, BFS)
-  /// return false and the batch path falls back to TestConnections.
+  /// @brief True when the backend stores 2-hop labels and can export
+  /// them via OutLabel/InLabel (and possibly lend them via the borrow
+  /// hooks). Label-less backends (materialized closure, BFS) return
+  /// false and the batch path falls back to TestConnections.
   virtual bool HasLabels() const { return false; }
 
-  /// LOUT(u) rows sorted by center; empty for out-of-range nodes.
+  /// @brief LOUT(u) rows as an owned copy, sorted by center.
+  /// @return Empty label for out-of-range nodes.
   virtual Label OutLabel(NodeId /*u*/) const { return {}; }
 
-  /// LIN(v) rows sorted by center; empty for out-of-range nodes.
+  /// @brief LIN(v) rows as an owned copy, sorted by center.
+  /// @return Empty label for out-of-range nodes.
   virtual Label InLabel(NodeId /*v*/) const { return {}; }
 
-  /// Zero-copy label access: backends whose labels already live in
-  /// memory in Label layout return a pointer that stays valid for the
-  /// backend's lifetime, and the batch path skips the copy into the LRU
-  /// cache. Backends that materialize labels on demand (LinLoutStore
-  /// converts table rows) return nullptr and are served through the
-  /// cache instead.
-  virtual const Label* BorrowOutLabel(NodeId /*u*/) const { return nullptr; }
-  virtual const Label* BorrowInLabel(NodeId /*v*/) const { return nullptr; }
+  /// @brief Zero-copy LOUT(u) access (the borrow route).
+  /// @return A view that MUST stay valid and immutable for the
+  /// backend's lifetime — the engine may hold it across an entire
+  /// batch. Backends that would have to materialize rows return
+  /// nullopt (the default) and are served through the copy route and
+  /// the LRU cache instead. An engaged empty view is a valid answer
+  /// ("this node has no label rows").
+  virtual std::optional<LabelView> BorrowOutLabel(NodeId /*u*/) const {
+    return std::nullopt;
+  }
+
+  /// @brief Zero-copy LIN(v) access; contract as BorrowOutLabel.
+  virtual std::optional<LabelView> BorrowInLabel(NodeId /*v*/) const {
+    return std::nullopt;
+  }
 };
 
 }  // namespace hopi::engine

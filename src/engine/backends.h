@@ -1,11 +1,14 @@
-// The three concrete ReachabilityBackend adapters (paper Sec 5.1's
-// access paths):
+// The concrete ReachabilityBackend adapters (paper Sec 5.1's access
+// paths):
 //
-//   HopiIndexBackend   in-memory 2-hop cover labels (engine/hopi_backend.h),
-//   LinLoutBackend     the file-backed LIN/LOUT index-organized tables
-//                      (storage/linlout.h),
-//   ClosureBackend     the materialized transitive closure baseline
-//                      (hopi/baseline.h).
+//   HopiIndexBackend      in-memory 2-hop cover labels
+//                         (engine/hopi_backend.h),
+//   LinLoutBackend        the heap-loaded LIN/LOUT index-organized
+//                         tables (storage/linlout.h),
+//   MappedLinLoutBackend  the mmap-backed zero-copy LIN/LOUT reader
+//                         (storage/mapped_linlout.h),
+//   ClosureBackend        the materialized transitive closure baseline
+//                         (hopi/baseline.h).
 //
 // All adapters are non-owning views: the wrapped index must outlive the
 // adapter. They are header-only so thin shims can construct them
@@ -20,6 +23,7 @@
 #include "engine/hopi_backend.h"
 #include "hopi/baseline.h"
 #include "storage/linlout.h"
+#include "storage/mapped_linlout.h"
 
 namespace hopi::engine {
 
@@ -61,6 +65,50 @@ class LinLoutBackend final : public ReachabilityBackend {
 
  private:
   const storage::LinLoutStore* store_;
+};
+
+/// Adapter over the mmap-backed LIN/LOUT reader. Labels are lent to the
+/// engine as spans over the file image (the borrow route), so batch
+/// queries run zero-copy off disk — no LRU cache traffic at all.
+class MappedLinLoutBackend final : public ReachabilityBackend {
+ public:
+  explicit MappedLinLoutBackend(const storage::MappedLinLoutStore& store)
+      : store_(&store) {}
+
+  std::string_view Name() const override { return "mapped"; }
+  bool with_distance() const override { return store_->with_distance(); }
+
+  bool IsReachable(NodeId u, NodeId v) const override {
+    return store_->TestConnection(u, v);
+  }
+  std::optional<uint32_t> Distance(NodeId u, NodeId v) const override {
+    return store_->MinDistance(u, v);
+  }
+  std::vector<NodeId> Descendants(NodeId u) const override {
+    return store_->Descendants(u);
+  }
+  std::vector<NodeId> Ancestors(NodeId u) const override {
+    return store_->Ancestors(u);
+  }
+
+  bool HasLabels() const override { return true; }
+  Label OutLabel(NodeId u) const override {
+    auto span = store_->LoutSpan(u);
+    return Label(span.begin(), span.end());
+  }
+  Label InLabel(NodeId v) const override {
+    auto span = store_->LinSpan(v);
+    return Label(span.begin(), span.end());
+  }
+  std::optional<LabelView> BorrowOutLabel(NodeId u) const override {
+    return LabelView(store_->LoutSpan(u));
+  }
+  std::optional<LabelView> BorrowInLabel(NodeId v) const override {
+    return LabelView(store_->LinSpan(v));
+  }
+
+ private:
+  const storage::MappedLinLoutStore* store_;
 };
 
 /// Adapter over the materialized transitive-closure baseline. Carries no

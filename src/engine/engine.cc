@@ -38,6 +38,14 @@ QueryEngine QueryEngine::ForStore(const collection::Collection& collection,
                      std::move(options));
 }
 
+QueryEngine QueryEngine::ForMappedStore(
+    const collection::Collection& collection,
+    const storage::MappedLinLoutStore& store, QueryEngineOptions options) {
+  return QueryEngine(collection,
+                     std::make_unique<MappedLinLoutBackend>(store),
+                     std::move(options));
+}
+
 QueryEngine QueryEngine::ForClosure(const collection::Collection& collection,
                                     const TransitiveClosureIndex& closure,
                                     bool with_distance,
@@ -57,22 +65,24 @@ ReachabilityResponse QueryEngine::Reachability(
   return response;
 }
 
-const Label* QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
-                                     BatchStats* stats) const {
+LabelView QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
+                                  BatchStats* stats) const {
   bool out = side == LabelCache::Side::kOut;
-  // Zero-copy path for backends whose labels already sit in memory.
-  if (const Label* borrowed = out ? backend_->BorrowOutLabel(node)
-                                  : backend_->BorrowInLabel(node)) {
+  // Borrow route: label storage the backend already owns (in-memory
+  // covers, mmapped file images) is lent as a span — zero copies.
+  if (std::optional<LabelView> borrowed = out ? backend_->BorrowOutLabel(node)
+                                              : backend_->BorrowInLabel(node)) {
     ++stats->labels_borrowed;
-    return borrowed;
+    return *borrowed;
   }
+  // Copy route, served through the LRU cache.
   if (const Label* hit = cache_.Get(side, node)) {
     ++stats->cache_hits;
-    return hit;
+    return LabelView(*hit);
   }
   ++stats->cache_misses;
   Label label = out ? backend_->OutLabel(node) : backend_->InLabel(node);
-  return cache_.Put(side, node, std::move(label));
+  return LabelView(*cache_.Put(side, node, std::move(label)));
 }
 
 BatchResponse QueryEngine::Batch(const BatchRequest& request) const {
@@ -105,11 +115,11 @@ BatchResponse QueryEngine::Batch(const BatchRequest& request) const {
         if (request.want_distances) distance[k] = 0;
         continue;
       }
-      const Label* lout =
-          FetchLabel(LabelCache::Side::kOut, u, &response.stats);
-      const Label* lin = FetchLabel(LabelCache::Side::kIn, v, &response.stats);
+      LabelView lout = FetchLabel(LabelCache::Side::kOut, u, &response.stats);
+      LabelView lin = FetchLabel(LabelCache::Side::kIn, v, &response.stats);
       twohop::LabelJoinResult join =
-          twohop::JoinLabels(u, v, *lout, *lin, request.want_distances);
+          twohop::JoinLabelRanges(u, v, lout.data(), lout.size(), lin.data(),
+                                  lin.size(), request.want_distances);
       reachable[k] = join.connected;
       if (request.want_distances) distance[k] = join.distance;
     }

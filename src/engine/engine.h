@@ -33,6 +33,7 @@
 #include "query/similarity.h"
 #include "query/tag_index.h"
 #include "storage/linlout.h"
+#include "storage/mapped_linlout.h"
 #include "util/result.h"
 
 namespace hopi::engine {
@@ -67,18 +68,35 @@ struct BatchRequest {
   bool want_distances = false;
 };
 
+/// Per-call accounting of one Batch() evaluation. Label fetches take
+/// exactly one of three routes, so for label-carrying backends
+/// `cache_hits + cache_misses + labels_borrowed == 2 * (unique probes
+/// with u != v)`, and `backend_probes` is non-zero only for label-less
+/// backends.
 struct BatchStats {
-  size_t probes = 0;           // pairs in the request
-  size_t unique_probes = 0;    // after in-batch dedup
-  size_t cache_hits = 0;       // label sets served from the LRU cache
-  size_t cache_misses = 0;     // label sets fetched from the backend
-  size_t labels_borrowed = 0;  // zero-copy label reads (in-memory covers)
-  size_t backend_probes = 0;   // direct probes (label-less backends only)
+  /// Pairs in the request, including duplicates.
+  size_t probes = 0;
+  /// Distinct (u, v) pairs actually evaluated after in-batch dedup.
+  size_t unique_probes = 0;
+  /// Label sets served from the engine's LRU cache (copy route, warm).
+  size_t cache_hits = 0;
+  /// Label sets materialized by the backend and inserted into the LRU
+  /// cache (copy route, cold).
+  size_t cache_misses = 0;
+  /// Label sets lent by the backend as views over its own storage —
+  /// in-memory covers, mmapped file images (borrow route; the LRU
+  /// cache is bypassed).
+  size_t labels_borrowed = 0;
+  /// Probes answered by the backend's vectorized TestConnections
+  /// (label-less backends only).
+  size_t backend_probes = 0;
 };
 
 struct BatchResponse {
-  /// Parallel to BatchRequest::pairs (duplicates answered once,
-  /// scattered back to every occurrence).
+  /// Parallel to BatchRequest::pairs. Duplicate pairs are answered
+  /// once and the answer is scattered back to every occurrence, so
+  /// responses are position-for-position identical to evaluating each
+  /// pair naively — dedup is an optimization, never a semantic change.
   std::vector<bool> reachable;
   /// Parallel to pairs when want_distances; empty otherwise.
   std::vector<std::optional<uint32_t>> distances;
@@ -120,7 +138,7 @@ class QueryEngine {
               std::unique_ptr<ReachabilityBackend> backend,
               QueryEngineOptions options = {});
 
-  // Convenience factories over the three standard access paths. The
+  // Convenience factories over the four standard access paths. The
   // wrapped index/store/closure is NOT owned and must outlive the
   // engine.
   static QueryEngine ForIndex(const HopiIndex& index,
@@ -128,6 +146,11 @@ class QueryEngine {
   static QueryEngine ForStore(const collection::Collection& collection,
                               const storage::LinLoutStore& store,
                               QueryEngineOptions options = {});
+  /// Serves batch queries zero-copy off the mmapped file image (the
+  /// borrow route; the label cache stays cold).
+  static QueryEngine ForMappedStore(const collection::Collection& collection,
+                                    const storage::MappedLinLoutStore& store,
+                                    QueryEngineOptions options = {});
   static QueryEngine ForClosure(const collection::Collection& collection,
                                 const TransitiveClosureIndex& closure,
                                 bool with_distance,
@@ -136,8 +159,14 @@ class QueryEngine {
   /// Single reachability probe (bypasses the batch machinery).
   ReachabilityResponse Reachability(const ReachabilityRequest& request) const;
 
-  /// Batched reachability: dedupes repeated pairs, serves label sets
-  /// from the LRU cache, reports per-call stats.
+  /// @brief Batched reachability over one request.
+  ///
+  /// Dedup guarantee: repeated (u, v) pairs are evaluated once per
+  /// batch and the answers scattered back, so the response is
+  /// position-for-position what per-pair evaluation would return.
+  /// Label sets are obtained via the backend's borrow hooks when
+  /// offered (zero-copy) and through the LRU cache otherwise; see
+  /// BatchStats for the per-call route accounting.
   BatchResponse Batch(const BatchRequest& request) const;
 
   /// Wildcard path query ("//a//~b//c") evaluated against the backend.
@@ -155,12 +184,18 @@ class QueryEngine {
   const collection::Collection& collection() const { return *collection_; }
   const query::TagIndex& tags() const { return tags_; }
   /// Lifetime counters of the hot-label cache (across all batches).
+  /// Backends on the borrow route never touch it — expect zeros there.
   const LabelCache& label_cache() const { return cache_; }
 
  private:
-  /// Label fetch through the cache; counts the outcome into `stats`.
-  const Label* FetchLabel(LabelCache::Side side, NodeId node,
-                          BatchStats* stats) const;
+  /// One label fetch: borrow from the backend when offered, else serve
+  /// through the LRU cache. Counts the route taken into `stats`. A
+  /// cache-backed view stays valid across the fetch of the pair's
+  /// other side (the cache holds at least two entries and a fresh
+  /// fetch is most-recently-used), which is exactly as long as the
+  /// batch join needs it.
+  LabelView FetchLabel(LabelCache::Side side, NodeId node,
+                       BatchStats* stats) const;
 
   const collection::Collection* collection_;
   std::unique_ptr<ReachabilityBackend> backend_;

@@ -38,28 +38,24 @@ class HopiIndexBackend final : public ReachabilityBackend {
 
   bool HasLabels() const override { return true; }
   Label OutLabel(NodeId u) const override {
-    const Label* label = BorrowOutLabel(u);
-    return label ? *label : Label{};
+    LabelView view = *BorrowOutLabel(u);
+    return Label(view.begin(), view.end());
   }
   Label InLabel(NodeId v) const override {
-    const Label* label = BorrowInLabel(v);
-    return label ? *label : Label{};
+    LabelView view = *BorrowInLabel(v);
+    return Label(view.begin(), view.end());
   }
-  const Label* BorrowOutLabel(NodeId u) const override {
+  std::optional<LabelView> BorrowOutLabel(NodeId u) const override {
     const twohop::TwoHopCover& cover = index_->cover();
-    return u < cover.NumNodes() ? &cover.Out(u) : &kEmpty;
+    return u < cover.NumNodes() ? LabelView(cover.Out(u)) : LabelView();
   }
-  const Label* BorrowInLabel(NodeId v) const override {
+  std::optional<LabelView> BorrowInLabel(NodeId v) const override {
     const twohop::TwoHopCover& cover = index_->cover();
-    return v < cover.NumNodes() ? &cover.In(v) : &kEmpty;
+    return v < cover.NumNodes() ? LabelView(cover.In(v)) : LabelView();
   }
 
  private:
-  static const Label kEmpty;
-
   const HopiIndex* index_;
 };
-
-inline const Label HopiIndexBackend::kEmpty{};
 
 }  // namespace hopi::engine

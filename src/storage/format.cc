@@ -1,0 +1,399 @@
+#include "storage/format.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/linlout.h"
+#include "util/checksum.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HOPI_HAS_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define HOPI_HAS_POSIX_IO 0
+#endif
+
+namespace hopi::storage {
+
+// The spec (docs/FILE_FORMAT.md) fixes all integers as little-endian;
+// the implementation reads/writes native integers, so enforce the
+// match instead of silently producing byte-swapped files.
+static_assert(std::endian::native == std::endian::little,
+              "LIN/LOUT files are little-endian; this port needs swaps");
+
+namespace {
+
+// v1 files started with the 8-byte magic "HOPILL01": bytes 4..8 parse
+// as this constant where v2+ store the version number.
+constexpr uint32_t kV1MagicTail = 0x31304C4Cu;  // "LL01"
+
+void PutU32(std::byte* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU64(std::byte* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint32_t GetU32(const std::byte* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t Align8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+/// Groups a sorted run into directory entries; `key` extracts the group
+/// key (id for forward runs, center for backward runs).
+template <typename KeyFn>
+std::vector<DirEntry> BuildDir(std::span<const TableRow> run, KeyFn key) {
+  std::vector<DirEntry> dir;
+  size_t i = 0;
+  while (i < run.size()) {
+    uint32_t k = key(run[i]);
+    size_t j = i;
+    while (j < run.size() && key(run[j]) == k) ++j;
+    dir.push_back({k, static_cast<uint32_t>(j - i), i});
+    i = j;
+  }
+  return dir;
+}
+
+/// Shared validation of one (directory, rows) pair: keys strictly
+/// ascending, begin indices exactly partitioning the rows section, and
+/// each group's payload strictly ascending (`payload_key` extracts the
+/// sort key of a row).
+template <typename Rows, typename PayloadKey>
+bool DirConsistent(std::span<const DirEntry> dir, std::span<const Rows> rows,
+                   PayloadKey payload_key) {
+  uint64_t running = 0;
+  uint32_t prev_key = 0;
+  for (size_t e = 0; e < dir.size(); ++e) {
+    const DirEntry& d = dir[e];
+    if (e > 0 && d.key <= prev_key) return false;
+    prev_key = d.key;
+    if (d.begin != running || d.count == 0) return false;
+    if (d.count > rows.size() - running) return false;
+    running += d.count;
+    for (uint64_t r = d.begin + 1; r < d.begin + d.count; ++r) {
+      if (payload_key(rows[r - 1]) >= payload_key(rows[r])) return false;
+    }
+  }
+  return running == rows.size();
+}
+
+}  // namespace
+
+Result<RawHeader> ReadRawHeader(std::span<const std::byte> image,
+                                const std::string& path) {
+  if (image.size() < 4 ||
+      std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a HOPI LIN/LOUT file (bad magic): " +
+                              path);
+  }
+  if (image.size() < 12) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  RawHeader header;
+  header.version = GetU32(image.data() + 4);
+  header.flags = GetU32(image.data() + 8);
+  if (header.version == kV1MagicTail) {
+    return Status::Unsupported(
+        "LIN/LOUT file " + path +
+        " uses the pre-versioned v1 layout (magic \"HOPILL01\") — "
+        "rebuild the store from the cover");
+  }
+  return header;
+}
+
+Result<FileView> ParseV3(std::span<const std::byte> image,
+                         const std::string& path) {
+  HOPI_ASSIGN_OR_RETURN(RawHeader header, ReadRawHeader(image, path));
+  if (header.version != kFormatVersion) {
+    return Status::Unsupported(
+        "LIN/LOUT file " + path + " has format version " +
+        std::to_string(header.version) + "; this reader needs version " +
+        std::to_string(kFormatVersion));
+  }
+  if ((header.flags & ~kKnownFlags) != 0) {
+    return Status::Corruption("unknown header flags in " + path);
+  }
+  if (image.size() < kHeaderBytes + kTrailerBytes) {
+    return Status::Corruption("truncated v3 header in " + path);
+  }
+  if (GetU32(image.data() + 12) != kHeaderBytes) {
+    return Status::Corruption("bad header size field in " + path);
+  }
+  // Seal first: the trailing checksum covers every byte before it, so a
+  // torn or bit-flipped file fails here before any field is trusted.
+  const std::byte* trailer = image.data() + image.size() - kTrailerBytes;
+  if (std::memcmp(trailer + 4, kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
+    return Status::Corruption("missing checksum trailer (torn write?) in " +
+                              path);
+  }
+  uint32_t actual = Crc32(image.data(), image.size() - kTrailerBytes);
+  if (actual != GetU32(trailer)) {
+    return Status::Corruption("checksum mismatch in " + path +
+                              " (torn write or bit rot)");
+  }
+  // Section table: in-order, 8-aligned, inside [header, trailer).
+  SectionRange sections[kNumSections];
+  uint64_t prev_end = kHeaderBytes;
+  const uint64_t data_end = image.size() - kTrailerBytes;
+  constexpr size_t kElemSize[kNumSections] = {
+      sizeof(DirEntry), sizeof(twohop::LabelEntry),
+      sizeof(DirEntry), sizeof(twohop::LabelEntry),
+      sizeof(DirEntry), sizeof(uint32_t),
+      sizeof(DirEntry), sizeof(uint32_t)};
+  for (size_t s = 0; s < kNumSections; ++s) {
+    sections[s].offset = GetU64(image.data() + 16 + s * 16);
+    sections[s].length = GetU64(image.data() + 16 + s * 16 + 8);
+    if (sections[s].offset % 8 != 0 || sections[s].offset < prev_end ||
+        sections[s].length > data_end ||
+        sections[s].offset > data_end - sections[s].length ||
+        sections[s].length % kElemSize[s] != 0) {
+      return Status::Corruption("section table out of bounds in " + path);
+    }
+    prev_end = sections[s].offset + sections[s].length;
+  }
+
+  FileView view;
+  view.flags = header.flags;
+  view.with_distance = (header.flags & kFlagDistance) != 0;
+  auto dir_span = [&](Section s) {
+    return std::span<const DirEntry>(
+        reinterpret_cast<const DirEntry*>(image.data() + sections[s].offset),
+        sections[s].length / sizeof(DirEntry));
+  };
+  auto row_span = [&](Section s) {
+    return std::span<const twohop::LabelEntry>(
+        reinterpret_cast<const twohop::LabelEntry*>(image.data() +
+                                                    sections[s].offset),
+        sections[s].length / sizeof(twohop::LabelEntry));
+  };
+  auto id_span = [&](Section s) {
+    return std::span<const uint32_t>(
+        reinterpret_cast<const uint32_t*>(image.data() + sections[s].offset),
+        sections[s].length / sizeof(uint32_t));
+  };
+  view.lin_dir = dir_span(kLinDir);
+  view.lin_rows = row_span(kLinRows);
+  view.lout_dir = dir_span(kLoutDir);
+  view.lout_rows = row_span(kLoutRows);
+  view.lin_bwd_dir = dir_span(kLinBwdDir);
+  view.lin_bwd_ids = id_span(kLinBwdIds);
+  view.lout_bwd_dir = dir_span(kLoutBwdDir);
+  view.lout_bwd_ids = id_span(kLoutBwdIds);
+
+  auto by_center = [](const twohop::LabelEntry& e) { return e.center; };
+  auto by_id = [](uint32_t id) { return id; };
+  if (!DirConsistent(view.lin_dir, view.lin_rows, by_center) ||
+      !DirConsistent(view.lout_dir, view.lout_rows, by_center) ||
+      !DirConsistent(view.lin_bwd_dir, view.lin_bwd_ids, by_id) ||
+      !DirConsistent(view.lout_bwd_dir, view.lout_bwd_ids, by_id) ||
+      view.lin_bwd_ids.size() != view.lin_rows.size() ||
+      view.lout_bwd_ids.size() != view.lout_rows.size()) {
+    return Status::Corruption("inconsistent label directories in " + path);
+  }
+  return view;
+}
+
+std::vector<std::byte> BuildFileImage(std::span<const TableRow> lin_fwd,
+                                      std::span<const TableRow> lout_fwd,
+                                      std::span<const TableRow> lin_bwd,
+                                      std::span<const TableRow> lout_bwd,
+                                      bool with_distance) {
+  auto by_id = [](const TableRow& r) { return r.id; };
+  auto by_center = [](const TableRow& r) { return r.center; };
+  std::vector<DirEntry> lin_dir = BuildDir(lin_fwd, by_id);
+  std::vector<DirEntry> lout_dir = BuildDir(lout_fwd, by_id);
+  std::vector<DirEntry> lin_bwd_dir = BuildDir(lin_bwd, by_center);
+  std::vector<DirEntry> lout_bwd_dir = BuildDir(lout_bwd, by_center);
+
+  const uint64_t lengths[kNumSections] = {
+      lin_dir.size() * sizeof(DirEntry),
+      lin_fwd.size() * sizeof(twohop::LabelEntry),
+      lout_dir.size() * sizeof(DirEntry),
+      lout_fwd.size() * sizeof(twohop::LabelEntry),
+      lin_bwd_dir.size() * sizeof(DirEntry),
+      lin_bwd.size() * sizeof(uint32_t),
+      lout_bwd_dir.size() * sizeof(DirEntry),
+      lout_bwd.size() * sizeof(uint32_t)};
+  SectionRange sections[kNumSections];
+  uint64_t end = kHeaderBytes;
+  for (size_t s = 0; s < kNumSections; ++s) {
+    sections[s].offset = Align8(end);
+    sections[s].length = lengths[s];
+    end = sections[s].offset + sections[s].length;
+  }
+  std::vector<std::byte> image(Align8(end) + kTrailerBytes, std::byte{0});
+
+  std::memcpy(image.data(), kMagic, sizeof(kMagic));
+  PutU32(image.data() + 4, kFormatVersion);
+  PutU32(image.data() + 8, with_distance ? kFlagDistance : 0);
+  PutU32(image.data() + 12, kHeaderBytes);
+  for (size_t s = 0; s < kNumSections; ++s) {
+    PutU64(image.data() + 16 + s * 16, sections[s].offset);
+    PutU64(image.data() + 16 + s * 16 + 8, sections[s].length);
+  }
+
+  auto write_dir = [&](Section s, const std::vector<DirEntry>& dir) {
+    std::memcpy(image.data() + sections[s].offset, dir.data(),
+                dir.size() * sizeof(DirEntry));
+  };
+  auto write_rows = [&](Section s, std::span<const TableRow> run) {
+    std::byte* p = image.data() + sections[s].offset;
+    for (const TableRow& r : run) {
+      PutU32(p, r.center);
+      PutU32(p + 4, r.dist);
+      p += sizeof(twohop::LabelEntry);
+    }
+  };
+  auto write_ids = [&](Section s, std::span<const TableRow> run) {
+    std::byte* p = image.data() + sections[s].offset;
+    for (const TableRow& r : run) {
+      PutU32(p, r.id);
+      p += sizeof(uint32_t);
+    }
+  };
+  write_dir(kLinDir, lin_dir);
+  write_rows(kLinRows, lin_fwd);
+  write_dir(kLoutDir, lout_dir);
+  write_rows(kLoutRows, lout_fwd);
+  write_dir(kLinBwdDir, lin_bwd_dir);
+  write_ids(kLinBwdIds, lin_bwd);
+  write_dir(kLoutBwdDir, lout_bwd_dir);
+  write_ids(kLoutBwdIds, lout_bwd);
+
+  std::byte* trailer = image.data() + image.size() - kTrailerBytes;
+  PutU32(trailer, Crc32(image.data(), image.size() - kTrailerBytes));
+  std::memcpy(trailer + 4, kTrailerMagic, sizeof(kTrailerMagic));
+  return image;
+}
+
+#if HOPI_HAS_POSIX_IO
+
+Status AtomicWriteFile(const std::string& path,
+                       std::span<const std::byte> image) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot open " + tmp);
+  const std::byte* p = image.data();
+  size_t left = image.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("short write to " + tmp);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  // Data must be on disk before the rename publishes it: a crash after
+  // the rename but before a data flush would otherwise leave a complete-
+  // looking file full of unwritten pages.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("cannot fsync " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " over " + path);
+  }
+  // And the rename itself must be durable: fsync the containing
+  // directory so a crash cannot resurrect the old directory entry.
+  // From here on the new file IS published — failures below must say
+  // so, because the caller can no longer assume the old file survived.
+  size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) {
+    return Status::IOError("cannot open directory " + dir +
+                           " — new file " + path +
+                           " is in place but the rename's durability "
+                           "is unconfirmed");
+  }
+  if (::fsync(dfd) != 0) {
+    ::close(dfd);
+    return Status::IOError("cannot fsync directory " + dir +
+                           " — new file " + path +
+                           " is in place but the rename's durability "
+                           "is unconfirmed");
+  }
+  ::close(dfd);
+  return Status::OK();
+}
+
+#else  // !HOPI_HAS_POSIX_IO
+
+Status AtomicWriteFile(const std::string& path,
+                       std::span<const std::byte> image) {
+  // Best effort without POSIX durability primitives: still stage into a
+  // sibling temp file so an interrupted write never truncates `path`.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + tmp);
+  bool ok = image.empty() ||
+            std::fwrite(image.data(), image.size(), 1, f) == 1;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  std::remove(path.c_str());  // std::rename does not overwrite everywhere
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::OK();
+}
+
+#endif  // HOPI_HAS_POSIX_IO
+
+Result<std::vector<std::byte>> ReadFileImage(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot determine size of " + path);
+  }
+  std::vector<std::byte> image(static_cast<size_t>(end));
+  bool ok = image.empty() ||
+            std::fread(image.data(), image.size(), 1, f) == 1;
+  std::fclose(f);
+  if (!ok) return Status::IOError("cannot read " + path);
+  return image;
+}
+
+Result<FormatInfo> InspectFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::byte header[kHeaderBytes];
+  size_t got = std::fread(header, 1, sizeof(header), f);
+  std::fseek(f, 0, SEEK_END);
+  long end = std::ftell(f);
+  std::fclose(f);
+  auto raw = ReadRawHeader({header, got}, path);
+  if (!raw.ok()) return raw.status();
+  FormatInfo info;
+  info.version = raw->version;
+  info.flags = raw->flags;
+  info.file_bytes = end > 0 ? static_cast<uint64_t>(end) : 0;
+  if (raw->version != kFormatVersion) return info;  // no v3 section table
+  if (got < kHeaderBytes) {
+    return Status::Corruption("truncated v3 header in " + path);
+  }
+  for (size_t s = 0; s < kNumSections; ++s) {
+    info.sections[s].offset = GetU64(header + 16 + s * 16);
+    info.sections[s].length = GetU64(header + 16 + s * 16 + 8);
+  }
+  return info;
+}
+
+}  // namespace hopi::storage

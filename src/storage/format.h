@@ -1,0 +1,173 @@
+// On-disk LIN/LOUT file format (version 3) — encode, decode, validate.
+//
+// This header is the single in-code definition of the format; the
+// byte-level specification (including the v1/v2 history and the error
+// contract) lives in docs/FILE_FORMAT.md and MUST be updated in the
+// same change as this file.
+//
+// Layout of a v3 file (all integers little-endian):
+//
+//   header   16 bytes   magic "HOPI", version u32, flags u32,
+//                       header_bytes u32 (= kHeaderBytes)
+//   table    8 x 16 B   {offset u64, length u64} per Section, byte
+//                       offsets from the start of the file
+//   sections ...        see Section; every section starts 8-aligned
+//                       (zero padding between sections)
+//   trailer  8 bytes    CRC-32 u32 over bytes [0, size-8), then the
+//                       trailer magic "IPOH"
+//
+// Forward label sections pack rows as (center u32, dist u32) pairs —
+// bit-identical to twohop::LabelEntry — so a mapped reader can serve a
+// node's label as a borrowed span without any row conversion. The
+// per-run directory maps a key (node id for forward runs, center id
+// for backward runs) to its row range.
+//
+// Decoding never trusts a field before validating it: magic/version/
+// flags first, then the trailing checksum over the whole image, then
+// section bounds and sortedness. A torn or bit-flipped file surfaces
+// as Status::Corruption — never a crash or silently wrong rows.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "twohop/cover.h"
+#include "util/result.h"
+
+namespace hopi::storage {
+
+struct TableRow;  // linlout.h
+
+inline constexpr char kMagic[4] = {'H', 'O', 'P', 'I'};
+inline constexpr char kTrailerMagic[4] = {'I', 'P', 'O', 'H'};
+inline constexpr uint32_t kFormatVersion = 3;
+/// v2 (PR 2's header + bare row triplets) is still readable by the
+/// buffered reader; the v3 writer is the migration path.
+inline constexpr uint32_t kLegacyFormatVersion = 2;
+inline constexpr uint32_t kFlagDistance = 1u << 0;
+inline constexpr uint32_t kKnownFlags = kFlagDistance;
+
+/// The eight sections of a v3 file, in file order.
+enum Section : size_t {
+  kLinDir = 0,    // DirEntry per node with LIN rows, sorted by id
+  kLinRows,       // LabelEntry rows, grouped by node, sorted by center
+  kLoutDir,       // DirEntry per node with LOUT rows, sorted by id
+  kLoutRows,      // LabelEntry rows, grouped by node, sorted by center
+  kLinBwdDir,     // DirEntry per center in LIN, sorted by center
+  kLinBwdIds,     // u32 node ids, grouped by center, sorted
+  kLoutBwdDir,    // DirEntry per center in LOUT, sorted by center
+  kLoutBwdIds,    // u32 node ids, grouped by center, sorted
+  kNumSections
+};
+
+/// One directory entry: `count` rows of `key` starting at element index
+/// `begin` of the paired rows/ids section. Entries partition their rows
+/// section in order (begin values are cumulative counts).
+struct DirEntry {
+  uint32_t key;
+  uint32_t count;
+  uint64_t begin;
+};
+static_assert(sizeof(DirEntry) == 16 && alignof(DirEntry) == 8);
+static_assert(sizeof(twohop::LabelEntry) == 8 &&
+                  alignof(twohop::LabelEntry) == 4,
+              "forward row sections alias twohop::LabelEntry");
+
+struct SectionRange {
+  uint64_t offset = 0;  // byte offset from the start of the file
+  uint64_t length = 0;  // byte length (excludes inter-section padding)
+};
+
+inline constexpr size_t kHeaderBytes = 16 + kNumSections * 16;
+inline constexpr size_t kTrailerBytes = 8;
+
+/// Typed, validated view over a v3 file image. Spans alias the image —
+/// they are valid exactly as long as the underlying bytes (the mmap or
+/// the heap buffer) stay alive.
+struct FileView {
+  uint32_t flags = 0;
+  bool with_distance = false;
+  std::span<const DirEntry> lin_dir, lout_dir, lin_bwd_dir, lout_bwd_dir;
+  std::span<const twohop::LabelEntry> lin_rows, lout_rows;
+  std::span<const uint32_t> lin_bwd_ids, lout_bwd_ids;
+};
+
+/// Magic/version/flags of any HOPI LIN/LOUT file (no version policy —
+/// callers decide which versions they accept). Errors: Corruption for
+/// a short image or foreign magic, Unsupported for the pre-versioned
+/// v1 layout ("HOPILL01").
+struct RawHeader {
+  uint32_t version = 0;
+  uint32_t flags = 0;
+};
+Result<RawHeader> ReadRawHeader(std::span<const std::byte> image,
+                                const std::string& path);
+
+/// Full v3 decode: checksum, section table bounds, directory/row
+/// sortedness and cross-section consistency. The returned view aliases
+/// `image`. Errors: Corruption (torn/bit-flipped/inconsistent file),
+/// Unsupported (not version 3 — v2 callers use their own path).
+Result<FileView> ParseV3(std::span<const std::byte> image,
+                         const std::string& path);
+
+/// Serializes the four sorted runs into a complete v3 file image
+/// (header, sections, checksum trailer). The forward runs must be
+/// sorted by (id, center), the backward runs by (center, id) — exactly
+/// the invariant LinLoutStore maintains.
+std::vector<std::byte> BuildFileImage(std::span<const TableRow> lin_fwd,
+                                      std::span<const TableRow> lout_fwd,
+                                      std::span<const TableRow> lin_bwd,
+                                      std::span<const TableRow> lout_bwd,
+                                      bool with_distance);
+
+/// Crash-safe whole-file write: serialize to `path + ".tmp"`, fsync the
+/// data, atomically rename over `path`, then fsync the directory so the
+/// rename itself is durable. Readers concurrently opening `path` see
+/// either the complete old file or the complete new file, never a
+/// partial write. Caveat: an IOError naming the *directory* means the
+/// rename already published the new file and only its durability is
+/// unconfirmed — the error message says so explicitly. On platforms
+/// without POSIX fsync/rename-over the fallback is remove+rename
+/// (atomicity is then best-effort).
+Status AtomicWriteFile(const std::string& path,
+                       std::span<const std::byte> image);
+
+/// Reads the whole file into memory (the buffered readers' first
+/// step). Missing/unreadable files are IOError; everything after this
+/// point is format validation.
+Result<std::vector<std::byte>> ReadFileImage(const std::string& path);
+
+/// Binary search of a directory; returns the row span for `key` (empty
+/// when absent). `Rows` is twohop::LabelEntry or uint32_t.
+template <typename Rows>
+std::span<const Rows> LookupRows(std::span<const DirEntry> dir,
+                                 std::span<const Rows> rows, uint32_t key) {
+  size_t lo = 0, hi = dir.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (dir[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == dir.size() || dir[lo].key != key) return {};
+  return rows.subspan(dir[lo].begin, dir[lo].count);
+}
+
+/// Header introspection for tools and the torn-write tests: reads just
+/// the header + section table of a v3 file (no checksum pass).
+struct FormatInfo {
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t file_bytes = 0;
+  std::array<SectionRange, kNumSections> sections{};
+};
+Result<FormatInfo> InspectFile(const std::string& path);
+
+}  // namespace hopi::storage

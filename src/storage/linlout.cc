@@ -4,23 +4,15 @@
 #include <cstdio>
 #include <cstring>
 
+#include "storage/format.h"
+
 namespace hopi::storage {
 
 namespace {
 
-// On-disk layout: a versioned header followed by the two forward runs.
-//   magic   "HOPI"                  (4 bytes)
-//   version uint32                  (kFormatVersion)
-//   flags   uint32                  (kFlagDistance when the DIST column
-//                                    is meaningful; other bits reserved)
-//   counts  2 x uint64              (lin rows, lout rows)
-//   rows    3 x uint32 per row      (id, center, dist)
-// Format v1 packed the version into an 8-byte magic ("HOPILL01"); its
-// files now fail with a clear version error instead of being misread.
-constexpr char kMagic[4] = {'H', 'O', 'P', 'I'};
-constexpr uint32_t kFormatVersion = 2;
-constexpr uint32_t kFlagDistance = 1u << 0;
-constexpr uint32_t kKnownFlags = kFlagDistance;
+// On-disk layout: storage/format.h (constants + codec) and
+// docs/FILE_FORMAT.md (byte-level spec). This file only decides policy:
+// write the current version, read current + v2.
 
 bool ByIdCenter(const TableRow& a, const TableRow& b) {
   return a.id != b.id ? a.id < b.id : a.center < b.center;
@@ -194,111 +186,105 @@ uint64_t LinLoutStore::StorageIntegers() const {
 }
 
 Status LinLoutStore::WriteToFile(const std::string& path) const {
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  auto write_u32 = [f](uint32_t v) {
-    return std::fwrite(&v, sizeof(v), 1, f) == 1;
-  };
-  auto write_u64 = [f](uint64_t v) {
-    return std::fwrite(&v, sizeof(v), 1, f) == 1;
-  };
-  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
-  ok = ok && write_u32(kFormatVersion);
-  ok = ok && write_u32(with_distance_ ? kFlagDistance : 0);
-  ok = ok && write_u64(lin_fwd_.size()) && write_u64(lout_fwd_.size());
-  auto write_run = [f, &ok](const std::vector<TableRow>& run) {
-    for (const TableRow& r : run) {
-      uint32_t buf[3] = {r.id, r.center, r.dist};
-      if (std::fwrite(buf, sizeof(buf), 1, f) != 1) {
-        ok = false;
-        return;
-      }
-    }
-  };
-  if (ok) write_run(lin_fwd_);
-  if (ok) write_run(lout_fwd_);
-  std::fclose(f);
-  if (!ok) return Status::IOError("short write to " + path);
-  return Status::OK();
+  return AtomicWriteFile(
+      path, BuildFileImage(lin_fwd_, lout_fwd_, lin_bwd_, lout_bwd_,
+                           with_distance_));
 }
 
-Result<LinLoutStore> LinLoutStore::ReadFromFile(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  LinLoutStore store;
-  char magic[4];
-  uint32_t version = 0;
-  uint32_t flags = 0;
-  uint64_t counts[2];
-  if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    std::fclose(f);
-    return Status::Corruption("not a HOPI LIN/LOUT file (bad magic): " +
-                              path);
-  }
-  if (std::fread(&version, sizeof(version), 1, f) != 1 ||
-      std::fread(&flags, sizeof(flags), 1, f) != 1) {
-    std::fclose(f);
-    return Status::Corruption("truncated header in " + path);
-  }
-  if (version != kFormatVersion) {
-    std::fclose(f);
-    return Status::Unsupported(
-        "LIN/LOUT file " + path + " has format version " +
-        std::to_string(version) + "; this build reads version " +
-        std::to_string(kFormatVersion) +
-        " — rebuild the store from the cover");
-  }
-  if ((flags & ~kKnownFlags) != 0) {
-    std::fclose(f);
-    return Status::Corruption("unknown header flags in " + path);
-  }
-  if (std::fread(counts, sizeof(counts), 1, f) != 1) {
-    std::fclose(f);
+namespace {
+
+/// Decodes the payload of the legacy v2 layout: 2 x u64 row counts +
+/// bare (id, center, dist) row triplets, no checksum. Kept read-only
+/// as the migration path for files written before the v3 section-table
+/// format. Returns the two forward runs via out-params.
+Status ReadV2Runs(std::span<const std::byte> image, const std::string& path,
+                  std::vector<TableRow>* lin_fwd,
+                  std::vector<TableRow>* lout_fwd) {
+  constexpr size_t kV2HeaderBytes = 12 + 2 * sizeof(uint64_t);
+  if (image.size() < kV2HeaderBytes) {
     return Status::Corruption("truncated header in " + path);
   }
   // Validate the (untrusted) row counts against the actual file size
   // before reserving memory for them: a corrupt counts field must fail
-  // with a Status, not a bad_alloc. (long positions are 64-bit on the
-  // POSIX platforms this project targets.)
-  long data_start = std::ftell(f);
-  std::fseek(f, 0, SEEK_END);
-  long file_end = std::ftell(f);
-  if (data_start < 0 || file_end < 0 ||
-      std::fseek(f, data_start, SEEK_SET) != 0) {
-    std::fclose(f);
-    return Status::IOError("cannot determine size of " + path);
-  }
-  uint64_t remaining =
-      file_end >= data_start ? static_cast<uint64_t>(file_end - data_start)
-                             : 0;
+  // with a Status, not a bad_alloc.
+  uint64_t counts[2];
+  std::memcpy(counts, image.data() + 12, sizeof(counts));
+  uint64_t remaining = image.size() - kV2HeaderBytes;
   constexpr uint64_t kRowBytes = 3 * sizeof(uint32_t);
   if (counts[0] > remaining / kRowBytes ||
       counts[1] > remaining / kRowBytes ||
       (counts[0] + counts[1]) * kRowBytes != remaining) {
-    std::fclose(f);
     return Status::Corruption("row counts inconsistent with file size in " +
                               path);
   }
-  store.with_distance_ = (flags & kFlagDistance) != 0;
-  auto read_run = [f](std::vector<TableRow>* run, uint64_t count) {
+  const std::byte* p = image.data() + kV2HeaderBytes;
+  auto read_run = [&p](std::vector<TableRow>* run, uint64_t count) {
     run->reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
       uint32_t buf[3];
-      if (std::fread(buf, sizeof(buf), 1, f) != 1) return false;
+      std::memcpy(buf, p, sizeof(buf));
+      p += sizeof(buf);
       run->push_back({buf[0], buf[1], buf[2]});
     }
-    return true;
   };
-  bool ok = read_run(&store.lin_fwd_, counts[0]) &&
-            read_run(&store.lout_fwd_, counts[1]);
-  std::fclose(f);
-  if (!ok) return Status::Corruption("truncated rows in " + path);
-  if (!std::is_sorted(store.lin_fwd_.begin(), store.lin_fwd_.end(),
-                      ByIdCenter) ||
-      !std::is_sorted(store.lout_fwd_.begin(), store.lout_fwd_.end(),
-                      ByIdCenter)) {
-    return Status::Corruption("forward runs not sorted in " + path);
+  read_run(lin_fwd, counts[0]);
+  read_run(lout_fwd, counts[1]);
+  // Strictly sorted, not just sorted: duplicate (id, center) rows are
+  // invalid (the writer never emits them), and accepting them here
+  // would let a migration produce a v3 file whose strict directory
+  // validation then rejects it — bad input must fail at read time.
+  auto out_of_order = [](const TableRow& a, const TableRow& b) {
+    return !ByIdCenter(a, b);
+  };
+  if (std::adjacent_find(lin_fwd->begin(), lin_fwd->end(), out_of_order) !=
+          lin_fwd->end() ||
+      std::adjacent_find(lout_fwd->begin(), lout_fwd->end(), out_of_order) !=
+          lout_fwd->end()) {
+    return Status::Corruption("forward runs not strictly sorted in " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LinLoutStore> LinLoutStore::ReadFromFile(const std::string& path) {
+  HOPI_ASSIGN_OR_RETURN(std::vector<std::byte> image, ReadFileImage(path));
+  HOPI_ASSIGN_OR_RETURN(RawHeader header, ReadRawHeader(image, path));
+  if (header.version == kLegacyFormatVersion) {
+    if ((header.flags & ~kKnownFlags) != 0) {
+      return Status::Corruption("unknown header flags in " + path);
+    }
+    LinLoutStore store;
+    store.with_distance_ = (header.flags & kFlagDistance) != 0;
+    HOPI_RETURN_NOT_OK(
+        ReadV2Runs(image, path, &store.lin_fwd_, &store.lout_fwd_));
+    store.BuildBackwardRuns();
+    return store;
+  }
+  if (header.version != kFormatVersion) {
+    return Status::Unsupported(
+        "LIN/LOUT file " + path + " has format version " +
+        std::to_string(header.version) + "; this build reads versions " +
+        std::to_string(kLegacyFormatVersion) + "-" +
+        std::to_string(kFormatVersion) +
+        " — rebuild the store from the cover");
+  }
+  HOPI_ASSIGN_OR_RETURN(FileView view, ParseV3(image, path));
+  LinLoutStore store;
+  store.with_distance_ = view.with_distance;
+  store.lin_fwd_.reserve(view.lin_rows.size());
+  for (const DirEntry& d : view.lin_dir) {
+    for (uint64_t r = d.begin; r < d.begin + d.count; ++r) {
+      store.lin_fwd_.push_back(
+          {d.key, view.lin_rows[r].center, view.lin_rows[r].dist});
+    }
+  }
+  store.lout_fwd_.reserve(view.lout_rows.size());
+  for (const DirEntry& d : view.lout_dir) {
+    for (uint64_t r = d.begin; r < d.begin + d.count; ++r) {
+      store.lout_fwd_.push_back(
+          {d.key, view.lout_rows[r].center, view.lout_rows[r].dist});
+    }
   }
   store.BuildBackwardRuns();
   return store;

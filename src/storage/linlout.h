@@ -86,10 +86,18 @@ class LinLoutStore {
 
   // ---- persistence ----
   //
-  // Files carry a versioned header (magic "HOPI" + format version +
-  // flags, see linlout.cc). Stale-version files fail with Unsupported;
-  // foreign or truncated files fail with Corruption — never garbage
-  // rows.
+  // Files use the versioned on-disk format defined in storage/format.h
+  // and specified byte-by-byte in docs/FILE_FORMAT.md. WriteToFile
+  // always emits the current version (v3: section table + trailing
+  // CRC-32) and is crash-safe: the image is staged in a sibling temp
+  // file, fsynced, and atomically renamed into place, so readers see
+  // either the old file or the new one — never a torn mix.
+  //
+  // ReadFromFile accepts v3 and the previous v2 layout (reading a v2
+  // file and writing it back migrates it to v3). Stale/future versions
+  // fail with Unsupported; foreign, truncated, or bit-flipped files
+  // fail with Corruption — never garbage rows. For zero-copy reads of
+  // v3 files see storage/mapped_linlout.h.
 
   Status WriteToFile(const std::string& path) const;
   static Result<LinLoutStore> ReadFromFile(const std::string& path);

@@ -1,0 +1,95 @@
+#include "storage/mapped_linlout.h"
+
+#include <algorithm>
+
+namespace hopi::storage {
+
+Result<MappedLinLoutStore> MappedLinLoutStore::Open(
+    const std::string& path, MappedOpenOptions options) {
+  MappedLinLoutStore store;
+  if (options.prefer_mmap && MappedFile::Supported()) {
+    auto map = MappedFile::Open(path);
+    if (map.ok()) {
+      store.map_.emplace(std::move(*map));
+    } else if (!map.status().IsUnsupported()) {
+      return map.status();  // missing/unreadable file: no fallback helps
+    }
+    // Unsupported (kernel refused the map): fall through to the
+    // buffered path below.
+  }
+  std::span<const std::byte> image;
+  if (store.map_) {
+    image = {store.map_->data(), store.map_->size()};
+  } else {
+    HOPI_ASSIGN_OR_RETURN(store.buffer_, ReadFileImage(path));
+    image = store.buffer_;
+  }
+  HOPI_ASSIGN_OR_RETURN(RawHeader header, ReadRawHeader(image, path));
+  if (header.version == kLegacyFormatVersion) {
+    return Status::Unsupported(
+        "LIN/LOUT file " + path +
+        " uses format v2 (no section table) — read it with "
+        "LinLoutStore::ReadFromFile and WriteToFile to migrate to v3");
+  }
+  HOPI_ASSIGN_OR_RETURN(store.view_, ParseV3(image, path));
+  return store;
+}
+
+bool MappedLinLoutStore::TestConnection(NodeId id1, NodeId id2) const {
+  if (id1 == id2) return true;
+  auto lout = LoutSpan(id1);
+  auto lin = LinSpan(id2);
+  return twohop::JoinLabelRanges(id1, id2, lout.data(), lout.size(),
+                                 lin.data(), lin.size(),
+                                 /*want_distance=*/false)
+      .connected;
+}
+
+std::optional<uint32_t> MappedLinLoutStore::MinDistance(NodeId id1,
+                                                        NodeId id2) const {
+  if (id1 == id2) return 0;
+  auto lout = LoutSpan(id1);
+  auto lin = LinSpan(id2);
+  return twohop::JoinLabelRanges(id1, id2, lout.data(), lout.size(),
+                                 lin.data(), lin.size(),
+                                 /*want_distance=*/true)
+      .distance;
+}
+
+std::vector<NodeId> MappedLinLoutStore::Descendants(NodeId id) const {
+  std::vector<NodeId> result;
+  auto probe_center = [this, &result, id](NodeId center) {
+    if (center != id) result.push_back(center);  // the center itself
+    for (NodeId x : LookupRows(view_.lin_bwd_dir, view_.lin_bwd_ids, center)) {
+      if (x != id) result.push_back(x);
+    }
+  };
+  for (const twohop::LabelEntry& e : LoutSpan(id)) probe_center(e.center);
+  // Implicit self center: nodes whose LIN mentions `id`.
+  for (NodeId x : LookupRows(view_.lin_bwd_dir, view_.lin_bwd_ids, id)) {
+    result.push_back(x);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<NodeId> MappedLinLoutStore::Ancestors(NodeId id) const {
+  std::vector<NodeId> result;
+  auto probe_center = [this, &result, id](NodeId center) {
+    if (center != id) result.push_back(center);
+    for (NodeId x :
+         LookupRows(view_.lout_bwd_dir, view_.lout_bwd_ids, center)) {
+      if (x != id) result.push_back(x);
+    }
+  };
+  for (const twohop::LabelEntry& e : LinSpan(id)) probe_center(e.center);
+  for (NodeId x : LookupRows(view_.lout_bwd_dir, view_.lout_bwd_ids, id)) {
+    result.push_back(x);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace hopi::storage

@@ -1,0 +1,110 @@
+// Zero-copy, mmap-backed reader for LIN/LOUT files (v3 format).
+//
+// Where LinLoutStore::ReadFromFile copies every table row onto the heap
+// and re-sorts the backward runs, MappedLinLoutStore maps the file
+// read-only and answers queries straight out of the page cache: the
+// forward sections are stored as (center, dist) pairs bit-identical to
+// twohop::LabelEntry, so LinSpan/LoutSpan return borrowed spans over
+// the mapping and the QueryEngine batch path joins them without a
+// single row copy (engine::MappedLinLoutBackend wires this into the
+// ReachabilityBackend borrow hook). The backward sections persisted by
+// the v3 writer serve Descendants/Ancestors without rebuilding the
+// backward index in memory.
+//
+// Open() fully validates the file first — header, trailing CRC-32,
+// section bounds, directory sortedness — so a torn or bit-flipped file
+// fails with Status::Corruption before any query can dereference it.
+// On platforms without mmap (or when the kernel refuses the map) Open
+// falls back to one buffered read of the whole file into a private
+// heap image; every query path is identical, only the backing memory
+// differs.
+//
+// A MappedLinLoutStore is immutable and therefore safe to share across
+// threads once constructed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "storage/format.h"
+#include "twohop/cover.h"
+#include "util/mmap_file.h"
+#include "util/result.h"
+
+namespace hopi::storage {
+
+struct MappedOpenOptions {
+  /// When false, skip mmap and take the buffered-fallback path even
+  /// where mmap is available (used by tests and benchmarks to compare
+  /// the two modes; queries behave identically).
+  bool prefer_mmap = true;
+};
+
+class MappedLinLoutStore {
+ public:
+  /// Opens and validates `path`. Errors: IOError (missing/unreadable
+  /// file), Corruption (torn write, checksum mismatch, inconsistent
+  /// sections), Unsupported (v1/v2 or future versions — v2 files are
+  /// readable via LinLoutStore::ReadFromFile and migrate to v3 on the
+  /// next WriteToFile).
+  static Result<MappedLinLoutStore> Open(const std::string& path,
+                                         MappedOpenOptions options = {});
+
+  // ---- the paper's query shapes (parity with LinLoutStore) ----
+
+  /// True iff id1 ->* id2 according to the stored cover (reflexive).
+  bool TestConnection(NodeId id1, NodeId id2) const;
+
+  /// Minimum connection length, nullopt when unconnected; 0 for every
+  /// connected pair of a store written without distances.
+  std::optional<uint32_t> MinDistance(NodeId id1, NodeId id2) const;
+
+  /// All strict descendants of `id` (sorted), via the persisted
+  /// backward LIN sections.
+  std::vector<NodeId> Descendants(NodeId id) const;
+
+  /// All strict ancestors of `id` (sorted), via the persisted backward
+  /// LOUT sections.
+  std::vector<NodeId> Ancestors(NodeId id) const;
+
+  // ---- zero-copy label access ----
+
+  /// LIN(id) / LOUT(id) as spans borrowed from the file image, sorted
+  /// by center; empty for nodes without rows. Valid for the lifetime of
+  /// this store.
+  std::span<const twohop::LabelEntry> LinSpan(NodeId id) const {
+    return LookupRows(view_.lin_dir, view_.lin_rows, id);
+  }
+  std::span<const twohop::LabelEntry> LoutSpan(NodeId id) const {
+    return LookupRows(view_.lout_dir, view_.lout_rows, id);
+  }
+
+  // ---- storage accounting (parity with LinLoutStore) ----
+
+  uint64_t NumEntries() const {
+    return view_.lin_rows.size() + view_.lout_rows.size();
+  }
+  uint64_t StorageIntegers() const {
+    return NumEntries() * (2 + (with_distance() ? 1 : 0)) * 2;
+  }
+  bool with_distance() const { return view_.with_distance; }
+
+  /// True when backed by an actual memory map; false on the buffered
+  /// fallback path.
+  bool mapped() const { return map_.has_value(); }
+
+ private:
+  MappedLinLoutStore() = default;
+
+  // Exactly one of map_/buffer_ backs view_; both keep their data
+  // pointer stable under move, so the spans in view_ survive moves.
+  std::optional<MappedFile> map_;
+  std::vector<std::byte> buffer_;
+  FileView view_;
+};
+
+}  // namespace hopi::storage

@@ -1,0 +1,21 @@
+// CRC-32 checksum (the zlib/IEEE 802.3 polynomial, reflected form).
+//
+// Used by the storage layer to seal LIN/LOUT files: the writer appends
+// the checksum of everything it wrote, the readers recompute it before
+// trusting any field, so a torn or bit-flipped file surfaces as a
+// Corruption status instead of garbage rows. The incremental form
+// (seed = previous value) lets writers checksum streaming output
+// without buffering twice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hopi {
+
+/// CRC-32 of `data[0, n)`. Pass the previous return value as `seed` to
+/// extend a running checksum across multiple buffers; the default seed
+/// starts a fresh checksum. Crc32(p, 0) == seed.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace hopi

@@ -1,0 +1,80 @@
+#include "util/mmap_file.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HOPI_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define HOPI_HAS_MMAP 0
+#endif
+
+namespace hopi {
+
+bool MappedFile::Supported() { return HOPI_HAS_MMAP != 0; }
+
+#if HOPI_HAS_MMAP
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile(nullptr, 0);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (map == MAP_FAILED) {
+    return Status::Unsupported("mmap failed for " + path +
+                               " — use the buffered reader");
+  }
+  return MappedFile(static_cast<const std::byte*>(map), size);
+}
+
+void MappedFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+#else  // !HOPI_HAS_MMAP
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  return Status::Unsupported("no mmap on this platform (" + path +
+                             ") — use the buffered reader");
+}
+
+void MappedFile::Reset() {
+  data_ = nullptr;
+  size_ = 0;
+}
+
+#endif  // HOPI_HAS_MMAP
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { Reset(); }
+
+}  // namespace hopi

@@ -1,0 +1,48 @@
+// Read-only memory-mapped file with RAII unmapping.
+//
+// The storage layer's mapped LIN/LOUT reader serves label spans straight
+// out of the page cache through this wrapper. Platforms without mmap
+// (or a failed map) report Unsupported from Open(); callers fall back to
+// buffered reads — MappedFile never aborts the process.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/result.h"
+
+namespace hopi {
+
+class MappedFile {
+ public:
+  /// True when this build can memory-map files at all (POSIX mmap).
+  /// When false, Open() always returns Unsupported and callers should
+  /// take their buffered-read path directly.
+  static bool Supported();
+
+  /// Maps `path` read-only in its entirety. An empty file maps to a
+  /// valid zero-length view. Errors: IOError (missing/unreadable file),
+  /// Unsupported (platform without mmap or kernel refusal).
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// First byte of the mapping; nullptr only for zero-length files.
+  /// The view is valid for the lifetime of this object.
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(const std::byte* data, size_t size) : data_(data), size_(size) {}
+
+  void Reset();
+
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace hopi

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "engine/backends.h"
@@ -17,7 +19,9 @@ namespace {
 using collection::Collection;
 
 /// One distance-aware index over a small DBLP-like collection, exposed
-/// through all three backends.
+/// through all four backends (the mapped store is round-tripped
+/// through an actual v3 file, so this suite also proves the on-disk
+/// format preserves every query shape).
 class BackendParityFixture : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -31,15 +35,26 @@ class BackendParityFixture : public ::testing::Test {
         storage::LinLoutStore::FromCover(index_->cover(), true));
     closure_ = std::make_unique<TransitiveClosureIndex>(
         TransitiveClosureIndex::Build(c_.ElementGraph(), true));
+    store_path_ = ::testing::TempDir() + "hopi_engine_parity.bin";
+    ASSERT_TRUE(store_->WriteToFile(store_path_).ok());
+    auto mapped = storage::MappedLinLoutStore::Open(store_path_);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    mapped_store_ = std::make_unique<storage::MappedLinLoutStore>(
+        std::move(mapped).value());
     backends_.push_back(std::make_unique<HopiIndexBackend>(*index_));
     backends_.push_back(std::make_unique<LinLoutBackend>(*store_));
     backends_.push_back(std::make_unique<ClosureBackend>(*closure_, true));
+    backends_.push_back(std::make_unique<MappedLinLoutBackend>(*mapped_store_));
   }
+
+  void TearDown() override { std::remove(store_path_.c_str()); }
 
   Collection c_;
   std::unique_ptr<HopiIndex> index_;
   std::unique_ptr<storage::LinLoutStore> store_;
   std::unique_ptr<TransitiveClosureIndex> closure_;
+  std::unique_ptr<storage::MappedLinLoutStore> mapped_store_;
+  std::string store_path_;
   std::vector<std::unique_ptr<ReachabilityBackend>> backends_;
 };
 
@@ -147,6 +162,8 @@ class QueryEngineFixture : public BackendParityFixture {
         std::make_unique<QueryEngine>(QueryEngine::ForStore(c_, *store_)));
     engines_.push_back(std::make_unique<QueryEngine>(
         QueryEngine::ForClosure(c_, *closure_, true)));
+    engines_.push_back(std::make_unique<QueryEngine>(
+        QueryEngine::ForMappedStore(c_, *mapped_store_)));
   }
 
   std::vector<NodePair> RandomPairs(size_t n, uint64_t seed) const {
@@ -235,6 +252,27 @@ TEST_F(QueryEngineFixture, RepeatedBatchServedFromLabelCache) {
   EXPECT_EQ(second.stats.cache_misses, 0u);
   EXPECT_GT(second.stats.cache_hits, 0u);
   EXPECT_EQ(second.reachable, first.reachable);
+}
+
+TEST_F(QueryEngineFixture, MappedBackendBorrowsSpansZeroCopy) {
+  QueryEngine& engine = *engines_[3];  // mmap-backed store
+  std::vector<NodePair> pairs;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (NodeId v = 0; v < 20; ++v) pairs.push_back({0, v});
+  }
+  BatchResponse r = engine.Batch({.pairs = pairs});
+  EXPECT_EQ(r.stats.unique_probes, 20u);
+  // Labels are lent as spans over the file image: no cache traffic, no
+  // backend probes, two borrows per non-reflexive unique pair — the
+  // same profile as the in-memory cover, straight off disk.
+  EXPECT_EQ(r.stats.labels_borrowed, 2u * 19u);
+  EXPECT_EQ(r.stats.cache_hits + r.stats.cache_misses, 0u);
+  EXPECT_EQ(r.stats.backend_probes, 0u);
+  EXPECT_EQ(engine.label_cache().size(), 0u);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(r.reachable[i],
+              engine.backend().IsReachable(pairs[i].first, pairs[i].second));
+  }
 }
 
 TEST_F(QueryEngineFixture, LabelLessBackendFallsBackToDirectProbes) {

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "hopi/build.h"
+#include "storage/format.h"
 #include "storage/linlout.h"
+#include "storage/mapped_linlout.h"
 #include "test_util.h"
 #include "twohop/builder.h"
 
@@ -255,6 +259,302 @@ TEST(LinLoutStoreTest, PlainStoreDistancesAreZero) {
   auto d = store.MinDistance(0, 2);
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(*d, 0u);
+}
+
+// ---- crash safety and the v3 on-disk format ----
+
+class StorageFormatTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  /// Fresh store written to path_; returns the in-memory original.
+  LinLoutStore WriteSample(bool with_distance, uint64_t seed) {
+    twohop::TwoHopCover cover = SampleCover(with_distance, seed);
+    LinLoutStore store = LinLoutStore::FromCover(cover, with_distance);
+    EXPECT_TRUE(store.WriteToFile(path_).ok());
+    return store;
+  }
+
+  std::string path_ = ::testing::TempDir() + "hopi_format_test.bin";
+};
+
+TEST_F(StorageFormatTest, AtomicWriterLeavesNoTempFile) {
+  WriteSample(true, 43);
+  FILE* tmp = std::fopen((path_ + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+}
+
+TEST_F(StorageFormatTest, RewriteReplacesExistingFileAtomically) {
+  WriteSample(false, 43);
+  LinLoutStore second = WriteSample(true, 47);  // overwrite in place
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->with_distance());
+  EXPECT_EQ(loaded->NumEntries(), second.NumEntries());
+}
+
+TEST_F(StorageFormatTest, FailedWriteReportsIOErrorAndWritesNothing) {
+  twohop::TwoHopCover cover = SampleCover(false, 43);
+  LinLoutStore store = LinLoutStore::FromCover(cover, false);
+  Status s = store.WriteToFile("/nonexistent/dir/f.bin");
+  EXPECT_TRUE(s.IsIOError()) << s;
+}
+
+TEST_F(StorageFormatTest, InspectReportsVersionAndOrderedSections) {
+  WriteSample(true, 43);
+  auto info = InspectFile(path_);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->version, kFormatVersion);
+  EXPECT_EQ(info->flags, kFlagDistance);
+  uint64_t prev_end = kHeaderBytes;
+  for (size_t s = 0; s < kNumSections; ++s) {
+    EXPECT_GE(info->sections[s].offset, prev_end) << "section " << s;
+    EXPECT_EQ(info->sections[s].offset % 8, 0u) << "section " << s;
+    prev_end = info->sections[s].offset + info->sections[s].length;
+  }
+  EXPECT_LE(prev_end, info->file_bytes - kTrailerBytes);
+}
+
+TEST_F(StorageFormatTest, TruncationAtEverySectionBoundaryIsCorruption) {
+  WriteSample(true, 43);
+  auto info = InspectFile(path_);
+  ASSERT_TRUE(info.ok()) << info.status();
+  // Every boundary of the file: header end, each section's begin and
+  // end, and mid-trailer. A torn write stopping at any of them must
+  // read as Corruption from both readers — never a crash or garbage.
+  std::vector<uint64_t> boundaries = {0, 4, kHeaderBytes,
+                                      info->file_bytes - 4};
+  for (const SectionRange& s : info->sections) {
+    boundaries.push_back(s.offset);
+    boundaries.push_back(s.offset + s.length);
+  }
+  std::vector<std::byte> image(info->file_bytes);
+  {
+    FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fread(image.data(), 1, image.size(), f), image.size());
+    std::fclose(f);
+  }
+  for (uint64_t cut : boundaries) {
+    ASSERT_LT(cut, info->file_bytes);
+    FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (cut > 0) {
+      ASSERT_EQ(std::fwrite(image.data(), 1, cut, f), cut);
+    }
+    std::fclose(f);
+    auto buffered = LinLoutStore::ReadFromFile(path_);
+    EXPECT_TRUE(buffered.status().IsCorruption())
+        << "buffered, cut at " << cut << ": " << buffered.status();
+    auto mapped = MappedLinLoutStore::Open(path_);
+    EXPECT_TRUE(mapped.status().IsCorruption())
+        << "mapped, cut at " << cut << ": " << mapped.status();
+  }
+}
+
+TEST_F(StorageFormatTest, BitFlipAnywhereIsCorruption) {
+  WriteSample(false, 53);
+  auto info = InspectFile(path_);
+  ASSERT_TRUE(info.ok());
+  // Flip one bit in the middle of the row data: only the trailing
+  // checksum can catch this (the sections still parse).
+  uint64_t victim = info->sections[kLinRows].offset + 5;
+  FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, static_cast<long>(victim), SEEK_SET);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  std::fseek(f, static_cast<long>(victim), SEEK_SET);
+  std::fputc(c ^ 0x10, f);
+  std::fclose(f);
+  auto buffered = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(buffered.status().IsCorruption()) << buffered.status();
+  auto mapped = MappedLinLoutStore::Open(path_);
+  EXPECT_TRUE(mapped.status().IsCorruption()) << mapped.status();
+}
+
+// ---- the mmap-backed reader ----
+
+class MappedStoreTest : public StorageFormatTest {};
+
+TEST_F(MappedStoreTest, MappedAndBufferedReadersAgreeEverywhere) {
+  LinLoutStore original = WriteSample(true, 59);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto mapped = MappedLinLoutStore::Open(path_);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_TRUE(mapped->mapped());  // POSIX CI: the real mmap path
+  EXPECT_EQ(mapped->NumEntries(), original.NumEntries());
+  EXPECT_EQ(mapped->StorageIntegers(), original.StorageIntegers());
+  EXPECT_TRUE(mapped->with_distance());
+  twohop::TwoHopCover cover = SampleCover(true, 59);
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    for (NodeId v = 0; v < cover.NumNodes(); ++v) {
+      EXPECT_EQ(mapped->TestConnection(u, v), loaded->TestConnection(u, v))
+          << u << "->" << v;
+      EXPECT_EQ(mapped->MinDistance(u, v), loaded->MinDistance(u, v))
+          << u << "->" << v;
+    }
+    EXPECT_EQ(mapped->Descendants(u), loaded->Descendants(u)) << u;
+    EXPECT_EQ(mapped->Ancestors(u), loaded->Ancestors(u)) << u;
+  }
+}
+
+TEST_F(MappedStoreTest, SpansMatchMaterializedLabels) {
+  LinLoutStore original = WriteSample(true, 61);
+  auto mapped = MappedLinLoutStore::Open(path_);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  twohop::TwoHopCover cover = SampleCover(true, 61);
+  std::vector<twohop::LabelEntry> label;
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    original.LinLabel(u, &label);
+    auto lin = mapped->LinSpan(u);
+    EXPECT_EQ(std::vector<twohop::LabelEntry>(lin.begin(), lin.end()), label);
+    original.LoutLabel(u, &label);
+    auto lout = mapped->LoutSpan(u);
+    EXPECT_EQ(std::vector<twohop::LabelEntry>(lout.begin(), lout.end()),
+              label);
+  }
+  EXPECT_TRUE(mapped->LinSpan(1u << 30).empty());  // out-of-range node
+}
+
+TEST_F(MappedStoreTest, BufferedFallbackAnswersIdentically) {
+  WriteSample(true, 67);
+  auto mapped = MappedLinLoutStore::Open(path_);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  auto fallback = MappedLinLoutStore::Open(path_, {.prefer_mmap = false});
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  EXPECT_FALSE(fallback->mapped());
+  twohop::TwoHopCover cover = SampleCover(true, 67);
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    for (NodeId v = 0; v < cover.NumNodes(); v += 2) {
+      EXPECT_EQ(fallback->TestConnection(u, v), mapped->TestConnection(u, v));
+      EXPECT_EQ(fallback->MinDistance(u, v), mapped->MinDistance(u, v));
+    }
+    EXPECT_EQ(fallback->Descendants(u), mapped->Descendants(u));
+  }
+}
+
+TEST_F(MappedStoreTest, MissingFileIsIOError) {
+  auto mapped = MappedLinLoutStore::Open("/nonexistent/dir/f.bin");
+  EXPECT_TRUE(mapped.status().IsIOError()) << mapped.status();
+}
+
+TEST_F(MappedStoreTest, EmptyStoreRoundTrips) {
+  LinLoutStore store = LinLoutStore::FromCover(twohop::TwoHopCover(5), false);
+  ASSERT_TRUE(store.WriteToFile(path_).ok());
+  auto mapped = MappedLinLoutStore::Open(path_);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped->NumEntries(), 0u);
+  EXPECT_FALSE(mapped->TestConnection(0, 1));
+  EXPECT_TRUE(mapped->TestConnection(2, 2));  // reflexive
+  EXPECT_TRUE(mapped->Descendants(3).empty());
+}
+
+// ---- v2 migration path ----
+
+namespace v2 {
+
+/// Serializes `store` in the legacy v2 layout (header + bare row
+/// triplets, no section table, no checksum) so the migration tests can
+/// exercise files written by the previous format revision.
+void WriteLegacyFile(const LinLoutStore& store, size_t num_nodes,
+                     const std::string& path) {
+  std::vector<TableRow> lin, lout;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (const TableRow& r : store.ScanLin(u)) lin.push_back(r);
+    for (const TableRow& r : store.ScanLout(u)) lout.push_back(r);
+  }
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  uint32_t version = kLegacyFormatVersion;
+  uint32_t flags = store.with_distance() ? kFlagDistance : 0;
+  uint64_t counts[2] = {lin.size(), lout.size()};
+  ASSERT_EQ(std::fwrite(kMagic, sizeof(kMagic), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&version, sizeof(version), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&flags, sizeof(flags), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(counts, sizeof(counts), 1, f), 1u);
+  for (const std::vector<TableRow>* run : {&lin, &lout}) {
+    for (const TableRow& r : *run) {
+      uint32_t buf[3] = {r.id, r.center, r.dist};
+      ASSERT_EQ(std::fwrite(buf, sizeof(buf), 1, f), 1u);
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace v2
+
+TEST_F(StorageFormatTest, LegacyV2FileReadsAndMigratesToV3) {
+  twohop::TwoHopCover cover = SampleCover(true, 71);
+  LinLoutStore store = LinLoutStore::FromCover(cover, true);
+  v2::WriteLegacyFile(store, cover.NumNodes(), path_);
+  auto info = InspectFile(path_);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, kLegacyFormatVersion);
+  // The buffered reader accepts v2...
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumEntries(), store.NumEntries());
+  EXPECT_TRUE(loaded->with_distance());
+  // ...the mapped reader refuses it with a pointer to the migration...
+  auto mapped = MappedLinLoutStore::Open(path_);
+  EXPECT_TRUE(mapped.status().IsUnsupported()) << mapped.status();
+  EXPECT_NE(mapped.status().message().find("migrate"), std::string::npos);
+  // ...and writing the loaded store back produces a v3 file that the
+  // mapped reader serves with identical answers.
+  ASSERT_TRUE(loaded->WriteToFile(path_).ok());
+  auto migrated_info = InspectFile(path_);
+  ASSERT_TRUE(migrated_info.ok());
+  EXPECT_EQ(migrated_info->version, kFormatVersion);
+  auto migrated = MappedLinLoutStore::Open(path_);
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  for (NodeId u = 0; u < cover.NumNodes(); ++u) {
+    for (NodeId v = 0; v < cover.NumNodes(); v += 3) {
+      EXPECT_EQ(migrated->TestConnection(u, v), store.TestConnection(u, v));
+      EXPECT_EQ(migrated->MinDistance(u, v), store.MinDistance(u, v));
+    }
+  }
+}
+
+TEST_F(StorageFormatTest, DuplicateRowsInLegacyV2FileAreCorruption) {
+  // A v2 file with duplicate (id, center) rows must be rejected at
+  // read time: if it loaded, writing it back would produce a v3 file
+  // that the strict directory validation refuses — a migration that
+  // manufactures Corruption out of a "readable" file.
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  uint32_t version = kLegacyFormatVersion;
+  uint32_t flags = 0;
+  uint64_t counts[2] = {2, 0};
+  ASSERT_EQ(std::fwrite(kMagic, sizeof(kMagic), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&version, sizeof(version), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&flags, sizeof(flags), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(counts, sizeof(counts), 1, f), 1u);
+  uint32_t row[3] = {1, 2, 0};
+  ASSERT_EQ(std::fwrite(row, sizeof(row), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(row, sizeof(row), 1, f), 1u);  // exact duplicate
+  std::fclose(f);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+}
+
+TEST_F(StorageFormatTest, TruncatedLegacyV2FileIsCorruption) {
+  twohop::TwoHopCover cover = SampleCover(false, 73);
+  LinLoutStore store = LinLoutStore::FromCover(cover, false);
+  v2::WriteLegacyFile(store, cover.NumNodes(), path_);
+  FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path_.c_str(), size - 8), 0);
+  auto loaded = LinLoutStore::ReadFromFile(path_);
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
 }
 
 TEST(LinLoutStoreTest, EndToEndWithBuiltIndex) {

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <string>
 
+#include "util/checksum.h"
 #include "util/cli.h"
+#include "util/mmap_file.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -252,6 +257,66 @@ TEST(TablePrinterTest, FmtCountSmallNumbers) {
   EXPECT_EQ(TablePrinter::FmtCount(0), "0");
   EXPECT_EQ(TablePrinter::FmtCount(999), "999");
   EXPECT_EQ(TablePrinter::FmtCount(1000), "1,000");
+}
+
+TEST(ChecksumTest, MatchesKnownCrc32Vectors) {
+  // The standard IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(ChecksumTest, IncrementalMatchesOneShot) {
+  const char data[] = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32(data, sizeof(data) - 1);
+  uint32_t part = Crc32(data, 10);
+  part = Crc32(data + 10, sizeof(data) - 1 - 10, part);
+  EXPECT_EQ(part, whole);
+}
+
+TEST(ChecksumTest, DetectsSingleBitFlip) {
+  char data[] = "payload under test";
+  uint32_t before = Crc32(data, sizeof(data));
+  data[7] ^= 0x01;
+  EXPECT_NE(Crc32(data, sizeof(data)), before);
+}
+
+TEST(MappedFileTest, MapsFileContents) {
+  if (!MappedFile::Supported()) GTEST_SKIP() << "no mmap on this platform";
+  std::string path = ::testing::TempDir() + "hopi_mmap_test.bin";
+  const char payload[] = "mapped bytes";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(payload, sizeof(payload), 1, f), 1u);
+  std::fclose(f);
+  {
+    auto mapped = MappedFile::Open(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    ASSERT_EQ(mapped->size(), sizeof(payload));
+    EXPECT_EQ(std::memcmp(mapped->data(), payload, sizeof(payload)), 0);
+    // Move keeps the view valid and empties the source.
+    MappedFile moved = std::move(*mapped);
+    EXPECT_EQ(moved.size(), sizeof(payload));
+    EXPECT_EQ(std::memcmp(moved.data(), payload, sizeof(payload)), 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MissingFileIsIOError) {
+  auto mapped = MappedFile::Open("/nonexistent/dir/f.bin");
+  EXPECT_FALSE(mapped.ok());
+}
+
+TEST(MappedFileTest, EmptyFileMapsToEmptyView) {
+  if (!MappedFile::Supported()) GTEST_SKIP() << "no mmap on this platform";
+  std::string path = ::testing::TempDir() + "hopi_mmap_empty.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped->size(), 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
