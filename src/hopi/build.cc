@@ -1,11 +1,11 @@
 #include "hopi/build.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
-#include <thread>
+#include <numeric>
 
 #include "graph/subgraph.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace hopi {
@@ -19,6 +19,36 @@ void AggregateStats(const twohop::CoverBuildStats& part,
   total->densest_recomputations += part.densest_recomputations;
   total->queue_reinsertions += part.queue_reinsertions;
   total->preselect_covered += part.preselect_covered;
+  total->speculative_evaluations += part.speculative_evaluations;
+  total->speculative_wasted += part.speculative_wasted;
+}
+
+/// Splits the thread budget between partition-level workers and
+/// intra-partition cover threads: `outer` partition builds run
+/// concurrently, partition p's build uses the returned inner count, and
+/// the leftover budget (threads % outer, nonzero only when there are
+/// fewer partitions than threads) goes to the partitions with the most
+/// elements — the ones that cap the covers phase. Worker p participates
+/// in its own inner pool, so at most `threads` OS threads run at once.
+std::vector<size_t> SplitThreadBudget(size_t threads, size_t outer,
+                                      const std::vector<size_t>& part_sizes) {
+  const size_t parts = part_sizes.size();
+  std::vector<size_t> inner(parts, outer == 0 ? 1 : threads / outer);
+  size_t extra = outer == 0 ? 0 : threads % outer;
+  if (extra > 0) {
+    std::vector<size_t> by_size(parts);
+    std::iota(by_size.begin(), by_size.end(), size_t{0});
+    std::sort(by_size.begin(), by_size.end(), [&](size_t a, size_t b) {
+      if (part_sizes[a] != part_sizes[b]) {
+        return part_sizes[a] > part_sizes[b];
+      }
+      return a < b;
+    });
+    for (size_t rank = 0; rank < extra && rank < parts; ++rank) {
+      ++inner[by_size[rank]];
+    }
+  }
+  return inner;
 }
 
 }  // namespace
@@ -30,12 +60,16 @@ Result<HopiIndex> BuildIndex(collection::Collection* collection,
   if (stats == nullptr) stats = &local_stats;
   Stopwatch total_watch;
 
+  const size_t threads = std::max<size_t>(options.num_threads, 1);
   twohop::CoverBuildOptions cover_options;
   cover_options.with_distance = options.with_distance;
 
   if (options.global) {
     Stopwatch watch;
     twohop::CoverBuildStats cb;
+    // One global cover is the extreme single-fat-partition case: the
+    // whole thread budget goes inside the cover build.
+    cover_options.num_threads = threads;
     auto cover = twohop::BuildCover(collection->ElementGraph(), cover_options,
                                     &cb);
     if (!cover.ok()) return cover.status();
@@ -76,9 +110,13 @@ Result<HopiIndex> BuildIndex(collection::Collection* collection,
   }
 
   // --- Step 2: per-partition covers (local ids, translated to global) ---
-  // Partition covers are independent; with num_threads > 1 they are built
-  // concurrently (Sec 4.1: "all these computations can be done
-  // concurrently") and translated into the unified cover serially.
+  // Partition covers are independent; they are built over a thread pool
+  // (Sec 4.1: "all these computations can be done concurrently") and
+  // translated into the unified cover serially. The budget is split:
+  // `outer` pool workers across partitions, the remainder as
+  // intra-partition threads inside the largest covers (see
+  // SplitThreadBudget), so one fat partition no longer caps the phase at
+  // single-thread speed.
   watch.Restart();
   const size_t num_partitions = partitioning->NumPartitions();
   std::vector<Result<twohop::TwoHopCover>> covers(
@@ -86,7 +124,17 @@ Result<HopiIndex> BuildIndex(collection::Collection* collection,
   std::vector<InducedSubgraph> subgraphs(num_partitions);
   std::vector<twohop::CoverBuildStats> part_stats(num_partitions);
 
-  auto build_one = [&](size_t p) {
+  std::vector<size_t> part_sizes(num_partitions, 0);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    for (collection::DocId d : partitioning->partitions[p]) {
+      part_sizes[p] += collection->ElementsOf(d).size();
+    }
+  }
+  const size_t outer = std::min(threads, std::max<size_t>(num_partitions, 1));
+  const std::vector<size_t> inner_threads =
+      SplitThreadBudget(threads, outer, part_sizes);
+
+  auto build_one = [&](size_t p) -> Status {
     std::vector<NodeId> elements;
     for (collection::DocId d : partitioning->partitions[p]) {
       const auto& els = collection->ElementsOf(d);
@@ -95,6 +143,7 @@ Result<HopiIndex> BuildIndex(collection::Collection* collection,
     subgraphs[p] =
         BuildInducedSubgraph(collection->ElementGraph(), elements);
     twohop::CoverBuildOptions part_options = cover_options;
+    part_options.num_threads = inner_threads[p];
     for (NodeId global_target : preselect_by_part[p]) {
       NodeId local = subgraphs[p].Local(global_target);
       assert(local != kInvalidNode);
@@ -102,25 +151,14 @@ Result<HopiIndex> BuildIndex(collection::Collection* collection,
     }
     covers[p] =
         twohop::BuildCover(subgraphs[p].graph, part_options, &part_stats[p]);
+    // Propagate a failed cover build through the pool's error channel so
+    // the first failure cancels the remaining partitions immediately
+    // (it used to surface only during the serial unification pass).
+    return covers[p].status();
   };
 
-  size_t threads = std::max<size_t>(options.num_threads, 1);
-  if (threads <= 1 || num_partitions <= 1) {
-    for (size_t p = 0; p < num_partitions; ++p) build_one(p);
-  } else {
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      workers.emplace_back([&] {
-        for (size_t p = next.fetch_add(1); p < num_partitions;
-             p = next.fetch_add(1)) {
-          build_one(p);
-        }
-      });
-    }
-    for (std::thread& w : workers) w.join();
-  }
+  ThreadPool partition_pool(outer);
+  HOPI_RETURN_NOT_OK(partition_pool.ParallelFor(0, num_partitions, build_one));
 
   twohop::TwoHopCover unified(collection->NumElements());
   for (size_t p = 0; p < num_partitions; ++p) {

@@ -38,11 +38,15 @@ struct IndexBuildOptions {
   /// Sec 4.1: recursively partition the PSG when it exceeds this many
   /// nodes (0 = always traverse it whole).
   uint64_t psg_partition_cap = 0;
-  /// Partition covers are independent ("all these computations can be
-  /// done concurrently", Sec 4.1); build them with this many worker
-  /// threads. The TC-size-aware partitioner equalizes partition closure
-  /// sizes precisely so this parallelism yields a speedup close to the
-  /// thread count (Sec 7.2).
+  /// Total thread budget for the covers phase. Partition covers are
+  /// independent ("all these computations can be done concurrently",
+  /// Sec 4.1) and run over a shared pool; when there are fewer
+  /// partitions than threads, the leftover budget moves *inside* the
+  /// largest partitions' cover builds (speculative candidate
+  /// evaluation, see twohop::CoverBuildOptions::num_threads), so the
+  /// fattest partition no longer caps the phase at single-thread speed.
+  /// In `global` mode the whole budget goes to the one cover build.
+  /// The built index is identical for every value.
   size_t num_threads = 1;
 };
 

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <queue>
+#include <utility>
 
 #include "graph/bitset.h"
 #include "graph/traversal.h"
 #include "twohop/center_graph.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace hopi::twohop {
 
@@ -170,12 +173,18 @@ class CenterGraphBuilder {
   DynamicBitset out_mask_;
 };
 
-/// Priority-queue entry for the lazy candidate queue.
+/// Priority-queue entry for the lazy candidate queue. The comparison is a
+/// strict total order (each node has at most one live entry, so the
+/// (priority, node) keys are distinct): ties on priority break toward the
+/// smaller node id. This makes the pop sequence a function of the queue
+/// *contents* alone — independent of heap layout, and therefore of how
+/// the speculation stage pops and re-pushes the frontier.
 struct Candidate {
   double priority;
   NodeId node;
   bool operator<(const Candidate& other) const {
-    return priority < other.priority;  // max-heap
+    if (priority != other.priority) return priority < other.priority;
+    return node > other.node;  // max-heap: equal priorities pop low id first
   }
 };
 
@@ -263,6 +272,267 @@ uint64_t ApplyCenter(NodeId w, const Side& in_side, const Side& out_side,
   return covered;
 }
 
+/// Per-worker scratch for candidate evaluation: sides and the
+/// center-graph builder's index map/mask are reused across evaluations so
+/// the hot loop stays allocation-light, and owning one per worker makes
+/// the speculation stage share nothing but read-only state.
+struct EvalScratch {
+  explicit EvalScratch(size_t num_nodes) : cg_builder(num_nodes) {}
+  Side in_side;
+  Side out_side;
+  CenterGraphBuilder cg_builder;
+};
+
+/// A candidate's densest-subgraph evaluation, stamped with the version of
+/// the uncovered set it was computed against. `consumed` distinguishes
+/// speculative work that paid off from work a commit threw away.
+struct CachedEval {
+  uint64_t version = 0;  // 0 = never evaluated
+  bool consumed = false;
+  DensestSubgraph ds;
+};
+
+/// The staged cover-construction pipeline (see builder.h for the stage
+/// overview and the determinism argument). One instance per build; the
+/// pool (if any) lives as long as the pipeline.
+class CoverBuildPipeline {
+ public:
+  CoverBuildPipeline(const TransitiveClosure& tc, const DistanceClosure* dc,
+                     const CoverBuildOptions& options, CoverBuildStats* stats)
+      : tc_(tc),
+        dc_(dc),
+        options_(options),
+        stats_(stats),
+        n_(tc.NumNodes()),
+        cover_(n_),
+        uncovered_(tc),
+        elig_(dc, options.with_distance) {
+    if (options_.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+    size_t workers = pool_ ? pool_->NumWorkers() : 1;
+    scratch_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) scratch_.emplace_back(n_);
+    batch_limit_ = options_.speculation_batch > 0 ? options_.speculation_batch
+                                                  : workers;
+  }
+
+  Result<TwoHopCover> Run() {
+    stats_->initial_connections = uncovered_.count();
+    Preselect();
+    HOPI_RETURN_NOT_OK(SeedPriorities());
+    HOPI_RETURN_NOT_OK(GreedyLoop());
+    return std::move(cover_);
+  }
+
+ private:
+  // --- Stage 0: center preselection (Sec 4.2), sequential ---
+  void Preselect() {
+    EvalScratch& s = scratch_[0];
+    for (NodeId w : options_.preselect_centers) {
+      if (uncovered_.count() == 0) break;
+      assert(w < n_);
+      BuildSides(tc_, dc_, options_.with_distance, w, &s.in_side,
+                 &s.out_side);
+      // Use only nodes that still have an uncovered pair through w — the
+      // point of preselection is fewer redundant entries, not more.
+      std::vector<uint32_t> in_chosen, out_chosen;
+      BipartiteGraph cg =
+          s.cg_builder.Build(uncovered_, elig_, options_.with_distance, w,
+                             s.in_side, s.out_side);
+      for (uint32_t i = 0; i < cg.NumIn(); ++i) {
+        if (!cg.InAdj(i).empty()) in_chosen.push_back(i);
+      }
+      for (uint32_t j = 0; j < cg.NumOut(); ++j) {
+        if (!cg.OutAdj(j).empty()) out_chosen.push_back(j);
+      }
+      if (in_chosen.empty()) continue;
+      stats_->preselect_covered +=
+          ApplyCenter(w, s.in_side, s.out_side, in_chosen, out_chosen, elig_,
+                      options_.with_distance, &uncovered_, &cover_);
+    }
+  }
+
+  // --- Stage 1: parallel priority seeding ---
+  // Each node's initial priority is a pure function of the closure and,
+  // in distance mode, its own forked random stream — so the parallel and
+  // sequential passes produce the same priorities bit for bit.
+  Status SeedPriorities() {
+    std::vector<double> priorities(n_, 0.0);
+    const Rng base(options_.sample_seed);
+    auto seed_one = [&](size_t w) {
+      if (options_.with_distance) {
+        Rng node_rng = base.Fork(w);
+        priorities[w] = DistanceInitialPriority(
+            *dc_, static_cast<NodeId>(w), options_.max_density_samples,
+            options_.density_confidence, &node_rng);
+      } else {
+        priorities[w] = PlainInitialPriority(
+            tc_.AncestorsRow(static_cast<NodeId>(w)).Count(),
+            tc_.DescendantsRow(static_cast<NodeId>(w)).Count());
+      }
+      return Status::OK();
+    };
+    if (pool_) {
+      HOPI_RETURN_NOT_OK(pool_->ParallelFor(0, n_, seed_one));
+    } else {
+      for (size_t w = 0; w < n_; ++w) {
+        Status s = seed_one(w);
+        assert(s.ok());
+        (void)s;
+      }
+    }
+    for (NodeId w = 0; w < n_; ++w) {
+      if (priorities[w] > 0.0) queue_.push({priorities[w], w});
+    }
+    return Status::OK();
+  }
+
+  // --- Stage 2+3: speculative evaluation + sequential commits ---
+  Status GreedyLoop() {
+    constexpr double kEps = 1e-9;
+    cache_.assign(n_, CachedEval{});
+    while (uncovered_.count() > 0) {
+      if (queue_.empty()) {
+        return Status::Internal(
+            "candidate queue drained with uncovered connections left");
+      }
+      if (cache_[queue_.top().node].version != version_) {
+        HOPI_RETURN_NOT_OK(EvaluateFrontier());
+      }
+      Candidate cand = queue_.top();
+      queue_.pop();
+      NodeId w = cand.node;
+      CachedEval& eval = cache_[w];
+      assert(eval.version == version_);
+      eval.consumed = true;
+      const DensestSubgraph& ds = eval.ds;
+
+      if (ds.density <= 0.0) {
+        eval.ds = DensestSubgraph();  // w is dropped for good; free its eval
+        continue;
+      }
+      if (ds.density + kEps < cand.priority) {
+        // Stale: priority dropped since the estimate. Reinsert and retry.
+        queue_.push({ds.density, w});
+        ++stats_->queue_reinsertions;
+        continue;
+      }
+
+      // Commit. The popped candidate's evaluation is exact: the uncovered
+      // set has not changed since version_ was stamped. Sides are
+      // rebuilt (pure in w, O(|Anc|+|Desc|)) rather than cached — the
+      // chosen vertex indices refer to their deterministic order.
+      EvalScratch& s = scratch_[0];
+      BuildSides(tc_, dc_, options_.with_distance, w, &s.in_side,
+                 &s.out_side);
+      uint64_t covered =
+          ApplyCenter(w, s.in_side, s.out_side, ds.in_vertices,
+                      ds.out_vertices, elig_, options_.with_distance,
+                      &uncovered_, &cover_);
+      assert(covered > 0);
+      (void)covered;
+      ++stats_->centers_chosen;
+      ++version_;  // every outstanding speculative evaluation is now stale
+      // w may still be useful for its remaining uncovered pairs; its
+      // density can only have decreased, so this is a valid upper bound.
+      queue_.push({ds.density, w});
+      // Everything evaluated against the pre-commit snapshot is dead now
+      // (including w's own result, consumed above) — release the vertex
+      // lists so cache memory stays bounded by one snapshot's frontier
+      // activity instead of growing with every node ever evaluated. The
+      // version/consumed flags survive for the waste accounting.
+      for (NodeId evaluated : current_version_evals_) {
+        cache_[evaluated].ds = DensestSubgraph();
+      }
+      current_version_evals_.clear();
+    }
+    // The final commit staled the whole outstanding frontier; those
+    // evaluations will never be consumed, so account them now (in-loop
+    // waste counting only sees entries that get re-evaluated).
+    for (const CachedEval& e : cache_) {
+      if (e.version != 0 && e.version != version_ && !e.consumed) {
+        ++stats_->speculative_wasted;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Pops the top-K frontier, evaluates every candidate without a
+  /// current-version cache entry in parallel against the (read-only)
+  /// uncovered set, and pushes the frontier back unchanged — the queue
+  /// contents, and with them the deterministic pop order, are exactly as
+  /// before the speculation.
+  Status EvaluateFrontier() {
+    batch_.clear();
+    eval_nodes_.clear();
+    while (batch_.size() < batch_limit_ && !queue_.empty()) {
+      Candidate c = queue_.top();
+      queue_.pop();
+      batch_.push_back(c);
+      CachedEval& e = cache_[c.node];
+      if (e.version == version_) continue;  // still fresh from a prior round
+      if (e.version != 0 && !e.consumed) ++stats_->speculative_wasted;
+      eval_nodes_.push_back(c.node);
+    }
+    // The frontier head always needs evaluation (that is why we are
+    // here); everything beyond it is speculation.
+    assert(!eval_nodes_.empty());
+    stats_->densest_recomputations += eval_nodes_.size();
+    stats_->speculative_evaluations += eval_nodes_.size() - 1;
+
+    auto eval_one = [&](size_t idx, size_t worker) {
+      NodeId w = eval_nodes_[idx];
+      EvalScratch& s = scratch_[worker];
+      BuildSides(tc_, dc_, options_.with_distance, w, &s.in_side,
+                 &s.out_side);
+      BipartiteGraph cg =
+          s.cg_builder.Build(uncovered_, elig_, options_.with_distance, w,
+                             s.in_side, s.out_side);
+      CachedEval& e = cache_[w];
+      e.ds = ApproxDensestSubgraph(cg);
+      e.version = version_;
+      e.consumed = false;
+      return Status::OK();
+    };
+    current_version_evals_.insert(current_version_evals_.end(),
+                                  eval_nodes_.begin(), eval_nodes_.end());
+    Status status = Status::OK();
+    if (pool_ && eval_nodes_.size() > 1) {
+      status = pool_->ParallelFor(0, eval_nodes_.size(), eval_one);
+    } else {
+      for (size_t idx = 0; idx < eval_nodes_.size(); ++idx) {
+        Status s = eval_one(idx, 0);
+        assert(s.ok());
+        (void)s;
+      }
+    }
+    for (const Candidate& c : batch_) queue_.push(c);
+    return status;
+  }
+
+  const TransitiveClosure& tc_;
+  const DistanceClosure* dc_;
+  const CoverBuildOptions& options_;
+  CoverBuildStats* stats_;
+  const size_t n_;
+
+  TwoHopCover cover_;
+  UncoveredSet uncovered_;
+  CenterEligibility elig_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<EvalScratch> scratch_;
+  size_t batch_limit_ = 1;
+
+  std::priority_queue<Candidate> queue_;
+  std::vector<CachedEval> cache_;
+  uint64_t version_ = 1;  // bumped per commit; cache entries must match
+  std::vector<Candidate> batch_;     // frontier gathered per round
+  std::vector<NodeId> eval_nodes_;   // frontier members needing evaluation
+  std::vector<NodeId> current_version_evals_;  // evaluated since the last
+                                               // commit; freed by the next
+};
+
 }  // namespace
 
 Result<TwoHopCover> BuildCoverFromClosure(const TransitiveClosure& tc,
@@ -275,91 +545,8 @@ Result<TwoHopCover> BuildCoverFromClosure(const TransitiveClosure& tc,
   }
   CoverBuildStats local_stats;
   if (stats == nullptr) stats = &local_stats;
-
-  const size_t n = tc.NumNodes();
-  TwoHopCover cover(n);
-  UncoveredSet uncovered(tc);
-  stats->initial_connections = uncovered.count();
-  CenterEligibility elig(dc, options.with_distance);
-  Rng rng(options.sample_seed);
-
-  Side in_side, out_side;
-  CenterGraphBuilder cg_builder(n);
-
-  // --- Center preselection (Sec 4.2) ---
-  for (NodeId w : options.preselect_centers) {
-    if (uncovered.count() == 0) break;
-    assert(w < n);
-    BuildSides(tc, dc, options.with_distance, w, &in_side, &out_side);
-    // Use only nodes that still have an uncovered pair through w — the
-    // point of preselection is fewer redundant entries, not more.
-    std::vector<uint32_t> in_chosen, out_chosen;
-    BipartiteGraph cg = cg_builder.Build(uncovered, elig,
-                                         options.with_distance, w, in_side,
-                                         out_side);
-    for (uint32_t i = 0; i < cg.NumIn(); ++i) {
-      if (!cg.InAdj(i).empty()) in_chosen.push_back(i);
-    }
-    for (uint32_t j = 0; j < cg.NumOut(); ++j) {
-      if (!cg.OutAdj(j).empty()) out_chosen.push_back(j);
-    }
-    if (in_chosen.empty()) continue;
-    stats->preselect_covered +=
-        ApplyCenter(w, in_side, out_side, in_chosen, out_chosen, elig,
-                    options.with_distance, &uncovered, &cover);
-  }
-
-  // --- Greedy loop with the lazy priority queue (Sec 3.2) ---
-  std::priority_queue<Candidate> queue;
-  for (NodeId w = 0; w < n; ++w) {
-    double priority;
-    if (options.with_distance) {
-      priority = DistanceInitialPriority(
-          *dc, w, options.max_density_samples, options.density_confidence,
-          &rng);
-    } else {
-      priority = PlainInitialPriority(tc.AncestorsRow(w).Count(),
-                                      tc.DescendantsRow(w).Count());
-    }
-    if (priority > 0.0) queue.push({priority, w});
-  }
-
-  constexpr double kEps = 1e-9;
-  while (uncovered.count() > 0) {
-    if (queue.empty()) {
-      return Status::Internal(
-          "candidate queue drained with uncovered connections left");
-    }
-    Candidate cand = queue.top();
-    queue.pop();
-    NodeId w = cand.node;
-
-    BuildSides(tc, dc, options.with_distance, w, &in_side, &out_side);
-    BipartiteGraph cg = cg_builder.Build(uncovered, elig,
-                                         options.with_distance, w, in_side,
-                                         out_side);
-    ++stats->densest_recomputations;
-    DensestSubgraph ds = ApproxDensestSubgraph(cg);
-
-    if (ds.density <= 0.0) continue;  // nothing uncovered through w anymore
-    if (ds.density + kEps < cand.priority) {
-      // Stale: priority dropped since the estimate. Reinsert and retry.
-      queue.push({ds.density, w});
-      ++stats->queue_reinsertions;
-      continue;
-    }
-
-    uint64_t covered =
-        ApplyCenter(w, in_side, out_side, ds.in_vertices, ds.out_vertices,
-                    elig, options.with_distance, &uncovered, &cover);
-    assert(covered > 0);
-    (void)covered;
-    ++stats->centers_chosen;
-    // w may still be useful for its remaining uncovered pairs; its density
-    // can only have decreased, so the current value is a valid upper bound.
-    queue.push({ds.density, w});
-  }
-  return cover;
+  CoverBuildPipeline pipeline(tc, dc, options, stats);
+  return pipeline.Run();
 }
 
 Result<TwoHopCover> BuildCover(const Digraph& g,

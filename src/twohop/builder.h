@@ -17,6 +17,26 @@
 // Center preselection (Sec 4.2) seeds the cover with a caller-provided
 // list of centers (HOPI passes cross-partition link targets) before the
 // greedy loop starts.
+//
+// The build is staged so a single partition's cover can use several
+// threads (num_threads > 1) while staying deterministic:
+//   1. Priority seeding — the per-node initial priority pass (including
+//      the sampled binomial bound in distance mode, which draws from a
+//      per-node Rng::Fork stream) is embarrassingly parallel.
+//   2. Speculative evaluation — the greedy loop pops the top-K frontier
+//      of the lazy priority queue and evaluates every candidate's center
+//      graph + densest subgraph in parallel against the current
+//      (read-only) uncovered set, on thread-local scratch.
+//   3. Commit — candidates are then consumed strictly in priority order
+//      on one thread; each commit revalidates against the popped bound
+//      exactly like the sequential loop and invalidates the outstanding
+//      speculative evaluations (they were computed against a stale
+//      uncovered set).
+// Candidates are ordered by (priority, node id), a strict total order, so
+// the pop sequence is a function of queue *contents* alone and every
+// evaluation is a pure function of (node, uncovered set). The produced
+// cover is therefore bit-identical for every thread count and batch
+// size; only the wasted-speculation counters vary.
 #pragma once
 
 #include <cstddef>
@@ -43,6 +63,17 @@ struct CoverBuildOptions {
   uint32_t max_density_samples = 13600;
   double density_confidence = 0.98;
   uint64_t sample_seed = 0x5EED5EEDULL;
+
+  /// Threads used *inside* this cover build (priority seeding +
+  /// speculative candidate evaluation). 1 = fully sequential. The result
+  /// is bit-identical for every value; see the staging notes above.
+  size_t num_threads = 1;
+
+  /// Size of the speculatively evaluated priority-queue frontier per
+  /// round. 0 = auto (one candidate per worker thread). Larger batches
+  /// ride out longer stale-pop chains at the cost of more wasted
+  /// evaluations after a commit; the result never changes.
+  uint32_t speculation_batch = 0;
 };
 
 /// Instrumentation counters for the build (reported by the benches).
@@ -54,6 +85,16 @@ struct CoverBuildStats {
                                       // priority queue avoids paying
                                       // everywhere)
   uint64_t preselect_covered = 0;     // pairs covered by preselection
+  // Speculation accounting — these counters, *and*
+  // densest_recomputations above (which includes the speculative
+  // frontier evaluations), depend on num_threads/speculation_batch.
+  // The remaining counters are identical for every thread count
+  // because they are driven by the (deterministic) pop/commit
+  // sequence. speculative_evaluations = frontier evaluations beyond
+  // the mandatory head; speculative_wasted = how many of those were
+  // invalidated by a commit before being consumed.
+  uint64_t speculative_evaluations = 0;
+  uint64_t speculative_wasted = 0;
 };
 
 /// Builds a 2-hop cover for all connections of `g`. Computes the closure

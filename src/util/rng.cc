@@ -63,6 +63,17 @@ bool Rng::NextBernoulli(double p) {
   return NextDouble() < p;
 }
 
+Rng Rng::Fork(uint64_t i) const {
+  // Feed the full parent state and the stream index through splitmix so
+  // sibling streams (and the parent's own future output) stay decorrelated
+  // even for adjacent i.
+  uint64_t sm = s_[0] ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+  sm ^= SplitMix64(&sm) + Rotl(s_[1], 13);
+  sm ^= SplitMix64(&sm) + Rotl(s_[2], 29);
+  sm ^= SplitMix64(&sm) + Rotl(s_[3], 47);
+  return Rng(SplitMix64(&sm));
+}
+
 uint64_t Rng::NextZipf(uint64_t n, double s) {
   assert(n > 0);
   if (zipf_n_ != n || zipf_s_ != s) {

@@ -35,6 +35,14 @@ class Rng {
   /// True with probability p (clamped to [0,1]).
   bool NextBernoulli(double p);
 
+  /// Deterministic child generator for stream `i`: a pure function of the
+  /// current state and i that does NOT advance this generator, so forked
+  /// streams are independent of fork order. This is the seeding primitive
+  /// for parallel loops (ThreadPool::ParallelFor): task i draws from
+  /// Fork(i) and produces the same values no matter which worker runs it
+  /// or when.
+  Rng Fork(uint64_t i) const;
+
   /// Zipf-distributed rank in [0, n) with exponent `s`. Used by the DBLP
   /// generator for power-law citation targets. O(1) per draw after O(n)
   /// setup amortized via the rejection-inversion-free harmonic table.

@@ -1,0 +1,156 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace hopi {
+
+/// One ParallelFor invocation. Workers claim chunks of indices from
+/// `next`; every claimed index (run or skipped after cancellation) is
+/// counted in `done`, so done == end - begin is the completion condition
+/// the caller waits on — no worker can still be inside fn at that point
+/// because the count is bumped only after fn returns. The hot path is
+/// lock-free (one fetch_add to claim a chunk, one to report it done);
+/// `mu` is taken only to record a failure or to publish the final
+/// completion wakeup.
+struct ThreadPool::Job {
+  Job(size_t begin_arg, size_t end_arg, size_t chunk_arg,
+      const std::function<Status(size_t, size_t)>& fn_arg)
+      : begin(begin_arg), end(end_arg), chunk(chunk_arg), fn(fn_arg),
+        next(begin_arg) {}
+
+  const size_t begin;
+  const size_t end;
+  const size_t chunk;
+  const std::function<Status(size_t, size_t)>& fn;
+  std::atomic<size_t> next;
+  std::atomic<size_t> done{0};
+  std::atomic<bool> cancel{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t error_index = std::numeric_limits<size_t>::max();
+  Status status = Status::OK();
+  std::exception_ptr exception;
+
+  void Fail(size_t i, Status s, std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (i < error_index) {
+        error_index = i;
+        status = std::move(s);
+        exception = std::move(e);
+      }
+    }
+    cancel.store(true, std::memory_order_release);
+  }
+
+  void Run(size_t worker) {
+    for (;;) {
+      size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      size_t hi = std::min(lo + chunk, end);
+      for (size_t i = lo;
+           i < hi && !cancel.load(std::memory_order_acquire); ++i) {
+        try {
+          Status s = fn(i, worker);
+          if (!s.ok()) Fail(i, std::move(s), nullptr);
+        } catch (...) {
+          Fail(i, Status::OK(), std::current_exception());
+        }
+      }
+      size_t finished =
+          done.fetch_add(hi - lo, std::memory_order_acq_rel) + (hi - lo);
+      if (finished == end - begin) {
+        // Take the lock before notifying so the wakeup cannot slip
+        // between the caller's predicate check and its wait.
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t spawn = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (size_t t = 0; t < spawn; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t last_seq = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || (job_ && job_seq_ != last_seq); });
+      if (stop_) return;
+      job = job_;
+      last_seq = job_seq_;
+    }
+    job->Run(worker);
+  }
+}
+
+Status ThreadPool::ParallelFor(
+    size_t begin, size_t end,
+    const std::function<Status(size_t, size_t)>& fn) {
+  if (end <= begin) return Status::OK();
+  if (workers_.empty() || end - begin == 1) {
+    // Serial fast path with the same early-cancel error semantics.
+    for (size_t i = begin; i < end; ++i) {
+      Status s = fn(i, 0);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  // Chunked claiming keeps the per-index overhead of fine-grained loops
+  // (e.g. the per-node priority seeding pass) at one atomic op per
+  // ~8 chunks/worker instead of one per index; small ranges degrade to
+  // chunk = 1, which heterogeneous heavy tasks (partition covers,
+  // frontier evaluations) want for load balance.
+  size_t chunk = std::max<size_t>(1, (end - begin) / (NumWorkers() * 8));
+  auto job = std::make_shared<Job>(begin, end, chunk, fn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_seq_;
+  }
+  cv_.notify_all();
+  job->Run(0);
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == end - begin;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = nullptr;
+  }
+  if (job->exception) std::rethrow_exception(job->exception);
+  return job->status;
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end,
+                               const std::function<Status(size_t)>& fn) {
+  return ParallelFor(begin, end,
+                     [&fn](size_t i, size_t) { return fn(i); });
+}
+
+}  // namespace hopi

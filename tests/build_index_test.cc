@@ -286,6 +286,58 @@ TEST(BuildIndexTest, DegradationStableUnderDeletions) {
   EXPECT_LT(f, 100.0);
 }
 
+TEST(BuildIndexTest, ThreadBudgetNeverChangesTheIndex) {
+  // Partition covers are bit-deterministic for every thread count, and
+  // the unification/join passes are serial — so the whole index must be
+  // identical whether the budget is 1 thread or split across outer
+  // partition workers and inner cover threads.
+  Collection c = testing::SmallDblp(60, 211);
+  IndexBuildOptions base;
+  base.partition.strategy = partition::PartitionStrategy::kTcSizeAware;
+  base.partition.max_connections = 4000;
+  base.preselect_link_targets = true;
+  base.num_threads = 1;
+  auto sequential = BuildIndex(&c, base);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  for (size_t threads : {2u, 4u, 7u}) {
+    IndexBuildOptions opts = base;
+    opts.num_threads = threads;
+    auto threaded = BuildIndex(&c, opts);
+    ASSERT_TRUE(threaded.ok()) << threaded.status();
+    const twohop::TwoHopCover& a = sequential->cover();
+    const twohop::TwoHopCover& b = threaded->cover();
+    ASSERT_EQ(a.NumNodes(), b.NumNodes());
+    EXPECT_EQ(a.Size(), b.Size());
+    for (NodeId v = 0; v < a.NumNodes(); ++v) {
+      EXPECT_EQ(a.In(v), b.In(v)) << "threads=" << threads << " node=" << v;
+      EXPECT_EQ(a.Out(v), b.Out(v)) << "threads=" << threads << " node=" << v;
+    }
+  }
+}
+
+TEST(BuildIndexTest, GlobalBuildUsesInnerThreadsDeterministically) {
+  Collection c = testing::SmallDblp(25, 212);
+  IndexBuildOptions base;
+  base.global = true;
+  base.num_threads = 1;
+  auto sequential = BuildIndex(&c, base);
+  ASSERT_TRUE(sequential.ok());
+  IndexBuildOptions threaded_opts = base;
+  threaded_opts.num_threads = 4;
+  IndexBuildStats stats;
+  auto threaded = BuildIndex(&c, threaded_opts, &stats);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_TRUE(
+      twohop::ValidateCover(threaded->cover(), c.ElementGraph()).ok());
+  EXPECT_EQ(sequential->cover().Size(), threaded->cover().Size());
+  const twohop::TwoHopCover& a = sequential->cover();
+  const twohop::TwoHopCover& b = threaded->cover();
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.In(v), b.In(v));
+    EXPECT_EQ(a.Out(v), b.Out(v));
+  }
+}
+
 TEST(BuildIndexTest, XmarkCollectionEndToEnd) {
   Collection c;
   datagen::XmarkConfig config;

@@ -243,6 +243,111 @@ TEST(CoverBuilderTest, BuildFromPrecomputedClosure) {
   EXPECT_TRUE(ValidateCover(*cover, g).ok());
 }
 
+// ---- Parallel build determinism (the snapshot/commit protocol must
+// reproduce the sequential build bit for bit) ----
+
+void ExpectCoversIdentical(const TwoHopCover& a, const TwoHopCover& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  EXPECT_EQ(a.Size(), b.Size());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.In(v), b.In(v)) << "Lin mismatch at node " << v;
+    EXPECT_EQ(a.Out(v), b.Out(v)) << "Lout mismatch at node " << v;
+  }
+}
+
+class CoverBuilderParallelParity
+    : public ::testing::TestWithParam<bool> {};  // param = with_distance
+
+TEST_P(CoverBuilderParallelParity, ParallelCoverIdenticalToSequential) {
+  const bool with_distance = GetParam();
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    Digraph g = testing::RandomDag(60, 2.5, seed);
+    CoverBuildOptions sequential;
+    sequential.with_distance = with_distance;
+    sequential.num_threads = 1;
+    CoverBuildStats seq_stats;
+    auto base = BuildCover(g, sequential, &seq_stats);
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE(ValidateCover(*base, g, with_distance).ok());
+    for (size_t threads : {2u, 4u, 8u}) {
+      CoverBuildOptions parallel = sequential;
+      parallel.num_threads = threads;
+      CoverBuildStats par_stats;
+      auto cover = BuildCover(g, parallel, &par_stats);
+      ASSERT_TRUE(cover.ok());
+      EXPECT_TRUE(ValidateCover(*cover, g, with_distance).ok())
+          << "threads=" << threads << " seed=" << seed;
+      ExpectCoversIdentical(*base, *cover);
+      // The pop/commit sequence is identical, so the sequence-driven
+      // counters must match; only the speculation accounting may differ.
+      EXPECT_EQ(par_stats.centers_chosen, seq_stats.centers_chosen);
+      EXPECT_EQ(par_stats.queue_reinsertions, seq_stats.queue_reinsertions);
+      EXPECT_GE(par_stats.densest_recomputations,
+                seq_stats.densest_recomputations);
+      EXPECT_GE(par_stats.speculative_evaluations,
+                par_stats.speculative_wasted);
+    }
+  }
+}
+
+TEST_P(CoverBuilderParallelParity, ParallelCoverIdenticalOnCyclicGraphs) {
+  const bool with_distance = GetParam();
+  Digraph g = testing::RandomDigraph(30, 90, 24);
+  CoverBuildOptions sequential;
+  sequential.with_distance = with_distance;
+  auto base = BuildCover(g, sequential);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : {2u, 4u, 8u}) {
+    CoverBuildOptions parallel = sequential;
+    parallel.num_threads = threads;
+    auto cover = BuildCover(g, parallel);
+    ASSERT_TRUE(cover.ok());
+    EXPECT_TRUE(ValidateCover(*cover, g, with_distance).ok());
+    ExpectCoversIdentical(*base, *cover);
+  }
+}
+
+TEST_P(CoverBuilderParallelParity, SpeculationBatchNeverChangesTheCover) {
+  const bool with_distance = GetParam();
+  Digraph g = testing::RandomDag(50, 3.0, 25);
+  CoverBuildOptions sequential;
+  sequential.with_distance = with_distance;
+  auto base = BuildCover(g, sequential);
+  ASSERT_TRUE(base.ok());
+  for (uint32_t batch : {1u, 3u, 16u}) {
+    CoverBuildOptions parallel = sequential;
+    parallel.num_threads = 4;
+    parallel.speculation_batch = batch;
+    auto cover = BuildCover(g, parallel);
+    ASSERT_TRUE(cover.ok());
+    ExpectCoversIdentical(*base, *cover);
+  }
+}
+
+TEST_P(CoverBuilderParallelParity, ParallelPreselectionParity) {
+  const bool with_distance = GetParam();
+  Digraph g = testing::RandomDag(40, 2.0, 26);
+  CoverBuildOptions sequential;
+  sequential.with_distance = with_distance;
+  sequential.preselect_centers = {3, 11, 29};
+  CoverBuildStats seq_stats;
+  auto base = BuildCover(g, sequential, &seq_stats);
+  ASSERT_TRUE(base.ok());
+  CoverBuildOptions parallel = sequential;
+  parallel.num_threads = 4;
+  CoverBuildStats par_stats;
+  auto cover = BuildCover(g, parallel, &par_stats);
+  ASSERT_TRUE(cover.ok());
+  ExpectCoversIdentical(*base, *cover);
+  EXPECT_EQ(par_stats.preselect_covered, seq_stats.preselect_covered);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlainAndDistance, CoverBuilderParallelParity,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Distance" : "Plain";
+                         });
+
 TEST(CoverBuilderTest, DistanceModeRequiresDistanceClosure) {
   Digraph g(2);
   g.AddEdge(0, 1);

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "util/checksum.h"
+#include "util/thread_pool.h"
 #include "util/cli.h"
 #include "util/mmap_file.h"
 #include "util/result.h"
@@ -317,6 +321,166 @@ TEST(MappedFileTest, EmptyFileMapsToEmptyView) {
   ASSERT_TRUE(mapped.ok()) << mapped.status();
   EXPECT_EQ(mapped->size(), 0u);
   std::remove(path.c_str());
+}
+
+// ---- ThreadPool ----
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.NumWorkers(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  Status s = pool.ParallelFor(0, hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIdsIndexPerThreadScratch) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<uint64_t>> per_worker(pool.NumWorkers());
+  Status s = pool.ParallelFor(0, 100, [&](size_t, size_t worker) {
+    EXPECT_LT(worker, pool.NumWorkers());
+    per_worker[worker].fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  uint64_t total = 0;
+  for (const auto& c : per_worker) total += c.load();
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ThreadPoolTest, PoolOfOneRunsSerially) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.NumWorkers(), 1u);
+  int sum = 0;  // no synchronization: must run on the calling thread
+  Status s = pool.ParallelFor(5, 10, [&](size_t i) {
+    sum += static_cast<int>(i);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(sum, 5 + 6 + 7 + 8 + 9);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsOk) {
+  ThreadPool pool(2);
+  Status s = pool.ParallelFor(3, 3, [&](size_t) {
+    ADD_FAILURE() << "must not run";
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(ThreadPoolTest, PropagatesFailingStatus) {
+  ThreadPool pool(4);
+  Status s = pool.ParallelFor(0, 1000, [&](size_t i) {
+    if (i == 37) return Status::InvalidArgument("task 37 failed");
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.ToString().find("task 37"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, FirstFailureCancelsRemainingTasks) {
+  // Serial pool: deterministic claim order, so the lowest failing index
+  // wins and nothing past it runs.
+  ThreadPool pool(1);
+  std::atomic<size_t> ran{0};
+  Status s = pool.ParallelFor(0, 100, [&](size_t i) {
+    ran.fetch_add(1);
+    if (i >= 10) return Status::Internal("boom at " + std::to_string(i));
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.IsInternal());
+  EXPECT_NE(s.ToString().find("boom at 10"), std::string::npos);
+  EXPECT_EQ(ran.load(), 11u);
+}
+
+TEST(ThreadPoolTest, ConcurrentFailuresReportOneOfThem) {
+  ThreadPool pool(4);
+  Status s = pool.ParallelFor(0, 64, [&](size_t i) {
+    return Status::Internal("fail " + std::to_string(i));
+  });
+  EXPECT_TRUE(s.IsInternal());
+  EXPECT_NE(s.ToString().find("fail "), std::string::npos);
+}
+
+TEST(ThreadPoolTest, RethrowsWorkerExceptionInsteadOfTerminating) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      {
+        Status s = pool.ParallelFor(0, 100, [&](size_t i) {
+          if (i == 50) throw std::runtime_error("worker exploded");
+          return Status::OK();
+        });
+        (void)s;
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossLoopsAndAfterErrors) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<uint64_t> sum{0};
+    Status s = pool.ParallelFor(0, 50, [&](size_t i) {
+      sum.fetch_add(i);
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(sum.load(), 49u * 50u / 2u);
+    Status fail = pool.ParallelFor(0, 8, [&](size_t i) {
+      return i == 3 ? Status::NotFound("gone") : Status::OK();
+    });
+    EXPECT_TRUE(fail.IsNotFound());
+  }
+}
+
+// ---- Rng::Fork ----
+
+TEST(RngForkTest, SameStreamIsReproducible) {
+  Rng parent(0xF0F0F0F0ULL);
+  Rng a = parent.Fork(5);
+  Rng b = parent.Fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngForkTest, DistinctStreamsDiffer) {
+  Rng parent(0xF0F0F0F0ULL);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngForkTest, ForkDoesNotAdvanceParent) {
+  Rng forked(42);
+  Rng untouched(42);
+  Rng child = forked.Fork(7);
+  (void)child.Next();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(forked.Next(), untouched.Next());
+}
+
+TEST(RngForkTest, ForkIsOrderIndependent) {
+  Rng parent(99);
+  Rng first = parent.Fork(3);
+  Rng other = parent.Fork(8);
+  Rng again = parent.Fork(3);
+  (void)other;
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(first.Next(), again.Next());
+}
+
+TEST(RngForkTest, ChildStreamDecorrelatedFromParent) {
+  Rng parent(1234);
+  Rng child = parent.Fork(0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
 }
 
 }  // namespace
