@@ -1,0 +1,206 @@
+// EnginePool serving-throughput sweep: {1,2,4,8} workers × batch sizes
+// × backend kind, reporting queries/sec (probes, not batches) and the
+// per-batch label route mix (cache hit rate for the copy-route linlout
+// backend; borrow share for the zero-copy hopi / mapped backends).
+//
+// The submission side runs `clients` threads each firing synchronous
+// Batch() calls, so the measured number is end-to-end: queue, dispatch,
+// per-worker engine, future completion. A final table measures
+// throughput while a background thread Swap()s two snapshots in a
+// loop — the RCU cost of live index replacement.
+//
+// NOTE: on a single-core container the thread sweep measures
+// scheduling overhead, not parallel speedup — rerun on multi-core
+// hardware for the real curve (same caveat as bench_parallel_speedup).
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/engine_pool.h"
+#include "engine/snapshot.h"
+#include "hopi/build.h"
+#include "storage/linlout.h"
+#include "storage/mapped_linlout.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hopi;
+
+struct RunResult {
+  double seconds = 0.0;
+  uint64_t probes = 0;
+  engine::PoolStats stats;
+};
+
+/// Fires `batches` batches of `batch_size` random probes from `clients`
+/// submission threads; returns wall time and the pool's counters.
+RunResult RunWorkload(engine::EnginePool* pool, size_t clients,
+                      size_t batches, size_t batch_size, size_t num_elements,
+                      uint64_t seed) {
+  engine::PoolStats before = pool->Stats();
+  std::atomic<size_t> next_batch{0};
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed * 977 + t);
+      while (next_batch.fetch_add(1) < batches) {
+        engine::BatchRequest request;
+        request.pairs.reserve(batch_size);
+        for (size_t i = 0; i < batch_size; ++i) {
+          request.pairs.push_back(
+              {static_cast<NodeId>(rng.NextBounded(num_elements)),
+               static_cast<NodeId>(rng.NextBounded(num_elements))});
+        }
+        auto response = pool->Batch(std::move(request));
+        if (!response.ok()) std::abort();  // bench invariant, not a race
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  RunResult result;
+  result.seconds = wall.ElapsedSeconds();
+  result.probes = batches * batch_size;
+  engine::PoolStats after = pool->Stats();
+  result.stats.cache_hits = after.cache_hits - before.cache_hits;
+  result.stats.cache_misses = after.cache_misses - before.cache_misses;
+  result.stats.labels_borrowed =
+      after.labels_borrowed - before.labels_borrowed;
+  result.stats.unique_probes = after.unique_probes - before.unique_probes;
+  return result;
+}
+
+std::string RouteMix(const engine::PoolStats& s) {
+  uint64_t cached = s.cache_hits + s.cache_misses;
+  if (cached == 0 && s.labels_borrowed == 0) return "-";
+  if (s.labels_borrowed > 0) {
+    return TablePrinter::Fmt(100.0, 0) + "% borrow";
+  }
+  return TablePrinter::Fmt(
+             100.0 * static_cast<double>(s.cache_hits) /
+                 static_cast<double>(cached),
+             1) +
+         "% hit";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hopi::bench;
+  CommandLine cli = ParseFlagsOrDie(
+      argc, argv, {"docs", "seed", "batches", "clients", "cache"});
+  size_t docs = static_cast<size_t>(cli.GetInt("docs", 300));
+  uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  size_t batches = static_cast<size_t>(cli.GetInt("batches", 400));
+  size_t clients = static_cast<size_t>(cli.GetInt("clients", 4));
+  size_t cache = static_cast<size_t>(cli.GetInt("cache", 4096));
+
+  PrintHeader("EnginePool serving throughput");
+  collection::Collection c = MakeDblp(docs, seed);
+  IndexBuildOptions options;
+  auto index = BuildIndex(&c, options);
+  if (!index.ok()) {
+    std::cerr << index.status() << "\n";
+    return 1;
+  }
+  std::cout << "collection: " << docs << " docs, "
+            << TablePrinter::FmtCount(c.NumElements()) << " elements; "
+            << batches << " batches/config from " << clients
+            << " client threads (hardware_concurrency="
+            << std::thread::hardware_concurrency() << ")\n";
+
+  // The three label-carrying serving snapshots.
+  auto hopi_snapshot = engine::BackendSnapshot::Freeze(*index);
+  auto store = std::make_shared<storage::LinLoutStore>(
+      storage::LinLoutStore::FromCover(index->cover(), false));
+  const std::string path = "bench_engine_pool.bin";
+  if (Status s = store->WriteToFile(path); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  auto mapped_result = storage::MappedLinLoutStore::Open(path);
+  if (!mapped_result.ok()) {
+    std::cerr << mapped_result.status() << "\n";
+    return 1;
+  }
+  auto mapped = std::make_shared<storage::MappedLinLoutStore>(
+      std::move(mapped_result).value());
+  auto collection = std::shared_ptr<const collection::Collection>(
+      hopi_snapshot, &hopi_snapshot->collection());
+  struct NamedSnapshot {
+    const char* name;
+    std::shared_ptr<const engine::BackendSnapshot> snapshot;
+  };
+  NamedSnapshot snapshots[] = {
+      {"hopi", hopi_snapshot},
+      {"linlout", engine::BackendSnapshot::OfStore(collection, store,
+                                                   hopi_snapshot->tags())},
+      {"mapped", engine::BackendSnapshot::OfMappedStore(
+                     collection, mapped, hopi_snapshot->tags())},
+  };
+
+  TablePrinter table({"backend", "threads", "batch", "wall s", "probes/s",
+                      "label route"});
+  for (const NamedSnapshot& named : snapshots) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      for (size_t batch_size : {16u, 256u}) {
+        engine::EnginePoolOptions pool_options;
+        pool_options.num_threads = threads;
+        pool_options.label_cache_capacity = cache;
+        engine::EnginePool pool(named.snapshot, pool_options);
+        // Warm the per-worker engines (bind + first cache fills).
+        RunWorkload(&pool, clients, 2 * threads, batch_size,
+                    c.NumElements(), seed + 1);
+        RunResult r = RunWorkload(&pool, clients, batches, batch_size,
+                                  c.NumElements(), seed);
+        table.AddRow({named.name, std::to_string(threads),
+                      std::to_string(batch_size),
+                      TablePrinter::Fmt(r.seconds, 3),
+                      TablePrinter::FmtCount(static_cast<uint64_t>(
+                          static_cast<double>(r.probes) / r.seconds)),
+                      RouteMix(r.stats)});
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  PrintHeader("Batch() under a Swap() loop (RCU churn)");
+  TablePrinter swap_table(
+      {"swaps/run", "threads", "wall s", "probes/s", "rebinds"});
+  for (size_t threads : {2u, 4u}) {
+    engine::EnginePoolOptions pool_options;
+    pool_options.num_threads = threads;
+    pool_options.label_cache_capacity = cache;
+    engine::EnginePool pool(hopi_snapshot, pool_options);
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> swaps{0};
+    std::thread swapper([&] {
+      while (!done.load()) {
+        pool.Swap(swaps.fetch_add(1) % 2 == 0 ? snapshots[2].snapshot
+                                              : hopi_snapshot);
+        std::this_thread::yield();
+      }
+    });
+    RunResult r = RunWorkload(&pool, clients, batches, 256,
+                              c.NumElements(), seed);
+    done.store(true);
+    swapper.join();
+    swap_table.AddRow({TablePrinter::FmtCount(swaps.load()),
+                       std::to_string(threads),
+                       TablePrinter::Fmt(r.seconds, 3),
+                       TablePrinter::FmtCount(static_cast<uint64_t>(
+                           static_cast<double>(r.probes) / r.seconds)),
+                       TablePrinter::FmtCount(pool.Stats().rebinds)});
+  }
+  swap_table.Print(std::cout);
+
+  std::remove(path.c_str());
+  return 0;
+}

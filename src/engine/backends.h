@@ -13,6 +13,13 @@
 // All adapters are non-owning views: the wrapped index must outlive the
 // adapter. They are header-only so thin shims can construct them
 // without linking the engine library.
+//
+// Thread sharing: every adapter is stateless beyond its wrapped
+// pointer, so any number of threads may query one adapter — or their
+// own adapters over one store — concurrently, PROVIDED the wrapped
+// object is never mutated meanwhile. engine/snapshot.h packages that
+// guarantee (BackendSnapshot keeps the store alive and frozen and
+// hands each EnginePool worker a fresh adapter via MakeBackend).
 #pragma once
 
 #include <optional>

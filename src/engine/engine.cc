@@ -20,7 +20,9 @@ QueryEngine::QueryEngine(const collection::Collection& collection,
                          QueryEngineOptions options)
     : collection_(&collection),
       backend_(std::move(backend)),
-      tags_(collection),
+      tags_(options.shared_tags
+                ? std::move(options.shared_tags)
+                : std::make_shared<query::TagIndex>(collection)),
       similarity_(std::move(options.similarity)),
       cache_(options.label_cache_capacity) {}
 
@@ -154,7 +156,7 @@ Result<PathQueryResponse> QueryEngine::Query(
   if (request.count_only) {
     HOPI_ASSIGN_OR_RETURN(
         response.count,
-        query::CountPathResults(expr, *backend_, *collection_, tags_));
+        query::CountPathResults(expr, *backend_, *collection_, *tags_));
     return response;
   }
   query::PathQueryOptions options;
@@ -164,7 +166,7 @@ Result<PathQueryResponse> QueryEngine::Query(
   if (similarity_) options.similarity = &*similarity_;
   HOPI_ASSIGN_OR_RETURN(
       response.matches,
-      query::EvaluatePath(expr, *backend_, *collection_, tags_, options));
+      query::EvaluatePath(expr, *backend_, *collection_, *tags_, options));
   response.count = response.matches.size();
   return response;
 }

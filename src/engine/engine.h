@@ -12,9 +12,15 @@
 // intersects label sets served from the LRU cache; per-call hit/miss
 // counters are surfaced in the response stats.
 //
-// A QueryEngine is single-threaded: the label cache mutates on reads.
-// Run one engine per serving thread (they can share the backend, which
-// is immutable).
+// Threading model: a QueryEngine is single-threaded — the label cache
+// mutates on reads, so exactly one thread may call Batch/Query/
+// Reachability on an engine (the cache's *stats* accessors are the one
+// exception: reading them from another thread is safe, see
+// label_cache.h). Run one engine per serving thread; they can share
+// the backend (immutable) and a pre-built tag index
+// (QueryEngineOptions::shared_tags). engine/engine_pool.h packages
+// exactly that arrangement: N per-thread engines over one shared
+// BackendSnapshot, swappable at runtime.
 #pragma once
 
 #include <cstddef>
@@ -44,7 +50,14 @@ struct QueryEngineOptions {
   size_t label_cache_capacity = 4096;
   /// Ontology for ~tag path steps; approximate steps behave like exact
   /// ones when unset.
-  std::optional<query::TagSimilarity> similarity;
+  std::optional<query::TagSimilarity> similarity = std::nullopt;
+  /// Pre-built tag index to share instead of building one per engine
+  /// (construction is O(collection)). Must have been built over the
+  /// same collection the engine is constructed with; TagIndex is
+  /// immutable after construction, so any number of engines — and
+  /// threads — can share one. EnginePool workers rebinding to a fresh
+  /// BackendSnapshot use this to make engine construction O(1).
+  std::shared_ptr<const query::TagIndex> shared_tags = nullptr;
 };
 
 // ---- typed requests / responses ----
@@ -182,9 +195,12 @@ class QueryEngine {
 
   const ReachabilityBackend& backend() const { return *backend_; }
   const collection::Collection& collection() const { return *collection_; }
-  const query::TagIndex& tags() const { return tags_; }
+  const query::TagIndex& tags() const { return *tags_; }
   /// Lifetime counters of the hot-label cache (across all batches).
   /// Backends on the borrow route never touch it — expect zeros there.
+  /// The cache's stats accessors are safe from any thread; everything
+  /// else on it belongs to the engine's serving thread (label_cache.h
+  /// documents the rule).
   const LabelCache& label_cache() const { return cache_; }
 
  private:
@@ -199,7 +215,7 @@ class QueryEngine {
 
   const collection::Collection* collection_;
   std::unique_ptr<ReachabilityBackend> backend_;
-  query::TagIndex tags_;
+  std::shared_ptr<const query::TagIndex> tags_;
   std::optional<query::TagSimilarity> similarity_;
   mutable LabelCache cache_;
 };

@@ -1,0 +1,229 @@
+#include "engine/engine_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace hopi::engine {
+
+EnginePool::EnginePool(std::shared_ptr<const BackendSnapshot> snapshot,
+                       EnginePoolOptions options)
+    : options_(std::move(options)),
+      queue_(options_.num_threads != 0
+                 ? options_.num_threads
+                 : std::max<size_t>(1, std::thread::hardware_concurrency())),
+      published_(std::move(snapshot)) {
+  assert(published_ && "EnginePool requires a non-null initial snapshot");
+  size_t n = queue_.NumLanes();
+  workers_.reserve(n);
+  for (size_t lane = 0; lane < n; ++lane) {
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
+  // Spawn after every WorkerState exists so a fast worker never races
+  // the vector growing.
+  for (size_t lane = 0; lane < n; ++lane) {
+    workers_[lane]->thread = std::thread([this, lane] { WorkerLoop(lane); });
+  }
+}
+
+EnginePool::~EnginePool() { Shutdown(); }
+
+void EnginePool::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    shutdown_.store(true, std::memory_order_release);
+    queue_.Close();  // wakes every worker; Pop drains queued items first
+    for (auto& ws : workers_) {
+      if (ws->thread.joinable()) ws->thread.join();
+    }
+  });
+}
+
+Status EnginePool::CheckAcceptingOr(const char* what) const {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        std::string(what) + " on a shut-down EnginePool");
+  }
+  return Status::OK();
+}
+
+size_t EnginePool::PickLane() {
+  size_t cursor =
+      next_lane_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  if (options_.dispatch == EnginePoolOptions::Dispatch::kRoundRobin) {
+    return cursor;
+  }
+  // Least loaded = queued + executing. Starting the scan at the
+  // rotating cursor breaks all-idle ties round-robin instead of
+  // funneling a one-at-a-time request stream into lane 0 while its
+  // worker is still busy.
+  std::vector<size_t> depths = queue_.Depths();
+  size_t best = cursor;
+  size_t best_load = SIZE_MAX;
+  for (size_t k = 0; k < workers_.size(); ++k) {
+    size_t lane = (cursor + k) % workers_.size();
+    size_t load = depths[lane] +
+                  workers_[lane]->inflight.load(std::memory_order_relaxed);
+    if (load < best_load) {
+      best_load = load;
+      best = lane;
+    }
+  }
+  return best;
+}
+
+Result<std::future<PoolBatchResponse>> EnginePool::SubmitBatch(
+    BatchRequest request) {
+  HOPI_RETURN_NOT_OK(CheckAcceptingOr("SubmitBatch"));
+  WorkItem item;
+  item.batch.emplace(BatchJob{std::move(request), {}});
+  std::future<PoolBatchResponse> future = item.batch->promise.get_future();
+  if (!queue_.Push(PickLane(), std::move(item))) {
+    return Status::FailedPrecondition("SubmitBatch on a shut-down EnginePool");
+  }
+  return future;
+}
+
+Result<std::future<PoolPathResponse>> EnginePool::SubmitQuery(
+    PathQueryRequest request) {
+  HOPI_RETURN_NOT_OK(CheckAcceptingOr("SubmitQuery"));
+  WorkItem item;
+  item.path.emplace(PathJob{std::move(request), {}});
+  std::future<PoolPathResponse> future = item.path->promise.get_future();
+  if (!queue_.Push(PickLane(), std::move(item))) {
+    return Status::FailedPrecondition("SubmitQuery on a shut-down EnginePool");
+  }
+  return future;
+}
+
+Result<PoolBatchResponse> EnginePool::Batch(BatchRequest request) {
+  HOPI_ASSIGN_OR_RETURN(std::future<PoolBatchResponse> future,
+                        SubmitBatch(std::move(request)));
+  return future.get();
+}
+
+Result<PoolPathResponse> EnginePool::Query(PathQueryRequest request) {
+  HOPI_ASSIGN_OR_RETURN(std::future<PoolPathResponse> future,
+                        SubmitQuery(std::move(request)));
+  return future.get();
+}
+
+void EnginePool::Swap(std::shared_ptr<const BackendSnapshot> snapshot) {
+  assert(snapshot && "Swap requires a non-null snapshot");
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    published_ = std::move(snapshot);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const BackendSnapshot> EnginePool::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return published_;
+}
+
+const BackendSnapshot& EnginePool::BindCurrentSnapshot(WorkerState* ws) {
+  std::shared_ptr<const BackendSnapshot> current = snapshot();
+  if (ws->snapshot != current) {
+    QueryEngineOptions engine_options;
+    engine_options.label_cache_capacity = options_.label_cache_capacity;
+    engine_options.similarity = options_.similarity;
+    engine_options.shared_tags = current->tags();
+    // Pin the rebind so a concurrent WorkerCacheStats() never reads a
+    // half-destroyed engine. The lock is uncontended on the hot path
+    // (taken here only when the snapshot actually changed).
+    std::lock_guard<std::mutex> lock(ws->rebind_mu);
+    ws->engine.emplace(current->collection(), current->MakeBackend(),
+                       std::move(engine_options));
+    ws->snapshot = std::move(current);
+    ws->rebinds.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *ws->snapshot;
+}
+
+void EnginePool::WorkerLoop(size_t lane) {
+  WorkerState& ws = *workers_[lane];
+  while (std::optional<WorkItem> item = queue_.Pop(lane)) {
+    ws.inflight.store(1, std::memory_order_relaxed);
+    // Exception barrier: a throw (rebind allocation, backend fault,
+    // bad_alloc on a huge batch) fails the one request through its
+    // promise instead of escaping the thread body and terminating the
+    // process — the serving-worker analogue of util::ThreadPool's
+    // error channel.
+    try {
+      const BackendSnapshot& snap = BindCurrentSnapshot(&ws);
+      if (item->batch) {
+        BatchResponse response = ws.engine->Batch(item->batch->request);
+        const BatchStats& stats = response.stats;
+        ws.probes.fetch_add(stats.probes, std::memory_order_relaxed);
+        ws.unique_probes.fetch_add(stats.unique_probes,
+                                   std::memory_order_relaxed);
+        ws.cache_hits.fetch_add(stats.cache_hits, std::memory_order_relaxed);
+        ws.cache_misses.fetch_add(stats.cache_misses,
+                                  std::memory_order_relaxed);
+        ws.labels_borrowed.fetch_add(stats.labels_borrowed,
+                                     std::memory_order_relaxed);
+        ws.backend_probes.fetch_add(stats.backend_probes,
+                                    std::memory_order_relaxed);
+        ws.batches.fetch_add(1, std::memory_order_relaxed);
+        item->batch->promise.set_value(
+            PoolBatchResponse{std::move(response), snap.version(), lane});
+      } else {
+        Result<PathQueryResponse> result =
+            ws.engine->Query(item->path->request);
+        ws.path_queries.fetch_add(1, std::memory_order_relaxed);
+        item->path->promise.set_value(
+            PoolPathResponse{std::move(result), snap.version(), lane});
+      }
+    } catch (...) {
+      try {
+        if (item->batch) {
+          item->batch->promise.set_exception(std::current_exception());
+        } else {
+          item->path->promise.set_exception(std::current_exception());
+        }
+      } catch (const std::future_error&) {
+        // The promise was already satisfied (set_value threw after
+        // delivering): the client has its answer; nothing to report.
+      }
+    }
+    ws.inflight.store(0, std::memory_order_relaxed);
+  }
+  // Drop the worker's snapshot reference promptly on exit so Shutdown
+  // is also a release of the served index.
+  std::lock_guard<std::mutex> lock(ws.rebind_mu);
+  ws.engine.reset();
+  ws.snapshot.reset();
+}
+
+PoolStats EnginePool::Stats() const {
+  PoolStats stats;
+  for (const auto& ws : workers_) {
+    stats.batches += ws->batches.load(std::memory_order_relaxed);
+    stats.path_queries += ws->path_queries.load(std::memory_order_relaxed);
+    stats.probes += ws->probes.load(std::memory_order_relaxed);
+    stats.unique_probes += ws->unique_probes.load(std::memory_order_relaxed);
+    stats.cache_hits += ws->cache_hits.load(std::memory_order_relaxed);
+    stats.cache_misses += ws->cache_misses.load(std::memory_order_relaxed);
+    stats.labels_borrowed +=
+        ws->labels_borrowed.load(std::memory_order_relaxed);
+    stats.backend_probes += ws->backend_probes.load(std::memory_order_relaxed);
+    stats.rebinds += ws->rebinds.load(std::memory_order_relaxed);
+  }
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
+  stats.snapshot_version = snapshot()->version();
+  return stats;
+}
+
+std::vector<LabelCache::Stats> EnginePool::WorkerCacheStats() const {
+  std::vector<LabelCache::Stats> per_worker;
+  per_worker.reserve(workers_.size());
+  for (const auto& ws : workers_) {
+    std::lock_guard<std::mutex> lock(ws->rebind_mu);
+    per_worker.push_back(ws->engine ? ws->engine->label_cache().StatsSnapshot()
+                                    : LabelCache::Stats{});
+  }
+  return per_worker;
+}
+
+}  // namespace hopi::engine

@@ -1,0 +1,231 @@
+// EnginePool: thread-per-core serving over snapshot-swappable backends.
+//
+// The ROADMAP's async-serving item, concretely: N long-lived serving
+// workers, each owning one QueryEngine (and therefore one private
+// LabelCache — caches stay thread-local and lock-free), all bound to
+// one shared immutable BackendSnapshot. Work (batched reachability,
+// path queries) enters through an MPMC lane queue and completes through
+// std::future; producers pick the lane round-robin (cache affinity) or
+// least-loaded (balance).
+//
+// Snapshot swap is RCU-style: Swap() publishes a new
+// shared_ptr<const BackendSnapshot> and returns immediately. Workers
+// notice on their *next* work item, rebind (a fresh backend adapter +
+// a fresh cold label cache; the tag index is snapshot-shared, so
+// rebinding is O(1)), and the old snapshot is reclaimed by its last
+// in-flight reference — queries already executing finish on the
+// snapshot they started with, never a torn mix. Every response carries
+// the version of the snapshot that served it.
+//
+// Consistency contract under Swap: each *response* is entirely computed
+// against one snapshot (the one whose version it reports). Two
+// requests submitted around a Swap may be served from different
+// snapshots, and two workers may briefly serve different versions —
+// this is eventual, per-item consistency, the standard RCU trade. A
+// caller that needs a barrier can Swap() and then wait for one
+// sentinel request per worker lane.
+//
+// Lifetime: the pool joins its workers in Shutdown() (also run by the
+// destructor), draining already-queued work first; submissions after
+// Shutdown are rejected with FailedPrecondition. All snapshots handed
+// to the pool must simply stay un-mutated; the pool's shared_ptrs keep
+// them alive as long as needed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+#include "query/similarity.h"
+#include "util/lane_queue.h"
+#include "util/result.h"
+
+namespace hopi::engine {
+
+struct EnginePoolOptions {
+  /// Serving workers. 0 = std::thread::hardware_concurrency() (the
+  /// thread-per-core default), clamped to at least 1.
+  size_t num_threads = 0;
+
+  /// How submissions pick a worker lane.
+  enum class Dispatch {
+    /// Cycle through workers — spreads a uniform stream and maximizes
+    /// per-worker cache reuse for clients that shard their keyspace.
+    kRoundRobin,
+    /// Worker with the least pending work (queued items + the one it
+    /// is executing), all-idle ties rotated round-robin — absorbs
+    /// skewed request sizes at the price of colder caches.
+    kLeastLoaded,
+  };
+  Dispatch dispatch = Dispatch::kLeastLoaded;
+
+  /// Per-worker hot-label LRU capacity (QueryEngineOptions).
+  size_t label_cache_capacity = 4096;
+
+  /// Ontology for ~tag path steps, copied into every worker engine.
+  std::optional<query::TagSimilarity> similarity = std::nullopt;
+};
+
+/// A Batch() answer plus its provenance.
+struct PoolBatchResponse {
+  BatchResponse batch;
+  /// BackendSnapshot::version() of the snapshot this answer was
+  /// computed against (matches exactly one published snapshot).
+  uint64_t snapshot_version = 0;
+  /// Worker that served it (its lane index).
+  size_t worker = 0;
+};
+
+/// A Query() answer plus its provenance.
+struct PoolPathResponse {
+  Result<PathQueryResponse> result;
+  uint64_t snapshot_version = 0;
+  size_t worker = 0;
+};
+
+/// Monotonic pool-wide counters. Aggregated from per-worker relaxed
+/// atomics: each field never decreases across successive Stats() calls,
+/// but one snapshot is not guaranteed to be mutually consistent across
+/// fields (a batch may be counted in `batches` before its probe
+/// counters land).
+struct PoolStats {
+  uint64_t batches = 0;        ///< Batch requests completed.
+  uint64_t path_queries = 0;   ///< Path query requests completed.
+  // Sums of the per-response BatchStats fields (engine.h documents
+  // each route).
+  uint64_t probes = 0;
+  uint64_t unique_probes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t labels_borrowed = 0;
+  uint64_t backend_probes = 0;
+  uint64_t swaps = 0;  ///< Swap() calls accepted.
+  /// Worker engine rebuilds. Each worker's initial bind counts too, so
+  /// the bound is (swaps + 1) × workers, not swaps × workers.
+  uint64_t rebinds = 0;
+  /// Version of the currently published snapshot. The one field that
+  /// is not monotonic: Swap publishes whatever snapshot it is given,
+  /// including an older one (rollback is a feature).
+  uint64_t snapshot_version = 0;
+};
+
+class EnginePool {
+ public:
+  /// Starts the workers, all bound to `snapshot`.
+  explicit EnginePool(std::shared_ptr<const BackendSnapshot> snapshot,
+                      EnginePoolOptions options = {});
+
+  /// Shutdown() — drains queued work, joins workers.
+  ~EnginePool();
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // ---- submission (any thread) ----
+
+  /// Enqueues a batch; the future completes with the response and the
+  /// serving snapshot's version. FailedPrecondition after Shutdown().
+  Result<std::future<PoolBatchResponse>> SubmitBatch(BatchRequest request);
+
+  /// Enqueues a path query; contract as SubmitBatch.
+  Result<std::future<PoolPathResponse>> SubmitQuery(PathQueryRequest request);
+
+  /// Synchronous conveniences: submit + wait.
+  Result<PoolBatchResponse> Batch(BatchRequest request);
+  Result<PoolPathResponse> Query(PathQueryRequest request);
+
+  // ---- snapshot management (any thread) ----
+
+  /// Publishes `snapshot` as the serving backend. Returns immediately;
+  /// workers rebind on their next work item while in-flight queries
+  /// finish on the old snapshot (see the header comment for the exact
+  /// consistency contract). `snapshot` must be non-null.
+  void Swap(std::shared_ptr<const BackendSnapshot> snapshot);
+
+  /// The currently published snapshot.
+  std::shared_ptr<const BackendSnapshot> snapshot() const;
+
+  // ---- observability (any thread) ----
+
+  PoolStats Stats() const;
+
+  /// Per-worker label-cache counters (index = lane). Safe while the
+  /// pool serves: cache stats are atomic and the engine object itself
+  /// is pinned under the worker's rebind lock for the read.
+  std::vector<LabelCache::Stats> WorkerCacheStats() const;
+
+  /// Stops intake, serves everything already queued, joins the
+  /// workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct BatchJob {
+    BatchRequest request;
+    std::promise<PoolBatchResponse> promise;
+  };
+  struct PathJob {
+    PathQueryRequest request;
+    std::promise<PoolPathResponse> promise;
+  };
+  struct WorkItem {
+    // Exactly one engaged (a variant would also do; two optionals keep
+    // the worker switch trivially readable).
+    std::optional<BatchJob> batch;
+    std::optional<PathJob> path;
+  };
+
+  /// Everything one serving thread owns. Only the owning worker touches
+  /// `snapshot`/`engine` — except that Stats readers pin the engine
+  /// under `rebind_mu` while reading its cache counters.
+  struct WorkerState {
+    std::thread thread;
+    std::mutex rebind_mu;
+    std::shared_ptr<const BackendSnapshot> snapshot;
+    std::optional<QueryEngine> engine;
+    /// 1 while the worker is executing an item (kLeastLoaded dispatch
+    /// counts it as load; queue depth alone is blind to a worker stuck
+    /// in a long batch).
+    std::atomic<uint32_t> inflight{0};
+    // Served-work counters (relaxed atomics; see PoolStats).
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> path_queries{0};
+    std::atomic<uint64_t> probes{0};
+    std::atomic<uint64_t> unique_probes{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> labels_borrowed{0};
+    std::atomic<uint64_t> backend_probes{0};
+    std::atomic<uint64_t> rebinds{0};
+  };
+
+  size_t PickLane();
+  void WorkerLoop(size_t lane);
+  /// Rebinds worker `lane` to the published snapshot if it changed;
+  /// returns the snapshot the next item will be served from.
+  const BackendSnapshot& BindCurrentSnapshot(WorkerState* ws);
+  Status CheckAcceptingOr(const char* what) const;
+
+  EnginePoolOptions options_;
+  LaneQueue<WorkItem> queue_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const BackendSnapshot> published_;  // guarded by snapshot_mu_
+
+  std::atomic<uint64_t> swaps_{0};
+  std::atomic<size_t> next_lane_{0};  // round-robin cursor
+  std::atomic<bool> shutdown_{false};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace hopi::engine

@@ -16,6 +16,9 @@ namespace hopi::engine {
 
 /// Adapter over the in-memory HopiIndex (2-hop cover labels). Labels
 /// are borrowed straight from the cover — no copies, no cache needed.
+/// Safe to share across serving threads only while no maintenance
+/// operation mutates the index; for live maintenance, serve a
+/// BackendSnapshot::Freeze copy instead (see engine/snapshot.h).
 class HopiIndexBackend final : public ReachabilityBackend {
  public:
   explicit HopiIndexBackend(const HopiIndex& index) : index_(&index) {}

@@ -7,13 +7,29 @@ namespace hopi::engine {
 LabelCache::LabelCache(size_t capacity)
     : capacity_(capacity < 2 ? 2 : capacity) {}
 
+LabelCache::LabelCache(LabelCache&& other) noexcept
+    : lru_(std::move(other.lru_)),
+      map_(std::move(other.map_)),
+      capacity_(other.capacity_),
+      size_(other.size_.load(std::memory_order_relaxed)),
+      hits_(other.hits_.load(std::memory_order_relaxed)),
+      misses_(other.misses_.load(std::memory_order_relaxed)),
+      evictions_(other.evictions_.load(std::memory_order_relaxed)) {
+  // The counters moved with the entries; a moved-from cache is empty
+  // and must report like one (no phantom hits from its past life).
+  other.size_.store(0, std::memory_order_relaxed);
+  other.hits_.store(0, std::memory_order_relaxed);
+  other.misses_.store(0, std::memory_order_relaxed);
+  other.evictions_.store(0, std::memory_order_relaxed);
+}
+
 const Label* LabelCache::Get(Side side, NodeId node) {
   auto it = map_.find(KeyFor(side, node));
   if (it == map_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   lru_.splice(lru_.begin(), lru_, it->second);
   return &it->second->label;
 }
@@ -27,18 +43,20 @@ const Label* LabelCache::Put(Side side, NodeId node, Label label) {
     return &it->second->label;
   }
   if (map_.size() >= capacity_) {
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     map_.erase(lru_.back().key);
     lru_.pop_back();
   }
   lru_.push_front({key, std::move(label)});
   map_.emplace(key, lru_.begin());
+  size_.store(map_.size(), std::memory_order_relaxed);
   return &lru_.front().label;
 }
 
 void LabelCache::Clear() {
   lru_.clear();
   map_.clear();
+  size_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hopi::engine

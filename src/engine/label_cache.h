@@ -8,9 +8,20 @@
 // (a binary search over the table runs for LinLoutStore, a row copy for
 // the in-memory cover).
 //
-// Not thread-safe; callers serialize access (the facade documents this).
+// Ownership rule (one writer, many stats readers): exactly one thread —
+// the engine that owns the cache — may call the structural operations
+// Get/Put/Clear, and they must never run concurrently with each other
+// or with a move. The *statistics* accessors (hits/misses/evictions/
+// size/capacity and StatsSnapshot) are safe to call from any thread at
+// any time: the counters are relaxed atomics, so a monitoring thread
+// (engine::EnginePool aggregating per-worker caches, a stats endpoint
+// holding `const QueryEngine&`) can read them while the owner serves a
+// batch. Individual counters are monotonic; a multi-field snapshot is
+// not guaranteed to be mutually consistent (hits may already include a
+// probe whose eviction is not yet counted).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -25,10 +36,34 @@ class LabelCache {
   /// Which label set of a node an entry caches.
   enum class Side : uint8_t { kOut = 0, kIn = 1 };
 
+  /// One relaxed read of every counter (see StatsSnapshot).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+
+    /// Fraction of lookups served from the cache (0 when idle).
+    double HitRate() const {
+      uint64_t lookups = hits + misses;
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups);
+    }
+  };
+
   /// `capacity` is the maximum number of cached label sets. Clamped to
   /// at least 2 so a probe's LOUT fetch can never evict the LIN fetch of
   /// the same pair (and vice versa).
   explicit LabelCache(size_t capacity);
+
+  /// Moving is a structural operation: it must be serialized with every
+  /// other access, stats reads included (the counters move too).
+  LabelCache(LabelCache&& other) noexcept;
+  LabelCache& operator=(LabelCache&&) = delete;
+  LabelCache(const LabelCache&) = delete;
+  LabelCache& operator=(const LabelCache&) = delete;
 
   static uint64_t KeyFor(Side side, NodeId node) {
     return (static_cast<uint64_t>(node) << 1) |
@@ -38,21 +73,35 @@ class LabelCache {
   /// Returns the cached label and marks it most-recently-used, or
   /// nullptr on a miss. The pointer stays valid until the entry is
   /// evicted (i.e. at least until `capacity - 1` further insertions).
+  /// Owner-thread only.
   const Label* Get(Side side, NodeId node);
 
   /// Inserts (or overwrites) an entry, evicting the least-recently-used
   /// one when full. Returns a pointer to the stored label.
+  /// Owner-thread only.
   const Label* Put(Side side, NodeId node, Label label);
 
+  /// Owner-thread only.
   void Clear();
 
-  size_t size() const { return map_.size(); }
+  /// Current entry count. Safe from any thread (atomic mirror of the
+  /// map size, maintained by the structural operations).
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
   size_t capacity() const { return capacity_; }
 
   // ---- lifetime counters (across all batches served) ----
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  //
+  // Safe from any thread; see the ownership rule above.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// All counters in one struct (each read individually relaxed).
+  Stats StatsSnapshot() const {
+    return Stats{hits(), misses(), evictions(), size(), capacity()};
+  }
 
  private:
   struct Entry {
@@ -63,9 +112,10 @@ class LabelCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
   size_t capacity_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace hopi::engine

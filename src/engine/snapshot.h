@@ -1,0 +1,147 @@
+// BackendSnapshot: one immutable, reference-counted serving unit.
+//
+// The serving layer (engine/engine_pool.h) runs many reader threads
+// against one index while a maintenance path (hopi/maintenance.cc)
+// mutates a *different*, private copy — HopiIndex's incremental
+// operations rewrite labels in place and are not safe to run under
+// concurrent readers. The snapshot is the hand-off object between the
+// two worlds: it bundles an access path (any of the four
+// ReachabilityBackend adapters), the collection it indexes, and a
+// pre-built tag index, all frozen at creation, under one
+// std::shared_ptr<const BackendSnapshot>. Publication is RCU-style:
+// EnginePool::Swap() stores the new shared_ptr; readers that grabbed
+// the old one keep it alive until their in-flight queries finish, and
+// the last reference reclaims the old index. The index data itself is
+// never locked and no reader ever observes a half-updated label set —
+// the only synchronization on the serving path is one brief
+// pointer-copy lock per *work item* (items are whole batches, so the
+// critical section is amortized across hundreds of probes).
+//
+// Two ways to make one:
+//   - the Of* factories share ownership of an existing immutable
+//     object (use Unowned() for stack-owned objects that provably
+//     outlive the pool — tests, benches);
+//   - Freeze() deep-copies a live HopiIndex + collection, which is the
+//     maintenance hand-off: mutate your private index, Freeze it,
+//     Swap the frozen copy in, keep mutating the private one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "collection/collection.h"
+#include "engine/backend.h"
+#include "hopi/baseline.h"
+#include "hopi/index.h"
+#include "query/tag_index.h"
+#include "storage/linlout.h"
+#include "storage/mapped_linlout.h"
+
+namespace hopi::engine {
+
+/// Non-owning shared_ptr over `object` (the aliasing constructor with
+/// an empty control block). For handing stack- or caller-owned objects
+/// to the Of* snapshot factories when the caller guarantees the object
+/// outlives every snapshot reference.
+template <typename T>
+std::shared_ptr<const T> Unowned(const T& object) {
+  return std::shared_ptr<const T>(std::shared_ptr<const void>(), &object);
+}
+
+class BackendSnapshot {
+ public:
+  // ---- factories over the four access paths ----
+  //
+  // Each shares ownership of the wrapped object(s) and builds the
+  // snapshot's tag index eagerly (O(collection), paid once per
+  // snapshot instead of once per serving thread) — or reuses a
+  // caller-supplied `tags` built over the SAME collection object, so
+  // rotating several snapshots of one collection (hopi / linlout /
+  // mapped over the same cover, rollback pairs) pays the build once.
+  // The wrapped objects must never be mutated while any snapshot
+  // reference exists.
+
+  /// In-memory 2-hop cover. The index's collection pointer must stay
+  /// valid (Freeze() instead makes the snapshot self-contained).
+  static std::shared_ptr<const BackendSnapshot> OfIndex(
+      std::shared_ptr<const HopiIndex> index,
+      std::shared_ptr<const query::TagIndex> tags = nullptr);
+
+  /// Heap-loaded LIN/LOUT tables; `collection` is the collection the
+  /// store's cover was built from.
+  static std::shared_ptr<const BackendSnapshot> OfStore(
+      std::shared_ptr<const collection::Collection> collection,
+      std::shared_ptr<const storage::LinLoutStore> store,
+      std::shared_ptr<const query::TagIndex> tags = nullptr);
+
+  /// Mmap-backed LIN/LOUT reader (label spans are lent zero-copy, so N
+  /// serving threads share one file image).
+  static std::shared_ptr<const BackendSnapshot> OfMappedStore(
+      std::shared_ptr<const collection::Collection> collection,
+      std::shared_ptr<const storage::MappedLinLoutStore> store,
+      std::shared_ptr<const query::TagIndex> tags = nullptr);
+
+  /// Materialized transitive-closure baseline. `with_distance` must
+  /// match the flag the closure was built with.
+  static std::shared_ptr<const BackendSnapshot> OfClosure(
+      std::shared_ptr<const collection::Collection> collection,
+      std::shared_ptr<const TransitiveClosureIndex> closure,
+      bool with_distance,
+      std::shared_ptr<const query::TagIndex> tags = nullptr);
+
+  /// Deep-copies `index` (cover + collection) into a self-contained
+  /// snapshot. This is the maintenance hand-off: the source index may
+  /// be freely mutated — or destroyed — afterwards. O(index size).
+  /// Always builds a fresh tag index: the frozen collection is a new
+  /// object, and a tag index bound to the still-mutable source would
+  /// silently drift with it.
+  static std::shared_ptr<const BackendSnapshot> Freeze(const HopiIndex& index);
+
+  // ---- the frozen surface ----
+
+  /// Process-wide monotonic id, assigned at snapshot creation. Pool
+  /// responses carry the version of the snapshot that served them, so
+  /// a client (or the stress test) can match answers to index states
+  /// across Swaps.
+  uint64_t version() const { return version_; }
+
+  /// Name of the wrapped access path ("hopi", "linlout", "mapped",
+  /// "closure").
+  std::string_view BackendName() const { return backend_name_; }
+
+  const collection::Collection& collection() const { return *collection_; }
+
+  /// The snapshot-shared tag index (built over collection() at
+  /// creation; immutable, safe to share across threads).
+  const std::shared_ptr<const query::TagIndex>& tags() const { return tags_; }
+
+  /// Fresh non-owning adapter viewing this snapshot's storage. The
+  /// snapshot must outlive the adapter — callers keep their
+  /// shared_ptr<const BackendSnapshot> alongside it (EnginePool workers
+  /// store both in one WorkerState).
+  std::unique_ptr<ReachabilityBackend> MakeBackend() const {
+    return make_backend_();
+  }
+
+ private:
+  BackendSnapshot(std::shared_ptr<const collection::Collection> collection,
+                  std::string_view backend_name,
+                  std::function<std::unique_ptr<ReachabilityBackend>()>
+                      make_backend,
+                  std::shared_ptr<const void> keepalive,
+                  std::shared_ptr<const query::TagIndex> tags);
+
+  uint64_t version_;
+  std::string_view backend_name_;
+  std::shared_ptr<const collection::Collection> collection_;
+  std::shared_ptr<const query::TagIndex> tags_;
+  std::function<std::unique_ptr<ReachabilityBackend>()> make_backend_;
+  // Owns whatever the backend factory captures raw pointers into (the
+  // index / store / closure, or Freeze's private copies).
+  std::shared_ptr<const void> keepalive_;
+};
+
+}  // namespace hopi::engine

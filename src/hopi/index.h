@@ -64,6 +64,14 @@ class HopiIndex {
   collection::Collection* collection() const { return collection_; }
 
   // ---- incremental maintenance (paper Sec 6) ----
+  //
+  // All maintenance operations mutate labels in place and must never
+  // run concurrently with queries on the same index. The serving
+  // integration is snapshot-based (engine/snapshot.h): keep a private
+  // maintenance index, apply the Sec 6 operations to it, then
+  // BackendSnapshot::Freeze() a deep copy and EnginePool::Swap() it in
+  // — readers finish on the old snapshot while new requests see the
+  // updated one.
 
   /// Inserts a new element-level link (u, v) into the collection AND the
   /// index (Sec 6.1: v becomes the center for all new connections).

@@ -94,6 +94,14 @@ bool HopiIndex::SeparatesDocumentGraph(DocId doc) const {
   for (NodeId d : desc) {
     if (d != doc) is_desc[d] = true;
   }
+  // A document on a document-level cycle through `doc` is both an
+  // ancestor and a descendant, so Theorem 2's premise (disjoint VA/VD)
+  // does not hold: the fast path's purge masks would overlap and strip
+  // a document's own centers from its labels (found by the randomized
+  // differential harness). Cyclic neighborhoods are never separated.
+  for (NodeId a : anc) {
+    if (a != doc && is_desc[a]) return false;
+  }
   std::vector<bool> seen(gd.NumNodes(), false);
   seen[doc] = true;  // never traverse through di
   std::deque<NodeId> queue;

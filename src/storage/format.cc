@@ -239,6 +239,9 @@ std::vector<std::byte> BuildFileImage(std::span<const TableRow> lin_fwd,
   }
 
   auto write_dir = [&](Section s, const std::vector<DirEntry>& dir) {
+    // An empty directory (a store with no labels on one side) has a
+    // null data() — passing that to memcpy is UB even for 0 bytes.
+    if (dir.empty()) return;
     std::memcpy(image.data() + sections[s].offset, dir.data(),
                 dir.size() * sizeof(DirEntry));
   };

@@ -1,0 +1,116 @@
+// MPMC work queue with per-consumer lanes.
+//
+// The serving layer (engine/engine_pool.h) pins each work item to one
+// long-lived worker so per-worker state (a label cache, a bound backend
+// snapshot) stays thread-private; this is the queue underneath: any
+// number of producers Push into a chosen lane, each consumer Pops from
+// its own lane. Producers pick the lane — round-robin for affinity, or
+// LeastLoadedLane() for balance — which is the whole difference from
+// util::ThreadPool's single atomic-counter loop: ThreadPool fans one
+// bounded index range over transient workers, a LaneQueue feeds an
+// open-ended stream of heterogeneous items to resident ones.
+//
+// Close() stops producers (Push returns false) but lets consumers drain
+// what was already queued: Pop keeps returning items until the lane is
+// empty, then returns nullopt. Everything is guarded by one mutex —
+// items are coarse (a whole query batch), so contention is not the
+// bottleneck; do not put per-microsecond work through this.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace hopi {
+
+template <typename T>
+class LaneQueue {
+ public:
+  explicit LaneQueue(size_t lanes) : cvs_(lanes), lanes_(lanes) {}
+
+  size_t NumLanes() const { return lanes_.size(); }
+
+  /// Enqueues `item` into `lane`. Returns false (dropping the item)
+  /// after Close(). Wakes only `lane`'s consumer — the producer knows
+  /// the lane, so there is no notify_all thundering herd on the
+  /// serving hot path.
+  bool Push(size_t lane, T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      lanes_[lane].push_back(std::move(item));
+    }
+    cvs_[lane].notify_one();
+    return true;
+  }
+
+  /// Blocks until `lane` has an item or the queue is closed and `lane`
+  /// is drained (nullopt). Intended for one consumer per lane; multiple
+  /// consumers on one lane are safe but defeat the affinity purpose.
+  std::optional<T> Pop(size_t lane) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cvs_[lane].wait(lock, [&] { return closed_ || !lanes_[lane].empty(); });
+    if (lanes_[lane].empty()) return std::nullopt;
+    T item = std::move(lanes_[lane].front());
+    lanes_[lane].pop_front();
+    return item;
+  }
+
+  /// Lane with the fewest queued items (lowest index on ties). Note
+  /// this sees only *queued* items; a producer balancing against
+  /// consumers' in-flight work should combine Depths() with its own
+  /// execution tracking (as engine::EnginePool does).
+  size_t LeastLoadedLane() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t best = 0;
+    for (size_t i = 1; i < lanes_.size(); ++i) {
+      if (lanes_[i].size() < lanes_[best].size()) best = i;
+    }
+    return best;
+  }
+
+  /// Queued item count of every lane, read under one lock.
+  std::vector<size_t> Depths() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<size_t> depths(lanes_.size());
+    for (size_t i = 0; i < lanes_.size(); ++i) depths[i] = lanes_[i].size();
+    return depths;
+  }
+
+  /// Items currently queued across all lanes.
+  size_t TotalQueued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto& lane : lanes_) total += lane.size();
+    return total;
+  }
+
+  /// Rejects further Pushes and wakes every blocked Pop. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    for (auto& cv : cvs_) cv.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  // One CV per lane so a Push wakes exactly its lane's consumer.
+  // Sized once at construction; condition_variable is immovable, which
+  // is fine because the vector never grows.
+  std::vector<std::condition_variable> cvs_;
+  std::vector<std::deque<T>> lanes_;
+  bool closed_ = false;
+};
+
+}  // namespace hopi

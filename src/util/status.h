@@ -23,6 +23,8 @@ enum class StatusCode : uint8_t {
   kIOError,
   kUnsupported,
   kInternal,
+  kFailedPrecondition,  // object in the wrong lifecycle state for the call
+                        // (e.g. submitting to a shut-down EnginePool)
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -59,6 +61,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const {
@@ -70,6 +75,9 @@ class [[nodiscard]] Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,0 +1,280 @@
+// Randomized differential harness (the correctness proof behind the
+// serving layer): for random collections and random maintenance-op
+// sequences, every access path — the four ReachabilityBackend adapters
+// AND an EnginePool serving over a frozen snapshot — must agree with
+// the exhaustively materialized TransitiveClosureIndex on the FULL
+// probe matrix, reachability and (when built) distances.
+//
+// The closure is rebuilt from the mutated element graph after the ops,
+// so it is an independent oracle: it never sees the incremental label
+// updates, only the graph they claim to describe. 20+ (graph,
+// op-sequence) scenarios run as parameterized tests; every scenario is
+// a pure function of its seed, so a failure reproduces by number.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/backends.h"
+#include "engine/engine_pool.h"
+#include "engine/snapshot.h"
+#include "hopi/build.h"
+#include "test_util.h"
+
+namespace hopi {
+namespace {
+
+using collection::Collection;
+using collection::DocId;
+
+// ---- random maintenance ops ----
+
+// Applies one random maintenance operation drawn from `rng` to the
+// (collection, index) pair. Returns a description of what ran (for
+// failure messages); ops that find no applicable target (e.g. deleting
+// a link from a link-less collection) degrade to a no-op.
+std::string ApplyRandomOp(Rng* rng, Collection* c, HopiIndex* index,
+                          int* doc_counter) {
+  switch (rng->NextBounded(4)) {
+    case 0: {  // InsertLink between two live elements
+      std::vector<NodeId> live = testing::LiveElements(*c);
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        NodeId u = live[rng->NextBounded(live.size())];
+        NodeId v = live[rng->NextBounded(live.size())];
+        if (u == v || c->ElementGraph().HasEdge(u, v)) continue;
+        Status s = index->InsertLink(u, v);
+        EXPECT_TRUE(s.ok()) << s;
+        return "InsertLink(" + std::to_string(u) + "," + std::to_string(v) +
+               ")";
+      }
+      return "InsertLink(no-op)";
+    }
+    case 1: {  // DeleteLink of a random existing link
+      if (c->Links().empty()) return "DeleteLink(no-op)";
+      collection::Link l = c->Links()[rng->NextBounded(c->Links().size())];
+      Status s = index->DeleteLink(l.source, l.target);
+      EXPECT_TRUE(s.ok()) << s;
+      return "DeleteLink(" + std::to_string(l.source) + "," +
+             std::to_string(l.target) + ")";
+    }
+    case 2: {  // InsertDocument: ingest a small tree + cross links
+      DocId doc = c->AddDocument("inserted" + std::to_string((*doc_counter)++) +
+                                 ".xml");
+      NodeId root = c->AddElement(doc, "article");
+      std::vector<NodeId> nodes{root};
+      size_t extra = rng->NextBounded(6);
+      for (size_t i = 0; i < extra; ++i) {
+        nodes.push_back(c->AddElement(
+            doc, i % 2 == 0 ? "section" : "cite",
+            nodes[rng->NextBounded(nodes.size())]));
+      }
+      // Outgoing cross links are part of the ingested document and are
+      // merged by InsertDocument itself.
+      std::vector<NodeId> live = testing::LiveElements(*c);
+      size_t out_links = rng->NextBounded(3);
+      for (size_t i = 0; i < out_links; ++i) {
+        NodeId u = nodes[rng->NextBounded(nodes.size())];
+        NodeId v = live[rng->NextBounded(live.size())];
+        if (c->DocOf(v) == doc || c->ElementGraph().HasEdge(u, v)) continue;
+        c->AddLink(u, v);
+      }
+      Status s = index->InsertDocument(doc);
+      EXPECT_TRUE(s.ok()) << s;
+      // Incoming links arrive after the document exists, as separate
+      // link insertions (the maintenance paper's ordering).
+      if (rng->NextBounded(2) == 0 && live.size() > 1) {
+        NodeId u = live[rng->NextBounded(live.size())];
+        if (c->DocOf(u) != doc && !c->ElementGraph().HasEdge(u, root)) {
+          Status in = index->InsertLink(u, root);
+          EXPECT_TRUE(in.ok()) << in;
+        }
+      }
+      return "InsertDocument(" + std::to_string(doc) + ")";
+    }
+    default: {  // DeleteDocument of a random live document
+      if (c->NumLiveDocuments() <= 1) return "DeleteDocument(no-op)";
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        DocId d = static_cast<DocId>(rng->NextBounded(c->NumDocuments()));
+        if (!c->IsLive(d)) continue;
+        Status s = index->DeleteDocument(d);
+        EXPECT_TRUE(s.ok()) << s;
+        return "DeleteDocument(" + std::to_string(d) + ")";
+      }
+      return "DeleteDocument(no-op)";
+    }
+  }
+}
+
+// ---- the differential check ----
+
+// Asserts that every backend and an EnginePool over a frozen snapshot
+// answer the full n×n probe matrix exactly like the closure oracle.
+void ExpectAllAccessPathsMatchOracle(const Collection& c,
+                                     const HopiIndex& index,
+                                     bool with_distance,
+                                     const std::string& context) {
+  const auto n = static_cast<NodeId>(c.NumElements());
+  TransitiveClosureIndex closure =
+      TransitiveClosureIndex::Build(c.ElementGraph(), with_distance);
+
+  storage::LinLoutStore store =
+      storage::LinLoutStore::FromCover(index.cover(), with_distance);
+  std::string path = ::testing::TempDir() + "hopi_differential_" + context +
+                     ".bin";
+  ASSERT_TRUE(store.WriteToFile(path).ok());
+  auto mapped = storage::MappedLinLoutStore::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+
+  engine::HopiIndexBackend hopi_backend(index);
+  engine::LinLoutBackend linlout_backend(store);
+  engine::MappedLinLoutBackend mapped_backend(*mapped);
+  engine::ClosureBackend closure_backend(closure, with_distance);
+  const engine::ReachabilityBackend* backends[] = {
+      &hopi_backend, &linlout_backend, &mapped_backend, &closure_backend};
+
+  // Scalar probes: full matrix against every backend. Mismatches are
+  // counted manually (EXPECT per probe would drown the log — and the
+  // runtime — at n² × 4 probes); the first one is reported in detail.
+  size_t mismatches = 0;
+  for (const engine::ReachabilityBackend* backend : backends) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        bool expect = closure.IsReachable(u, v);
+        bool got = backend->IsReachable(u, v);
+        bool dist_ok = true;
+        if (with_distance) {
+          dist_ok = backend->Distance(u, v) == closure.Distance(u, v);
+        }
+        if (got != expect || !dist_ok) {
+          if (mismatches == 0) {
+            ADD_FAILURE() << context << ": backend " << backend->Name()
+                          << " disagrees with closure on " << u << "->" << v
+                          << " (reach " << got << " vs " << expect << ")";
+          }
+          ++mismatches;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << context;
+
+  // The pool route: a frozen deep copy of the (possibly maintained)
+  // index served by 3 workers; the whole matrix goes through Batch().
+  auto snapshot = engine::BackendSnapshot::Freeze(index);
+  engine::EnginePoolOptions pool_options;
+  pool_options.num_threads = 3;
+  engine::EnginePool pool(snapshot, pool_options);
+  std::vector<std::pair<engine::NodePair, bool>> expected;
+  std::vector<std::future<engine::PoolBatchResponse>> futures;
+  std::vector<engine::BatchRequest> requests;
+  engine::BatchRequest request;
+  request.want_distances = with_distance;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      request.pairs.push_back({u, v});
+      if (request.pairs.size() == 1024) {
+        requests.push_back(std::exchange(
+            request, engine::BatchRequest{.pairs = {},
+                                          .want_distances = with_distance}));
+      }
+    }
+  }
+  if (!request.pairs.empty()) requests.push_back(std::move(request));
+  for (engine::BatchRequest& r : requests) {
+    auto future = pool.SubmitBatch(std::move(r));
+    ASSERT_TRUE(future.ok()) << future.status();
+    futures.push_back(std::move(future).value());
+  }
+  size_t pool_mismatches = 0;
+  for (size_t b = 0; b < futures.size(); ++b) {
+    engine::PoolBatchResponse response = futures[b].get();
+    EXPECT_EQ(response.snapshot_version, snapshot->version());
+    // Requests were chunked in row-major order, so the flat index
+    // recovers each probe's (u, v).
+    for (size_t i = 0; i < response.batch.reachable.size(); ++i) {
+      size_t flat = b * 1024 + i;
+      NodeId u = static_cast<NodeId>(flat / n);
+      NodeId v = static_cast<NodeId>(flat % n);
+      bool expect = closure.IsReachable(u, v);
+      if (response.batch.reachable[i] != expect) ++pool_mismatches;
+      if (with_distance &&
+          response.batch.distances[i] != closure.Distance(u, v)) {
+        ++pool_mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(pool_mismatches, 0u) << context << ": EnginePool disagrees";
+  std::remove(path.c_str());
+}
+
+// ---- scenarios ----
+
+struct Scenario {
+  uint64_t seed;
+};
+
+class DifferentialScenario : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(DifferentialScenario, AllAccessPathsMatchClosureAfterMaintenance) {
+  const uint64_t seed = GetParam().seed;
+  Rng rng(seed * 7919 + 1);
+  // Scenario shape is itself randomized: document count, tree sizes,
+  // link density, op count, distance mode and partitioning all vary.
+  size_t docs = 4 + rng.NextBounded(6);
+  size_t mean_extra = 5 + rng.NextBounded(8);
+  size_t links = 6 + rng.NextBounded(18);
+  size_t ops = 5 + rng.NextBounded(6);
+  bool with_distance = seed % 2 == 1;
+
+  Collection c = testing::RandomCollection(docs, mean_extra, links, seed);
+  IndexBuildOptions options;
+  options.with_distance = with_distance;
+  // Force multi-partition builds for a third of the scenarios so the
+  // joined covers face the maintenance ops too.
+  if (seed % 3 == 0) options.partition.max_connections = 400;
+  auto built = BuildIndex(&c, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  HopiIndex index = std::move(built).value();
+
+  std::string trace;
+  int doc_counter = 0;
+  for (size_t op = 0; op < ops; ++op) {
+    trace += (op ? ", " : "") + ApplyRandomOp(&rng, &c, &index, &doc_counter);
+  }
+  SCOPED_TRACE("seed " + std::to_string(seed) + ": " + trace);
+  ExpectAllAccessPathsMatchOracle(c, index, with_distance,
+                                  "seed" + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphsAndOpSequences, DifferentialScenario,
+    ::testing::ValuesIn([] {
+      std::vector<Scenario> scenarios;
+      for (uint64_t seed = 1; seed <= 24; ++seed) scenarios.push_back({seed});
+      return scenarios;
+    }()),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// The no-maintenance baseline: a freshly built index over a random
+// collection already matches the oracle through every access path
+// (separates "build is wrong" from "maintenance broke it" when a
+// seeded scenario fails).
+TEST(DifferentialBaseline, FreshBuildMatchesOracle) {
+  for (uint64_t seed : {101u, 102u}) {
+    Collection c = testing::RandomCollection(6, 8, 12, seed);
+    IndexBuildOptions options;
+    options.with_distance = seed % 2 == 0;
+    auto built = BuildIndex(&c, options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    ExpectAllAccessPathsMatchOracle(c, *built, options.with_distance,
+                                    "fresh" + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace hopi

@@ -1,0 +1,418 @@
+// EnginePool unit + concurrency stress tests.
+//
+// The stress half is the TSan target: many client threads hammer
+// Batch() while another thread Swap()s snapshots in a loop, and every
+// response must (a) carry the version of exactly one published
+// snapshot and (b) contain answers computed entirely against that
+// snapshot — the two graphs differ on known probe pairs, so a torn
+// read (half old index, half new) is detected by content, not just by
+// the sanitizer. Pool stats are sampled concurrently and must be
+// monotonic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/engine_pool.h"
+#include "engine/snapshot.h"
+#include "hopi/build.h"
+#include "test_util.h"
+
+namespace hopi::engine {
+namespace {
+
+using collection::Collection;
+
+HopiIndex MustBuild(Collection* c, bool with_distance = false) {
+  IndexBuildOptions options;
+  options.with_distance = with_distance;
+  auto index = BuildIndex(c, options);
+  EXPECT_TRUE(index.ok()) << index.status();
+  return std::move(index).value();
+}
+
+// ---- fixtures ----
+
+class EnginePoolFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    c_ = hopi::testing::SmallDblp(30, 41);
+    index_ = std::make_unique<HopiIndex>(MustBuild(&c_, true));
+    snapshot_ = BackendSnapshot::Freeze(*index_);
+  }
+
+  std::vector<NodePair> RandomPairs(size_t count, uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<NodePair> pairs;
+    for (size_t i = 0; i < count; ++i) {
+      pairs.push_back(
+          {static_cast<NodeId>(rng.NextBounded(c_.NumElements())),
+           static_cast<NodeId>(rng.NextBounded(c_.NumElements()))});
+    }
+    return pairs;
+  }
+
+  Collection c_;
+  std::unique_ptr<HopiIndex> index_;
+  std::shared_ptr<const BackendSnapshot> snapshot_;
+};
+
+// ---- unit tests ----
+
+TEST_F(EnginePoolFixture, BatchMatchesSingleEngineAcrossWorkers) {
+  EnginePoolOptions options;
+  options.num_threads = 4;
+  options.dispatch = EnginePoolOptions::Dispatch::kRoundRobin;
+  EnginePool pool(snapshot_, options);
+  EXPECT_EQ(pool.num_threads(), 4u);
+
+  QueryEngine reference = QueryEngine::ForIndex(*index_);
+  std::vector<std::future<PoolBatchResponse>> futures;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    auto submitted = pool.SubmitBatch(
+        {.pairs = RandomPairs(200, seed), .want_distances = true});
+    ASSERT_TRUE(submitted.ok()) << submitted.status();
+    futures.push_back(std::move(submitted).value());
+  }
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    PoolBatchResponse response = futures[seed].get();
+    EXPECT_EQ(response.snapshot_version, snapshot_->version());
+    EXPECT_LT(response.worker, 4u);
+    BatchResponse expect = reference.Batch(
+        {.pairs = RandomPairs(200, seed), .want_distances = true});
+    EXPECT_EQ(response.batch.reachable, expect.reachable);
+    EXPECT_EQ(response.batch.distances, expect.distances);
+  }
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.batches, 16u);
+  EXPECT_EQ(stats.snapshot_version, snapshot_->version());
+  // Every worker was bound at most once (single snapshot).
+  EXPECT_LE(stats.rebinds, 4u);
+}
+
+TEST_F(EnginePoolFixture, PathQueriesRunThroughThePool) {
+  EnginePool pool(snapshot_, {.num_threads = 2});
+  QueryEngine reference = QueryEngine::ForIndex(*index_);
+  for (const char* expression :
+       {"//inproceedings//cite//title", "//abstract//sentence"}) {
+    auto response = pool.Query({.expression = expression});
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_TRUE(response->result.ok()) << response->result.status();
+    auto expect = reference.Query({.expression = expression});
+    ASSERT_TRUE(expect.ok());
+    EXPECT_EQ(response->result->count, expect->count);
+    ASSERT_EQ(response->result->matches.size(), expect->matches.size());
+    for (size_t i = 0; i < expect->matches.size(); ++i) {
+      EXPECT_EQ(response->result->matches[i].bindings,
+                expect->matches[i].bindings);
+    }
+  }
+  auto malformed = pool.Query({.expression = "//a/b"});
+  ASSERT_TRUE(malformed.ok());  // submission succeeded...
+  EXPECT_TRUE(malformed->result.status().IsInvalidArgument());  // ...query not
+  EXPECT_EQ(pool.Stats().path_queries, 3u);
+}
+
+TEST_F(EnginePoolFixture, LeastLoadedAndRoundRobinBothServeEverything) {
+  for (auto dispatch : {EnginePoolOptions::Dispatch::kRoundRobin,
+                        EnginePoolOptions::Dispatch::kLeastLoaded}) {
+    EnginePoolOptions options;
+    options.num_threads = 3;
+    options.dispatch = dispatch;
+    EnginePool pool(snapshot_, options);
+    std::vector<std::future<PoolBatchResponse>> futures;
+    for (uint64_t seed = 100; seed < 140; ++seed) {
+      auto submitted = pool.SubmitBatch({.pairs = RandomPairs(50, seed)});
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted).value());
+    }
+    for (auto& future : futures) {
+      EXPECT_EQ(future.get().batch.reachable.size(), 50u);
+    }
+    EXPECT_EQ(pool.Stats().batches, 40u);
+  }
+}
+
+TEST_F(EnginePoolFixture, ShutdownDrainsThenRejects) {
+  EnginePool pool(snapshot_, {.num_threads = 2});
+  std::vector<std::future<PoolBatchResponse>> futures;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    auto submitted = pool.SubmitBatch({.pairs = RandomPairs(400, seed)});
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  // Everything queued before Shutdown completes.
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().batch.reachable.size(), 400u);
+  }
+  EXPECT_EQ(pool.Stats().batches, 8u);
+  auto rejected = pool.SubmitBatch({.pairs = RandomPairs(4, 9)});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsFailedPrecondition());
+  auto rejected_query = pool.Query({.expression = "//a"});
+  EXPECT_TRUE(rejected_query.status().IsFailedPrecondition());
+}
+
+TEST_F(EnginePoolFixture, SwapRebindsWorkersAndReportsNewVersion) {
+  // Second snapshot: same collection shape, one maintenance delta.
+  Collection c2 = hopi::testing::SmallDblp(30, 41);
+  HopiIndex index2 = MustBuild(&c2, true);
+  auto snapshot2 = BackendSnapshot::Freeze(index2);
+  ASSERT_NE(snapshot_->version(), snapshot2->version());
+
+  EnginePool pool(snapshot_, {.num_threads = 2});
+  auto first = pool.Batch({.pairs = RandomPairs(32, 1)});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->snapshot_version, snapshot_->version());
+
+  pool.Swap(snapshot2);
+  EXPECT_EQ(pool.snapshot()->version(), snapshot2->version());
+  auto second = pool.Batch({.pairs = RandomPairs(32, 2)});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->snapshot_version, snapshot2->version());
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.snapshot_version, snapshot2->version());
+}
+
+TEST_F(EnginePoolFixture, WorkerCacheStatsReadableWhileServing) {
+  // The linlout (copy-route) backend exercises the per-worker caches.
+  auto store = std::make_shared<storage::LinLoutStore>(
+      storage::LinLoutStore::FromCover(index_->cover(), true));
+  auto snapshot = BackendSnapshot::OfStore(Unowned(c_), store);
+  EnginePool pool(snapshot, {.num_threads = 2});
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const LabelCache::Stats& s : pool.WorkerCacheStats()) {
+        EXPECT_GE(s.hits + s.misses, 0u);
+        EXPECT_LE(s.entries, s.capacity == 0 ? 0 : s.capacity);
+      }
+    }
+  });
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    auto r = pool.Batch({.pairs = RandomPairs(300, seed)});
+    ASSERT_TRUE(r.ok());
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  PoolStats stats = pool.Stats();
+  EXPECT_GT(stats.cache_hits + stats.cache_misses, 0u);
+  uint64_t cache_total = 0;
+  for (const LabelCache::Stats& s : pool.WorkerCacheStats()) {
+    cache_total += s.hits + s.misses;
+  }
+  EXPECT_EQ(cache_total, stats.cache_hits + stats.cache_misses);
+}
+
+// ---- the swap/stress test ----
+
+// Two graphs that provably disagree: B is A plus one link that creates
+// connections absent in A. Expected full matrices are precomputed per
+// snapshot version; every pool response must match the matrix of the
+// version it claims to have been served from.
+TEST(EnginePoolStressTest, ConcurrentBatchesAndSwapsServeConsistentSnapshots) {
+  Collection c = hopi::testing::RandomCollection(5, 6, 8, 4242);
+  HopiIndex index = MustBuild(&c);
+  auto snapshot_a = BackendSnapshot::Freeze(index);
+
+  // Mutate: link two far-apart roots, then freeze again.
+  std::vector<NodeId> live = hopi::testing::LiveElements(c);
+  bool mutated = false;
+  Rng link_rng(7);
+  for (int attempt = 0; attempt < 50 && !mutated; ++attempt) {
+    NodeId u = live[link_rng.NextBounded(live.size())];
+    NodeId v = live[link_rng.NextBounded(live.size())];
+    if (u == v || c.ElementGraph().HasEdge(u, v) || index.IsReachable(u, v)) {
+      continue;
+    }
+    ASSERT_TRUE(index.InsertLink(u, v).ok());
+    mutated = true;
+  }
+  ASSERT_TRUE(mutated) << "could not find a connecting link to insert";
+  auto snapshot_b = BackendSnapshot::Freeze(index);
+
+  // Precompute both full matrices (n is small).
+  const auto n = static_cast<NodeId>(c.NumElements());
+  std::map<uint64_t, std::vector<bool>> matrix_of_version;
+  for (const auto& snapshot : {snapshot_a, snapshot_b}) {
+    QueryEngine engine(snapshot->collection(), snapshot->MakeBackend(),
+                       {.shared_tags = snapshot->tags()});
+    std::vector<bool>& matrix = matrix_of_version[snapshot->version()];
+    matrix.resize(static_cast<size_t>(n) * n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        matrix[static_cast<size_t>(u) * n + v] =
+            engine.backend().IsReachable(u, v);
+      }
+    }
+  }
+  ASSERT_NE(matrix_of_version[snapshot_a->version()],
+            matrix_of_version[snapshot_b->version()])
+      << "the two snapshots must disagree somewhere for the test to bite";
+
+  EnginePoolOptions options;
+  options.num_threads = 4;
+  EnginePool pool(snapshot_a, options);
+
+  constexpr int kClients = 4;
+  constexpr int kBatchesPerClient = 120;
+  std::atomic<bool> clients_done{false};
+  std::atomic<size_t> torn_responses{0};
+  std::atomic<size_t> unknown_versions{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int client = 0; client < kClients; ++client) {
+    clients.emplace_back([&, client] {
+      Rng rng(1000 + client);
+      for (int b = 0; b < kBatchesPerClient; ++b) {
+        std::vector<NodePair> pairs;
+        for (int i = 0; i < 64; ++i) {
+          pairs.push_back({static_cast<NodeId>(rng.NextBounded(n)),
+                           static_cast<NodeId>(rng.NextBounded(n))});
+        }
+        auto response = pool.Batch({.pairs = pairs});
+        ASSERT_TRUE(response.ok()) << response.status();
+        auto it = matrix_of_version.find(response->snapshot_version);
+        if (it == matrix_of_version.end()) {
+          unknown_versions.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          bool expect = it->second[static_cast<size_t>(pairs[i].first) * n +
+                                   pairs[i].second];
+          if (response->batch.reachable[i] != expect) {
+            torn_responses.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  std::thread swapper([&] {
+    for (int s = 0; !clients_done.load(); ++s) {
+      pool.Swap(s % 2 == 0 ? snapshot_b : snapshot_a);
+      std::this_thread::yield();
+    }
+  });
+
+  // Stats sampler: every field of PoolStats (except snapshot_version)
+  // must be monotonic while the pool is being hammered.
+  std::thread sampler([&] {
+    PoolStats last;
+    while (!clients_done.load()) {
+      PoolStats now = pool.Stats();
+      EXPECT_GE(now.batches, last.batches);
+      EXPECT_GE(now.probes, last.probes);
+      EXPECT_GE(now.unique_probes, last.unique_probes);
+      EXPECT_GE(now.cache_hits, last.cache_hits);
+      EXPECT_GE(now.cache_misses, last.cache_misses);
+      EXPECT_GE(now.labels_borrowed, last.labels_borrowed);
+      EXPECT_GE(now.backend_probes, last.backend_probes);
+      EXPECT_GE(now.swaps, last.swaps);
+      EXPECT_GE(now.rebinds, last.rebinds);
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& client : clients) client.join();
+  clients_done.store(true);
+  swapper.join();
+  sampler.join();
+
+  EXPECT_EQ(torn_responses.load(), 0u)
+      << "responses mixing two snapshots detected";
+  EXPECT_EQ(unknown_versions.load(), 0u);
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.batches,
+            static_cast<uint64_t>(kClients) * kBatchesPerClient);
+  EXPECT_GT(stats.rebinds, 0u);
+  EXPECT_GE(stats.swaps, 1u);
+}
+
+// Swapping between backend *kinds* (hopi cover -> mmapped file) while
+// serving: the label route changes under the clients' feet, answers
+// must not.
+TEST(EnginePoolStressTest, SwapAcrossBackendKindsKeepsAnswers) {
+  Collection c = hopi::testing::RandomCollection(5, 6, 10, 99);
+  HopiIndex index = MustBuild(&c);
+  auto hopi_snapshot = BackendSnapshot::Freeze(index);
+
+  auto store = std::make_shared<storage::LinLoutStore>(
+      storage::LinLoutStore::FromCover(index.cover(), false));
+  std::string path = ::testing::TempDir() + "hopi_pool_swap_kinds.bin";
+  ASSERT_TRUE(store->WriteToFile(path).ok());
+  auto mapped_result = storage::MappedLinLoutStore::Open(path);
+  ASSERT_TRUE(mapped_result.ok()) << mapped_result.status();
+  auto mapped = std::make_shared<storage::MappedLinLoutStore>(
+      std::move(mapped_result).value());
+  auto collection = std::shared_ptr<const Collection>(
+      hopi_snapshot, &hopi_snapshot->collection());
+  // The rotated snapshots share the frozen collection, so they can
+  // also share its tag index (built once by Freeze).
+  auto store_snapshot =
+      BackendSnapshot::OfStore(collection, store, hopi_snapshot->tags());
+  auto mapped_snapshot = BackendSnapshot::OfMappedStore(
+      collection, mapped, hopi_snapshot->tags());
+
+  const auto n = static_cast<NodeId>(c.NumElements());
+  std::vector<bool> matrix(static_cast<size_t>(n) * n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      matrix[static_cast<size_t>(u) * n + v] = index.IsReachable(u, v);
+    }
+  }
+
+  EnginePool pool(hopi_snapshot, {.num_threads = 3});
+  std::atomic<bool> done{false};
+  std::atomic<size_t> wrong{0};
+  std::vector<std::thread> clients;
+  for (int client = 0; client < 3; ++client) {
+    clients.emplace_back([&, client] {
+      Rng rng(500 + client);
+      for (int b = 0; b < 150; ++b) {
+        BatchRequest request;
+        std::vector<NodePair> pairs;
+        for (int i = 0; i < 48; ++i) {
+          pairs.push_back({static_cast<NodeId>(rng.NextBounded(n)),
+                           static_cast<NodeId>(rng.NextBounded(n))});
+        }
+        request.pairs = pairs;
+        auto response = pool.Batch(std::move(request));
+        if (!response.ok()) continue;
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          bool expect = matrix[static_cast<size_t>(pairs[i].first) * n +
+                               pairs[i].second];
+          if (response->batch.reachable[i] != expect) wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    const std::shared_ptr<const BackendSnapshot> rotation[] = {
+        store_snapshot, mapped_snapshot, hopi_snapshot};
+    for (int s = 0; !done.load(); ++s) {
+      pool.Swap(rotation[s % 3]);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& client : clients) client.join();
+  done.store(true);
+  swapper.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  pool.Shutdown();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hopi::engine

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "collection/collection.h"
@@ -39,6 +41,54 @@ inline Digraph RandomDigraph(size_t n, size_t m, uint64_t seed) {
     if (u != v) g.AddEdge(u, v);
   }
   return g;
+}
+
+/// Random multi-document collection for the differential harness: `docs`
+/// documents, each a random tree of 1 + up-to-2×`mean_extra_elements`
+/// elements (tags drawn from a small pool so tag/path queries have
+/// matches), plus up to `links` random element-level links in arbitrary
+/// directions — the element graph may contain cycles, like real XML
+/// collections with back-references. Fully determined by `seed`.
+inline collection::Collection RandomCollection(size_t docs,
+                                               size_t mean_extra_elements,
+                                               size_t links, uint64_t seed) {
+  static const char* kTags[] = {"article", "section", "cite",
+                                "title",   "author",  "note"};
+  Rng rng(seed);
+  collection::Collection c;
+  for (size_t d = 0; d < docs; ++d) {
+    collection::DocId doc = c.AddDocument("doc" + std::to_string(d) + ".xml");
+    std::vector<NodeId> nodes{c.AddElement(doc, kTags[0])};
+    size_t extra = rng.NextBounded(2 * mean_extra_elements + 1);
+    for (size_t i = 0; i < extra; ++i) {
+      NodeId parent = nodes[rng.NextBounded(nodes.size())];
+      nodes.push_back(
+          c.AddElement(doc, kTags[1 + rng.NextBounded(5)], parent));
+    }
+  }
+  size_t added = 0;
+  for (size_t attempts = 0; added < links && attempts < 20 * links + 100;
+       ++attempts) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(c.NumElements()));
+    // Skip self-links and links that would shadow an existing edge (a
+    // tree edge or an earlier link): deleting such a link later would
+    // tear out the shared graph edge.
+    if (u == v || c.ElementGraph().HasEdge(u, v)) continue;
+    if (c.AddLink(u, v)) ++added;
+  }
+  return c;
+}
+
+/// All elements belonging to live (non-removed) documents, in id order.
+inline std::vector<NodeId> LiveElements(const collection::Collection& c) {
+  std::vector<NodeId> live;
+  for (collection::DocId d = 0; d < c.NumDocuments(); ++d) {
+    if (!c.IsLive(d)) continue;
+    live.insert(live.end(), c.ElementsOf(d).begin(), c.ElementsOf(d).end());
+  }
+  std::sort(live.begin(), live.end());
+  return live;
 }
 
 /// A small DBLP-like collection for integration tests.

@@ -3,12 +3,15 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/checksum.h"
+#include "util/lane_queue.h"
 #include "util/thread_pool.h"
 #include "util/cli.h"
 #include "util/mmap_file.h"
@@ -44,6 +47,9 @@ TEST(StatusTest, AllConstructorsSetMatchingPredicates) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
 }
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
@@ -481,6 +487,75 @@ TEST(RngForkTest, ChildStreamDecorrelatedFromParent) {
     if (parent.Next() == child.Next()) ++same;
   }
   EXPECT_EQ(same, 0);
+}
+
+// ---- LaneQueue ----
+
+TEST(LaneQueueTest, FifoWithinOneLane) {
+  LaneQueue<int> q(2);
+  EXPECT_EQ(q.NumLanes(), 2u);
+  EXPECT_TRUE(q.Push(0, 1));
+  EXPECT_TRUE(q.Push(0, 2));
+  EXPECT_TRUE(q.Push(1, 9));
+  EXPECT_EQ(q.Pop(0), 1);
+  EXPECT_EQ(q.Pop(0), 2);
+  EXPECT_EQ(q.Pop(1), 9);
+  EXPECT_EQ(q.TotalQueued(), 0u);
+}
+
+TEST(LaneQueueTest, LeastLoadedPicksEmptiestLane) {
+  LaneQueue<int> q(3);
+  EXPECT_EQ(q.LeastLoadedLane(), 0u);  // all empty: lowest index
+  ASSERT_TRUE(q.Push(0, 1));
+  ASSERT_TRUE(q.Push(2, 1));
+  EXPECT_EQ(q.LeastLoadedLane(), 1u);
+  ASSERT_TRUE(q.Push(1, 1));
+  ASSERT_TRUE(q.Push(1, 2));
+  EXPECT_EQ(q.LeastLoadedLane(), 0u);  // 0 and 2 tie at 1 item
+  EXPECT_EQ(q.Depths(), (std::vector<size_t>{1, 2, 1}));
+}
+
+TEST(LaneQueueTest, CloseDrainsThenReturnsNullopt) {
+  LaneQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0, 7));
+  q.Close();
+  EXPECT_FALSE(q.Push(0, 8));  // rejected...
+  EXPECT_EQ(q.Pop(0), 7);      // ...but queued work still drains
+  EXPECT_EQ(q.Pop(0), std::nullopt);
+  EXPECT_TRUE(q.closed());
+  q.Close();  // idempotent
+}
+
+TEST(LaneQueueTest, CloseWakesBlockedConsumer) {
+  LaneQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_EQ(q.Pop(0), std::nullopt); });
+  q.Close();
+  consumer.join();
+}
+
+TEST(LaneQueueTest, ManyProducersOneConsumerPerLane) {
+  constexpr size_t kLanes = 3;
+  constexpr int kPerProducer = 200;
+  LaneQueue<int> q(kLanes);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push((p + i) % kLanes, p * kPerProducer + i));
+      }
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    consumers.emplace_back([&q, &consumed, lane] {
+      while (q.Pop(lane)) consumed.fetch_add(1);
+    });
+  }
+  for (auto& p : producers) p.join();
+  q.Close();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(consumed.load(), 4 * kPerProducer);
 }
 
 }  // namespace
