@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "collection/collection.h"
 #include "datagen/dblp.h"
@@ -19,6 +22,70 @@
 #include "util/table_printer.h"
 
 namespace hopi::bench {
+
+/// Machine-readable twin of the printed tables: a flat, ordered
+/// key -> value map written as `BENCH_<name>.json` in the working
+/// directory, so CI and the experiment notes can diff runs without
+/// scraping stdout. Hand-rolled writer — two value kinds (number,
+/// string), no dependencies, deterministic field order.
+///
+///   BenchReport report("storage_io");
+///   report.Add("v4_bytes_per_entry", 3.71);
+///   report.Add("format", "v4");
+///   report.Write();          // -> BENCH_storage_io.json
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, std::string(buf));
+  }
+  void Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escaped(value) + "\"");
+  }
+
+  /// Writes BENCH_<name>.json; reports (but tolerates) IO failure on
+  /// stderr so a read-only working directory never fails a bench run.
+  void Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::cerr << "BenchReport: cannot write " << path << "\n";
+      return;
+    }
+    std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::cout << "\nwrote " << path << "\n";
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + Escaped(name_) + "\"";
+    for (const auto& [key, value] : fields_) {
+      out += ",\n  \"" + Escaped(key) + "\": " + value;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Scaled stand-in for the paper's DBLP subset (6,210 docs / 168,991
 /// elements / 25,368 links). Default 800 docs keeps every bench binary in

@@ -95,12 +95,13 @@ std::string RouteMix(const engine::PoolStats& s) {
 int main(int argc, char** argv) {
   using namespace hopi::bench;
   CommandLine cli = ParseFlagsOrDie(
-      argc, argv, {"docs", "seed", "batches", "clients", "cache"});
+      argc, argv, {"docs", "seed", "batches", "clients", "cache_kb"});
   size_t docs = static_cast<size_t>(cli.GetInt("docs", 300));
   uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
   size_t batches = static_cast<size_t>(cli.GetInt("batches", 400));
   size_t clients = static_cast<size_t>(cli.GetInt("clients", 4));
-  size_t cache = static_cast<size_t>(cli.GetInt("cache", 4096));
+  size_t cache_bytes =
+      static_cast<size_t>(cli.GetInt("cache_kb", 4096)) * 1024;
 
   PrintHeader("EnginePool serving throughput");
   collection::Collection c = MakeDblp(docs, seed);
@@ -146,6 +147,10 @@ int main(int argc, char** argv) {
                      collection, mapped, hopi_snapshot->tags())},
   };
 
+  hopi::bench::BenchReport report("engine_pool");
+  report.Add("docs", static_cast<uint64_t>(docs));
+  report.Add("clients", static_cast<uint64_t>(clients));
+  report.Add("label_cache_bytes", static_cast<uint64_t>(cache_bytes));
   TablePrinter table({"backend", "threads", "batch", "wall s", "probes/s",
                       "label route"});
   for (const NamedSnapshot& named : snapshots) {
@@ -153,19 +158,22 @@ int main(int argc, char** argv) {
       for (size_t batch_size : {16u, 256u}) {
         engine::EnginePoolOptions pool_options;
         pool_options.num_threads = threads;
-        pool_options.label_cache_capacity = cache;
+        pool_options.label_cache_bytes = cache_bytes;
         engine::EnginePool pool(named.snapshot, pool_options);
         // Warm the per-worker engines (bind + first cache fills).
         RunWorkload(&pool, clients, 2 * threads, batch_size,
                     c.NumElements(), seed + 1);
         RunResult r = RunWorkload(&pool, clients, batches, batch_size,
                                   c.NumElements(), seed);
+        double pps = static_cast<double>(r.probes) / r.seconds;
         table.AddRow({named.name, std::to_string(threads),
                       std::to_string(batch_size),
                       TablePrinter::Fmt(r.seconds, 3),
-                      TablePrinter::FmtCount(static_cast<uint64_t>(
-                          static_cast<double>(r.probes) / r.seconds)),
+                      TablePrinter::FmtCount(static_cast<uint64_t>(pps)),
                       RouteMix(r.stats)});
+        report.Add(std::string(named.name) + "_t" + std::to_string(threads) +
+                       "_b" + std::to_string(batch_size) + "_probes_per_s",
+                   pps);
       }
     }
   }
@@ -177,7 +185,7 @@ int main(int argc, char** argv) {
   for (size_t threads : {2u, 4u}) {
     engine::EnginePoolOptions pool_options;
     pool_options.num_threads = threads;
-    pool_options.label_cache_capacity = cache;
+    pool_options.label_cache_bytes = cache_bytes;
     engine::EnginePool pool(hopi_snapshot, pool_options);
     std::atomic<bool> done{false};
     std::atomic<uint64_t> swaps{0};
@@ -192,14 +200,17 @@ int main(int argc, char** argv) {
                               c.NumElements(), seed);
     done.store(true);
     swapper.join();
+    double pps = static_cast<double>(r.probes) / r.seconds;
     swap_table.AddRow({TablePrinter::FmtCount(swaps.load()),
                        std::to_string(threads),
                        TablePrinter::Fmt(r.seconds, 3),
-                       TablePrinter::FmtCount(static_cast<uint64_t>(
-                           static_cast<double>(r.probes) / r.seconds)),
+                       TablePrinter::FmtCount(static_cast<uint64_t>(pps)),
                        TablePrinter::FmtCount(pool.Stats().rebinds)});
+    report.Add("swap_churn_t" + std::to_string(threads) + "_probes_per_s",
+               pps);
   }
   swap_table.Print(std::cout);
+  report.Write();
 
   std::remove(path.c_str());
   return 0;

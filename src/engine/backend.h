@@ -15,14 +15,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "storage/compress.h"
 #include "twohop/cover.h"
+#include "util/result.h"
 
 namespace hopi::engine {
 
@@ -36,6 +40,31 @@ using Label = std::vector<twohop::LabelEntry>;
 /// view (an in-memory cover, the engine's LRU cache, or an mmapped
 /// file image). See BorrowOutLabel() for the lifetime contract.
 using LabelView = std::span<const twohop::LabelEntry>;
+
+/// A decoded block of compressed label rows (storage/compress.h),
+/// shared between the engine's byte-budgeted cache and every in-flight
+/// view into it. Immutable once decoded.
+using LabelBlock = std::shared_ptr<const storage::DecodedBlock>;
+
+/// A label view plus whatever keeps it alive. Three flavors:
+///
+///   borrow  — `block` is null, the view aliases backend-owned storage
+///             (valid for the backend's lifetime, as BorrowOutLabel
+///             promises);
+///   block   — `block` pins the DecodedBlock the view aliases: cache
+///             eviction only drops the cache's reference, so the view
+///             stays valid for as long as this PinnedLabel (or a copy
+///             of its block pointer) lives;
+///   copy    — same as block; the engine wraps backend-materialized
+///             labels in single-row blocks so the cache has one
+///             currency.
+///
+/// THE pinning rule: hold the PinnedLabel, not just the LabelView.
+/// A bare view extracted from a PinnedLabel must not outlive it.
+struct PinnedLabel {
+  LabelView view;
+  LabelBlock block;
+};
 
 /// A single (source, target) reachability probe.
 using NodePair = std::pair<NodeId, NodeId>;
@@ -126,6 +155,37 @@ class ReachabilityBackend {
   /// @brief Zero-copy LIN(v) access; contract as BorrowOutLabel.
   virtual std::optional<LabelView> BorrowInLabel(NodeId /*v*/) const {
     return std::nullopt;
+  }
+
+  // ---- block export (the compressed-label route) ----
+  //
+  // Backends over block-compressed storage (a v4 MappedLinLoutStore)
+  // cannot borrow raw spans, and copying every row through OutLabel
+  // would decode a whole block per probe. Instead they name the block
+  // that holds a node's row; the engine decodes it once, keeps it in
+  // its byte-budgeted cache, and serves every row of the block from
+  // memory. Handles are opaque, dense, and stable for the backend's
+  // lifetime (they double as cache keys). A backend that returns a
+  // handle from Out/InLabelBlock MUST decode it via DecodeLabelBlock.
+
+  /// @brief Handle of the block holding LOUT(u), or nullopt when this
+  /// backend has no block-organized labels or u has no rows (the
+  /// borrow/copy routes handle those).
+  virtual std::optional<uint64_t> OutLabelBlock(NodeId /*u*/) const {
+    return std::nullopt;
+  }
+
+  /// @brief Handle of the block holding LIN(v); contract as
+  /// OutLabelBlock.
+  virtual std::optional<uint64_t> InLabelBlock(NodeId /*v*/) const {
+    return std::nullopt;
+  }
+
+  /// @brief Decodes one block (checksum + structural validation).
+  /// Corruption is only reachable when the underlying file was opened
+  /// lazily or tampered with after open.
+  virtual Result<LabelBlock> DecodeLabelBlock(uint64_t /*handle*/) const {
+    return Status::Unsupported("backend has no block-organized labels");
   }
 };
 

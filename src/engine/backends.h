@@ -74,15 +74,22 @@ class LinLoutBackend final : public ReachabilityBackend {
   const storage::LinLoutStore* store_;
 };
 
-/// Adapter over the mmap-backed LIN/LOUT reader. Labels are lent to the
-/// engine as spans over the file image (the borrow route), so batch
-/// queries run zero-copy off disk — no LRU cache traffic at all.
+/// Adapter over the mmap-backed LIN/LOUT reader. For raw (v3) stores,
+/// labels are lent to the engine as spans over the file image (the
+/// borrow route), so batch queries run zero-copy off disk — no cache
+/// traffic at all. For block-compressed (v4) stores the adapter speaks
+/// the block route instead: it names the block holding a node's row
+/// and decodes it on demand, and the engine's byte-budgeted cache
+/// keeps hot blocks resident (nodes without rows still borrow an
+/// engaged empty view — no decode for them).
 class MappedLinLoutBackend final : public ReachabilityBackend {
  public:
   explicit MappedLinLoutBackend(const storage::MappedLinLoutStore& store)
       : store_(&store) {}
 
-  std::string_view Name() const override { return "mapped"; }
+  std::string_view Name() const override {
+    return store_->compressed() ? "mapped-v4" : "mapped";
+  }
   bool with_distance() const override { return store_->with_distance(); }
 
   bool IsReachable(NodeId u, NodeId v) const override {
@@ -100,18 +107,43 @@ class MappedLinLoutBackend final : public ReachabilityBackend {
 
   bool HasLabels() const override { return true; }
   Label OutLabel(NodeId u) const override {
-    auto span = store_->LoutSpan(u);
-    return Label(span.begin(), span.end());
+    if (!store_->compressed()) {
+      auto span = store_->LoutSpan(u);
+      return Label(span.begin(), span.end());
+    }
+    auto row = store_->DecodeLoutRow(u);
+    return row.ok() ? Label(row->entries.begin(), row->entries.end())
+                    : Label{};
   }
   Label InLabel(NodeId v) const override {
-    auto span = store_->LinSpan(v);
-    return Label(span.begin(), span.end());
+    if (!store_->compressed()) {
+      auto span = store_->LinSpan(v);
+      return Label(span.begin(), span.end());
+    }
+    auto row = store_->DecodeLinRow(v);
+    return row.ok() ? Label(row->entries.begin(), row->entries.end())
+                    : Label{};
   }
   std::optional<LabelView> BorrowOutLabel(NodeId u) const override {
-    return LabelView(store_->LoutSpan(u));
+    if (!store_->compressed()) return LabelView(store_->LoutSpan(u));
+    // A compressed store can still borrow the one label it never has
+    // to decode: the empty one.
+    if (!store_->LoutBlockHandle(u)) return LabelView{};
+    return std::nullopt;
   }
   std::optional<LabelView> BorrowInLabel(NodeId v) const override {
-    return LabelView(store_->LinSpan(v));
+    if (!store_->compressed()) return LabelView(store_->LinSpan(v));
+    if (!store_->LinBlockHandle(v)) return LabelView{};
+    return std::nullopt;
+  }
+  std::optional<uint64_t> OutLabelBlock(NodeId u) const override {
+    return store_->LoutBlockHandle(u);
+  }
+  std::optional<uint64_t> InLabelBlock(NodeId v) const override {
+    return store_->LinBlockHandle(v);
+  }
+  Result<LabelBlock> DecodeLabelBlock(uint64_t handle) const override {
+    return store_->DecodeBlock(handle);
   }
 
  private:

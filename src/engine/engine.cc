@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include <chrono>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
@@ -24,7 +26,7 @@ QueryEngine::QueryEngine(const collection::Collection& collection,
                 ? std::move(options.shared_tags)
                 : std::make_shared<query::TagIndex>(collection)),
       similarity_(std::move(options.similarity)),
-      cache_(options.label_cache_capacity) {}
+      cache_(options.label_cache_bytes) {}
 
 QueryEngine QueryEngine::ForIndex(const HopiIndex& index,
                                   QueryEngineOptions options) {
@@ -67,24 +69,77 @@ ReachabilityResponse QueryEngine::Reachability(
   return response;
 }
 
-LabelView QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
-                                  BatchStats* stats) const {
+PinnedLabel QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
+                                    BatchStats* stats, Status* error) const {
   bool out = side == LabelCache::Side::kOut;
+  // Row-memo fast path: once a node's row has been located inside a
+  // decoded block, warm probes skip every directory search — one hash
+  // find, one weak-pin upgrade, O(1) row. This is what keeps the v4
+  // warm path competitive with the raw v3 borrow route.
+  uint64_t row_key = LabelCache::KeyFor(side, node);
+  uint32_t memo_row = 0;
+  if (LabelBlock block = cache_.GetRow(row_key, &memo_row)) {
+    ++stats->cache_hits;
+    LabelView view = block->Row(memo_row);
+    return {view, std::move(block)};
+  }
+  // Block route: compressed storage names the block holding the row;
+  // the cache serves the decoded block, pinned for the caller. Checked
+  // before the borrow route because for compressed backends both
+  // answers come from the same directory search — asking "can I
+  // borrow?" first would pay that search twice per fetch.
+  if (std::optional<uint64_t> handle =
+          out ? backend_->OutLabelBlock(node) : backend_->InLabelBlock(node)) {
+    uint64_t key = LabelCache::BlockKeyFor(*handle);
+    LabelBlock block = cache_.Get(key);
+    if (block) {
+      ++stats->cache_hits;
+    } else {
+      ++stats->cache_misses;
+      auto start = std::chrono::steady_clock::now();
+      Result<LabelBlock> decoded = backend_->DecodeLabelBlock(*handle);
+      if (!decoded.ok()) {
+        if (error->ok()) *error = decoded.status();
+        return {LabelView{}, nullptr};
+      }
+      cache_.RecordDecode(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+      ++stats->blocks_decoded;
+      block = cache_.Put(key, std::move(*decoded));
+    }
+    int64_t row = block->RowIndexFor(node);
+    if (row < 0) return {LabelView{}, std::move(block)};
+    cache_.MemoRow(row_key, block, static_cast<uint32_t>(row));
+    LabelView view = block->Row(static_cast<size_t>(row));
+    return {view, std::move(block)};
+  }
   // Borrow route: label storage the backend already owns (in-memory
-  // covers, mmapped file images) is lent as a span — zero copies.
+  // covers, raw mmapped file images) is lent as a span — zero copies,
+  // no pin needed (backend-lifetime storage). For compressed backends
+  // this only serves rows with no block: the empty ones.
   if (std::optional<LabelView> borrowed = out ? backend_->BorrowOutLabel(node)
                                               : backend_->BorrowInLabel(node)) {
     ++stats->labels_borrowed;
-    return *borrowed;
+    return {*borrowed, nullptr};
   }
-  // Copy route, served through the LRU cache.
-  if (const Label* hit = cache_.Get(side, node)) {
+  // Copy route: the backend materializes one label; the engine wraps
+  // it as a one-row block so the byte-budgeted cache has one currency.
+  uint64_t key = LabelCache::KeyFor(side, node);
+  if (LabelBlock hit = cache_.Get(key)) {
     ++stats->cache_hits;
-    return LabelView(*hit);
+    LabelView view = hit->Row(0);
+    return {view, std::move(hit)};
   }
   ++stats->cache_misses;
-  Label label = out ? backend_->OutLabel(node) : backend_->InLabel(node);
-  return LabelView(*cache_.Put(side, node, std::move(label)));
+  auto wrapped = std::make_shared<storage::DecodedBlock>();
+  wrapped->entries = out ? backend_->OutLabel(node) : backend_->InLabel(node);
+  wrapped->row_keys = {node};
+  wrapped->row_begin = {0, static_cast<uint32_t>(wrapped->entries.size())};
+  LabelBlock block = cache_.Put(key, std::move(wrapped));
+  LabelView view = block->Row(0);
+  return {view, std::move(block)};
 }
 
 BatchResponse QueryEngine::Batch(const BatchRequest& request) const {
@@ -117,11 +172,14 @@ BatchResponse QueryEngine::Batch(const BatchRequest& request) const {
         if (request.want_distances) distance[k] = 0;
         continue;
       }
-      LabelView lout = FetchLabel(LabelCache::Side::kOut, u, &response.stats);
-      LabelView lin = FetchLabel(LabelCache::Side::kIn, v, &response.stats);
-      twohop::LabelJoinResult join =
-          twohop::JoinLabelRanges(u, v, lout.data(), lout.size(), lin.data(),
-                                  lin.size(), request.want_distances);
+      PinnedLabel lout =
+          FetchLabel(LabelCache::Side::kOut, u, &response.stats,
+                     &response.error);
+      PinnedLabel lin = FetchLabel(LabelCache::Side::kIn, v, &response.stats,
+                                   &response.error);
+      twohop::LabelJoinResult join = twohop::JoinLabelRanges(
+          u, v, lout.view.data(), lout.view.size(), lin.view.data(),
+          lin.view.size(), request.want_distances);
       reachable[k] = join.connected;
       if (request.want_distances) distance[k] = join.distance;
     }

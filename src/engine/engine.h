@@ -45,9 +45,10 @@
 namespace hopi::engine {
 
 struct QueryEngineOptions {
-  /// Maximum label sets held by the hot-label LRU cache (LIN and LOUT
-  /// entries count separately).
-  size_t label_cache_capacity = 4096;
+  /// Byte budget of the hot-label cache (decoded v4 blocks and copied
+  /// label sets share it; see engine/label_cache.h for the accounting
+  /// and the pinning rule). 0 disables caching — correct, just cold.
+  size_t label_cache_bytes = 4 * 1024 * 1024;
   /// Ontology for ~tag path steps; approximate steps behave like exact
   /// ones when unset.
   std::optional<query::TagSimilarity> similarity = std::nullopt;
@@ -82,7 +83,8 @@ struct BatchRequest {
 };
 
 /// Per-call accounting of one Batch() evaluation. Label fetches take
-/// exactly one of three routes, so for label-carrying backends
+/// exactly one of three routes — borrow, block, or copy — and the
+/// latter two go through the cache, so for label-carrying backends
 /// `cache_hits + cache_misses + labels_borrowed == 2 * (unique probes
 /// with u != v)`, and `backend_probes` is non-zero only for label-less
 /// backends.
@@ -91,15 +93,19 @@ struct BatchStats {
   size_t probes = 0;
   /// Distinct (u, v) pairs actually evaluated after in-batch dedup.
   size_t unique_probes = 0;
-  /// Label sets served from the engine's LRU cache (copy route, warm).
+  /// Label sets served from the engine's cache (copy or block route,
+  /// warm).
   size_t cache_hits = 0;
-  /// Label sets materialized by the backend and inserted into the LRU
-  /// cache (copy route, cold).
+  /// Label sets the cache could not serve (copy or block route, cold —
+  /// the backend materialized a label or the engine decoded a block).
   size_t cache_misses = 0;
   /// Label sets lent by the backend as views over its own storage —
-  /// in-memory covers, mmapped file images (borrow route; the LRU
+  /// in-memory covers, raw mmapped file images (borrow route; the
   /// cache is bypassed).
   size_t labels_borrowed = 0;
+  /// Compressed blocks decoded during this batch (block-route misses;
+  /// always <= cache_misses).
+  size_t blocks_decoded = 0;
   /// Probes answered by the backend's vectorized TestConnections
   /// (label-less backends only).
   size_t backend_probes = 0;
@@ -113,6 +119,11 @@ struct BatchResponse {
   std::vector<bool> reachable;
   /// Parallel to pairs when want_distances; empty otherwise.
   std::vector<std::optional<uint32_t>> distances;
+  /// First block-decode failure hit during the batch (only reachable
+  /// over lazily opened or tampered-with compressed stores). Probes
+  /// whose labels failed to decode report unreachable; everything else
+  /// in the response is exact.
+  Status error = Status::OK();
   BatchStats stats;
 };
 
@@ -202,16 +213,21 @@ class QueryEngine {
   /// else on it belongs to the engine's serving thread (label_cache.h
   /// documents the rule).
   const LabelCache& label_cache() const { return cache_; }
+  /// One relaxed snapshot of those counters — byte accounting
+  /// (bytes_resident, byte_budget) and decode accounting
+  /// (blocks_decoded, decode_nanos) included. Safe from any thread.
+  LabelCache::Stats CacheStats() const { return cache_.StatsSnapshot(); }
 
  private:
   /// One label fetch: borrow from the backend when offered, else serve
-  /// through the LRU cache. Counts the route taken into `stats`. A
-  /// cache-backed view stays valid across the fetch of the pair's
-  /// other side (the cache holds at least two entries and a fresh
-  /// fetch is most-recently-used), which is exactly as long as the
-  /// batch join needs it.
-  LabelView FetchLabel(LabelCache::Side side, NodeId node,
-                       BatchStats* stats) const;
+  /// a pinned block through the byte-budgeted cache (decoding it on a
+  /// block-route miss, materializing a one-row block on a copy-route
+  /// miss). Counts the route taken into `stats`; the first decode
+  /// failure lands in `*error` and yields an empty view. The returned
+  /// PinnedLabel keeps the view valid regardless of later fetches or
+  /// evictions — exactly as long as the batch join needs it.
+  PinnedLabel FetchLabel(LabelCache::Side side, NodeId node,
+                         BatchStats* stats, Status* error) const;
 
   const collection::Collection* collection_;
   std::unique_ptr<ReachabilityBackend> backend_;

@@ -126,7 +126,7 @@ const BackendSnapshot& EnginePool::BindCurrentSnapshot(WorkerState* ws) {
   std::shared_ptr<const BackendSnapshot> current = snapshot();
   if (ws->snapshot != current) {
     QueryEngineOptions engine_options;
-    engine_options.label_cache_capacity = options_.label_cache_capacity;
+    engine_options.label_cache_bytes = options_.label_cache_bytes;
     engine_options.similarity = options_.similarity;
     engine_options.shared_tags = current->tags();
     // Pin the rebind so a concurrent WorkerCacheStats() never reads a
@@ -163,6 +163,8 @@ void EnginePool::WorkerLoop(size_t lane) {
                                   std::memory_order_relaxed);
         ws.labels_borrowed.fetch_add(stats.labels_borrowed,
                                      std::memory_order_relaxed);
+        ws.blocks_decoded.fetch_add(stats.blocks_decoded,
+                                    std::memory_order_relaxed);
         ws.backend_probes.fetch_add(stats.backend_probes,
                                     std::memory_order_relaxed);
         ws.batches.fetch_add(1, std::memory_order_relaxed);
@@ -207,6 +209,8 @@ PoolStats EnginePool::Stats() const {
     stats.cache_misses += ws->cache_misses.load(std::memory_order_relaxed);
     stats.labels_borrowed +=
         ws->labels_borrowed.load(std::memory_order_relaxed);
+    stats.blocks_decoded +=
+        ws->blocks_decoded.load(std::memory_order_relaxed);
     stats.backend_probes += ws->backend_probes.load(std::memory_order_relaxed);
     stats.rebinds += ws->rebinds.load(std::memory_order_relaxed);
   }

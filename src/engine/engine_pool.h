@@ -67,8 +67,8 @@ struct EnginePoolOptions {
   };
   Dispatch dispatch = Dispatch::kLeastLoaded;
 
-  /// Per-worker hot-label LRU capacity (QueryEngineOptions).
-  size_t label_cache_capacity = 4096;
+  /// Per-worker hot-label cache byte budget (QueryEngineOptions).
+  size_t label_cache_bytes = 4 * 1024 * 1024;
 
   /// Ontology for ~tag path steps, copied into every worker engine.
   std::optional<query::TagSimilarity> similarity = std::nullopt;
@@ -106,6 +106,7 @@ struct PoolStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t labels_borrowed = 0;
+  uint64_t blocks_decoded = 0;
   uint64_t backend_probes = 0;
   uint64_t swaps = 0;  ///< Swap() calls accepted.
   /// Worker engine rebuilds. Each worker's initial bind counts too, so
@@ -204,6 +205,7 @@ class EnginePool {
     std::atomic<uint64_t> cache_hits{0};
     std::atomic<uint64_t> cache_misses{0};
     std::atomic<uint64_t> labels_borrowed{0};
+    std::atomic<uint64_t> blocks_decoded{0};
     std::atomic<uint64_t> backend_probes{0};
     std::atomic<uint64_t> rebinds{0};
   };

@@ -1,30 +1,55 @@
-// Bounded LRU cache of hot LIN/LOUT label sets (ROADMAP: "cache hot
-// LIN/LOUT sets behind the storage layer").
+// Byte-budgeted LRU cache of decoded label blocks (ROADMAP: "cache hot
+// LIN/LOUT sets behind the storage layer", extended to block-
+// compressed v4 stores).
 //
-// The QueryEngine batch path keys entries by (side, node): one entry per
-// cached LOUT(u) or LIN(v) label set. Repeated probes against the same
-// node — the common case in reachability joins, where one source is
-// tested against many targets — then skip the backend's label fetch
-// (a binary search over the table runs for LinLoutStore, a row copy for
-// the in-memory cover).
+// The cache's unit is a shared_ptr<const DecodedBlock>. Two kinds of
+// entries share the budget:
 //
-// Ownership rule (one writer, many stats readers): exactly one thread —
-// the engine that owns the cache — may call the structural operations
-// Get/Put/Clear, and they must never run concurrently with each other
-// or with a move. The *statistics* accessors (hits/misses/evictions/
-// size/capacity and StatsSnapshot) are safe to call from any thread at
-// any time: the counters are relaxed atomics, so a monitoring thread
-// (engine::EnginePool aggregating per-worker caches, a stats endpoint
-// holding `const QueryEngine&`) can read them while the owner serves a
-// batch. Individual counters are monotonic; a multi-field snapshot is
-// not guaranteed to be mutually consistent (hits may already include a
-// probe whose eviction is not yet counted).
+//   block entries — a whole decoded v4 block (many rows), keyed by the
+//     backend's block handle. One cold probe pays one block decode;
+//     every other row in the block is then a hit.
+//   label entries — a single backend-materialized label wrapped as a
+//     one-row block (the classic copy route), keyed by (side, node).
+//
+// Ownership/pinning rule: Get/Put hand out shared_ptr pins. Eviction
+// removes the CACHE's reference only — any batch still joining rows of
+// an evicted block keeps it alive through its pin, so there is no
+// "view invalidated by eviction" hazard and no minimum-capacity clamp.
+// Callers must hold the pin (engine::PinnedLabel) for as long as they
+// read the view; a raw span must never outlive its pin.
+//
+// Budgeting is by DecodedBlock::ApproxBytes(), charged at insert.
+// After an insert pushes bytes_resident over the budget, least-
+// recently-used entries are dropped until it fits again (possibly
+// including the entry just inserted — a zero budget is a legal
+// "cache nothing" configuration; correctness never depends on
+// residency, only speed does).
+//
+// Recency is tracked with a per-entry access generation instead of an
+// intrusive list: a hit is a hash find plus one counter store, and
+// eviction — the rare path, always behind a block decode — scans for
+// the minimum generation. Exact LRU either way; the bookkeeping cost
+// sits on the miss path where it is invisible next to the decode.
+// One deliberate exception: row-memo hits (GetRow) skip the recency
+// bump — touching the block entry would cost a second hash find on
+// the hottest path. Under eviction pressure a block served only
+// through the memo can age out; its memo entries then expire and the
+// next touch re-decodes and re-ranks it. Approximate recency, exact
+// accounting.
+//
+// Threading (one writer, many stats readers): exactly one thread — the
+// engine that owns the cache — may call the structural operations
+// Get/Put/Clear/RecordDecode, never concurrently with each other or a
+// move. The statistics accessors (and StatsSnapshot) are relaxed
+// atomics, safe from any thread at any time; individual counters are
+// monotonic but a multi-field snapshot is not guaranteed mutually
+// consistent.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <unordered_map>
 
 #include "engine/backend.h"
@@ -33,7 +58,7 @@ namespace hopi::engine {
 
 class LabelCache {
  public:
-  /// Which label set of a node an entry caches.
+  /// Which label set of a node a single-label entry caches.
   enum class Side : uint8_t { kOut = 0, kIn = 1 };
 
   /// One relaxed read of every counter (see StatsSnapshot).
@@ -42,7 +67,15 @@ class LabelCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     size_t entries = 0;
-    size_t capacity = 0;
+    /// Bytes currently held by cached blocks (ApproxBytes sum).
+    size_t bytes_resident = 0;
+    /// The configured budget bytes_resident is kept under.
+    size_t byte_budget = 0;
+    /// Lifetime count of block decodes recorded by the owning engine
+    /// (block-route cache misses).
+    uint64_t blocks_decoded = 0;
+    /// Lifetime nanoseconds spent in those decodes.
+    uint64_t decode_nanos = 0;
 
     /// Fraction of lookups served from the cache (0 when idle).
     double HitRate() const {
@@ -53,10 +86,9 @@ class LabelCache {
     }
   };
 
-  /// `capacity` is the maximum number of cached label sets. Clamped to
-  /// at least 2 so a probe's LOUT fetch can never evict the LIN fetch of
-  /// the same pair (and vice versa).
-  explicit LabelCache(size_t capacity);
+  /// `byte_budget` caps the resident ApproxBytes total. 0 disables
+  /// residency entirely (every lookup misses; pins still work).
+  explicit LabelCache(size_t byte_budget);
 
   /// Moving is a structural operation: it must be serialized with every
   /// other access, stats reads included (the counters move too).
@@ -65,29 +97,57 @@ class LabelCache {
   LabelCache(const LabelCache&) = delete;
   LabelCache& operator=(const LabelCache&) = delete;
 
+  /// Key of a single-label (copy route) entry. Bit 63 clear.
   static uint64_t KeyFor(Side side, NodeId node) {
     return (static_cast<uint64_t>(node) << 1) |
            static_cast<uint64_t>(side);
   }
 
-  /// Returns the cached label and marks it most-recently-used, or
-  /// nullptr on a miss. The pointer stays valid until the entry is
-  /// evicted (i.e. at least until `capacity - 1` further insertions).
-  /// Owner-thread only.
-  const Label* Get(Side side, NodeId node);
+  /// Key of a whole-block entry: the backend's block handle, tagged so
+  /// it can never collide with a KeyFor key.
+  static uint64_t BlockKeyFor(uint64_t handle) {
+    return handle | (uint64_t{1} << 63);
+  }
 
-  /// Inserts (or overwrites) an entry, evicting the least-recently-used
-  /// one when full. Returns a pointer to the stored label.
+  /// Returns a pin on the cached block and marks it most-recently-
+  /// used; null on a miss. Owner-thread only.
+  LabelBlock Get(uint64_t key);
+
+  /// Row-memo fast path for the block route: a hit returns a pin on
+  /// the block that holds the row and writes the row's index within it
+  /// — no directory search, no block lookup. The memo holds WEAK
+  /// references: it charges nothing against the byte budget and never
+  /// keeps an evicted block alive; once the block dies the stale memo
+  /// entry is dropped and the lookup misses (the caller then re-takes
+  /// the block route, which re-memoizes). A memo hit counts as a cache
+  /// hit; a memo miss counts nothing — the block route's Get/decode
+  /// accounts for it. Owner-thread only.
+  LabelBlock GetRow(uint64_t row_key, uint32_t* row);
+
+  /// Remembers that `row_key`'s label is row `row` of `block`.
   /// Owner-thread only.
-  const Label* Put(Side side, NodeId node, Label label);
+  void MemoRow(uint64_t row_key, const LabelBlock& block, uint32_t row);
+
+  /// Inserts (or overwrites) an entry, then evicts least-recently-used
+  /// entries until the byte budget holds. Returns a pin on `block`
+  /// (valid even if the entry was immediately evicted).
+  /// Owner-thread only.
+  LabelBlock Put(uint64_t key, LabelBlock block);
+
+  /// Accounts one block decode of `nanos` performed by the owning
+  /// engine (the cache itself never decodes). Owner-thread only.
+  void RecordDecode(uint64_t nanos);
 
   /// Owner-thread only.
   void Clear();
 
-  /// Current entry count. Safe from any thread (atomic mirror of the
-  /// map size, maintained by the structural operations).
+  /// Current entry count / resident bytes. Safe from any thread
+  /// (atomic mirrors maintained by the structural operations).
   size_t size() const { return size_.load(std::memory_order_relaxed); }
-  size_t capacity() const { return capacity_; }
+  size_t bytes_resident() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  size_t byte_budget() const { return byte_budget_; }
 
   // ---- lifetime counters (across all batches served) ----
   //
@@ -97,25 +157,48 @@ class LabelCache {
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  uint64_t blocks_decoded() const {
+    return blocks_decoded_.load(std::memory_order_relaxed);
+  }
+  uint64_t decode_nanos() const {
+    return decode_nanos_.load(std::memory_order_relaxed);
+  }
 
   /// All counters in one struct (each read individually relaxed).
   Stats StatsSnapshot() const {
-    return Stats{hits(), misses(), evictions(), size(), capacity()};
+    return Stats{hits(),           misses(),       evictions(),
+                 size(),           bytes_resident(), byte_budget(),
+                 blocks_decoded(), decode_nanos()};
   }
 
  private:
   struct Entry {
-    uint64_t key;
-    Label label;
+    LabelBlock block;
+    size_t bytes;     // ApproxBytes at insert, charged until eviction
+    uint64_t used;    // generation of the last Get/Put touch
   };
 
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
-  size_t capacity_;
+  /// A weak row -> (block, row index) shortcut; see GetRow.
+  struct RowRef {
+    std::weak_ptr<const storage::DecodedBlock> block;
+    uint32_t row;
+  };
+
+  /// Drops entries in ascending `used` order until the budget holds.
+  void EvictUntilWithinBudget();
+
+  std::unordered_map<uint64_t, Entry> map_;
+  std::unordered_map<uint64_t, RowRef> rows_;
+  size_t byte_budget_;
+  size_t resident_ = 0;   // authoritative; bytes_ mirrors it
+  uint64_t clock_ = 0;    // bumped on every touch; never wraps in practice
   std::atomic<size_t> size_{0};
+  std::atomic<size_t> bytes_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> blocks_decoded_{0};
+  std::atomic<uint64_t> decode_nanos_{0};
 };
 
 }  // namespace hopi::engine

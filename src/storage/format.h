@@ -1,4 +1,5 @@
-// On-disk LIN/LOUT file format (version 3) — encode, decode, validate.
+// On-disk LIN/LOUT file format (versions 3 and 4) — encode, decode,
+// validate.
 //
 // This header is the single in-code definition of the format; the
 // byte-level specification (including the v1/v2 history and the error
@@ -19,16 +20,35 @@
 // Forward label sections pack rows as (center u32, dist u32) pairs —
 // bit-identical to twohop::LabelEntry — so a mapped reader can serve a
 // node's label as a borrowed span without any row conversion. The
-// per-run directory maps a key (node id for forward runs, center id
-// for backward runs) to its row range.
+// per-run directory maps a key (id for forward runs, center id for
+// backward runs) to its row range.
+//
+// A v4 file keeps the same envelope (magic, flags, 8-aligned sections,
+// whole-file checksum trailer) but stores label rows block-compressed
+// (storage/compress.h) and widens the header to 24 bytes:
+//
+//   header   24 bytes   magic "HOPI", version u32 (=4), flags u32,
+//                       header_bytes u32 (= kHeaderBytesV4),
+//                       meta_crc u32, reserved u32 (zero)
+//   table    12 x 16 B  {offset u64, length u64} per SectionV4
+//   sections ...        4 label sections x (dir, block table, blob);
+//                       ALL dirs and block tables come before ANY
+//                       blob, so `meta_crc` — a CRC-32 over bytes
+//                       [0, first blob offset) with its own field
+//                       zeroed — seals every structural field without
+//                       touching a blob byte. That is what makes the
+//                       lazy open (skip the whole-file checksum, pay
+//                       per-block CRCs at decode time) safe for
+//                       covers bigger than RAM.
+//   trailer  8 bytes    same as v3
 //
 // Decoding never trusts a field before validating it: magic/version/
-// flags first, then the trailing checksum over the whole image, then
+// flags first, then a checksum (the whole-file trailer, or for lazy v4
+// opens the metadata CRC now and per-block CRCs at decode), then
 // section bounds and sortedness. A torn or bit-flipped file surfaces
 // as Status::Corruption — never a crash or silently wrong rows.
 #pragma once
 
-#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -36,6 +56,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "storage/compress.h"
 #include "twohop/cover.h"
 #include "util/result.h"
 
@@ -45,7 +66,10 @@ struct TableRow;  // linlout.h
 
 inline constexpr char kMagic[4] = {'H', 'O', 'P', 'I'};
 inline constexpr char kTrailerMagic[4] = {'I', 'P', 'O', 'H'};
+/// v3: raw LabelEntry rows, zero-copy mappable.
 inline constexpr uint32_t kFormatVersion = 3;
+/// v4: block-compressed rows (storage/compress.h), decoded lazily.
+inline constexpr uint32_t kFormatVersionV4 = 4;
 /// v2 (PR 2's header + bare row triplets) is still readable by the
 /// buffered reader; the v3 writer is the migration path.
 inline constexpr uint32_t kLegacyFormatVersion = 2;
@@ -86,6 +110,27 @@ struct SectionRange {
 inline constexpr size_t kHeaderBytes = 16 + kNumSections * 16;
 inline constexpr size_t kTrailerBytes = 8;
 
+/// The twelve sections of a v4 file, in file order. Structure-bearing
+/// sections (directories + block tables) ALL precede the blobs — the
+/// metadata CRC depends on that ordering (see the header comment).
+enum SectionV4 : size_t {
+  kV4LinDir = 0,      // V4DirEntry per node with LIN rows, sorted by id
+  kV4LinBlocks,       // V4BlockEntry per LIN block
+  kV4LoutDir,         // V4DirEntry per node with LOUT rows
+  kV4LoutBlocks,      // V4BlockEntry per LOUT block
+  kV4LinBwdDir,       // V4DirEntry per center in LIN, sorted by center
+  kV4LinBwdBlocks,    // V4BlockEntry per backward-LIN block
+  kV4LoutBwdDir,      // V4DirEntry per center in LOUT
+  kV4LoutBwdBlocks,   // V4BlockEntry per backward-LOUT block
+  kV4LinBlob,         // compressed LIN row bytes
+  kV4LoutBlob,        // compressed LOUT row bytes
+  kV4LinBwdBlob,      // compressed backward-LIN id bytes (dist-less)
+  kV4LoutBwdBlob,     // compressed backward-LOUT id bytes (dist-less)
+  kNumSectionsV4
+};
+
+inline constexpr size_t kHeaderBytesV4 = 24 + kNumSectionsV4 * 16;
+
 /// Typed, validated view over a v3 file image. Spans alias the image —
 /// they are valid exactly as long as the underlying bytes (the mmap or
 /// the heap buffer) stay alive.
@@ -95,6 +140,30 @@ struct FileView {
   std::span<const DirEntry> lin_dir, lout_dir, lin_bwd_dir, lout_bwd_dir;
   std::span<const twohop::LabelEntry> lin_rows, lout_rows;
   std::span<const uint32_t> lin_bwd_ids, lout_bwd_ids;
+};
+
+/// One label section of a v4 file: the directory and block table
+/// (metadata, CRC-sealed at open) plus the compressed blob (sealed
+/// per block, decoded on demand). Spans alias the file image.
+struct LabelSectionView {
+  std::span<const V4DirEntry> dir;
+  std::span<const V4BlockEntry> blocks;
+  std::span<const std::byte> blob;
+
+  /// Sum of block entry counts (|rows| of this section).
+  uint64_t TotalEntries() const {
+    uint64_t n = 0;
+    for (const V4BlockEntry& b : blocks) n += b.num_entries;
+    return n;
+  }
+};
+
+/// Typed, validated view over a v4 file image. Same lifetime contract
+/// as FileView: valid as long as the underlying bytes stay alive.
+struct FileViewV4 {
+  uint32_t flags = 0;
+  bool with_distance = false;
+  LabelSectionView lin, lout, lin_bwd, lout_bwd;
 };
 
 /// Magic/version/flags of any HOPI LIN/LOUT file (no version policy —
@@ -115,6 +184,26 @@ Result<RawHeader> ReadRawHeader(std::span<const std::byte> image,
 Result<FileView> ParseV3(std::span<const std::byte> image,
                          const std::string& path);
 
+struct ParseV4Options {
+  /// Verify the whole-file trailer checksum at parse time (the v3
+  /// guarantee: after Open, no byte of the file is untrusted). Turning
+  /// it off is the lazy open for covers bigger than RAM: the metadata
+  /// CRC is still verified here — every dir/block-table field is
+  /// trusted — but blob bytes are only checked by their per-block CRC
+  /// when a block is first decoded, so Open never faults in the label
+  /// data.
+  bool verify_file_checksum = true;
+};
+
+/// Full v4 decode: header, checksum policy per ParseV4Options, section
+/// table bounds, directory sortedness, block-table tiling (blocks
+/// partition their dir and blob exactly) and cross-section entry
+/// totals. The returned view aliases `image`. Errors: Corruption,
+/// Unsupported (not version 4).
+Result<FileViewV4> ParseV4(std::span<const std::byte> image,
+                           const std::string& path,
+                           ParseV4Options options = {});
+
 /// Serializes the four sorted runs into a complete v3 file image
 /// (header, sections, checksum trailer). The forward runs must be
 /// sorted by (id, center), the backward runs by (center, id) — exactly
@@ -124,6 +213,16 @@ std::vector<std::byte> BuildFileImage(std::span<const TableRow> lin_fwd,
                                       std::span<const TableRow> lin_bwd,
                                       std::span<const TableRow> lout_bwd,
                                       bool with_distance);
+
+/// Serializes the four sorted runs into a complete v4 file image:
+/// block-compressed label sections (storage/compress.h), the metadata
+/// CRC, and the same whole-file checksum trailer as v3.
+std::vector<std::byte> BuildFileImageV4(std::span<const TableRow> lin_fwd,
+                                        std::span<const TableRow> lout_fwd,
+                                        std::span<const TableRow> lin_bwd,
+                                        std::span<const TableRow> lout_bwd,
+                                        bool with_distance,
+                                        const CompressOptions& compress = {});
 
 /// Crash-safe whole-file write: serialize to `path + ".tmp"`, fsync the
 /// data, atomically rename over `path`, then fsync the directory so the
@@ -161,12 +260,14 @@ std::span<const Rows> LookupRows(std::span<const DirEntry> dir,
 }
 
 /// Header introspection for tools and the torn-write tests: reads just
-/// the header + section table of a v3 file (no checksum pass).
+/// the header + section table of a v3/v4 file (no checksum pass).
+/// `sections` holds kNumSections entries for v3, kNumSectionsV4 for
+/// v4, and is empty for v2 (which has no section table).
 struct FormatInfo {
   uint32_t version = 0;
   uint32_t flags = 0;
   uint64_t file_bytes = 0;
-  std::array<SectionRange, kNumSections> sections{};
+  std::vector<SectionRange> sections;
 };
 Result<FormatInfo> InspectFile(const std::string& path);
 

@@ -191,6 +191,23 @@ Status LinLoutStore::WriteToFile(const std::string& path) const {
                            with_distance_));
 }
 
+Status LinLoutStore::WriteToFile(const std::string& path,
+                                 const StoreWriteOptions& options) const {
+  if (options.format_version == kFormatVersion) {
+    return WriteToFile(path);
+  }
+  if (options.format_version != kFormatVersionV4) {
+    return Status::InvalidArgument(
+        "cannot write LIN/LOUT format version " +
+        std::to_string(options.format_version) + "; this build writes " +
+        std::to_string(kFormatVersion) + " and " +
+        std::to_string(kFormatVersionV4));
+  }
+  return AtomicWriteFile(
+      path, BuildFileImageV4(lin_fwd_, lout_fwd_, lin_bwd_, lout_bwd_,
+                             with_distance_, options.compress));
+}
+
 namespace {
 
 /// Decodes the payload of the legacy v2 layout: 2 x u64 row counts +
@@ -261,12 +278,43 @@ Result<LinLoutStore> LinLoutStore::ReadFromFile(const std::string& path) {
     store.BuildBackwardRuns();
     return store;
   }
+  if (header.version == kFormatVersionV4) {
+    // Verified parse, then decode every forward block into the runs.
+    // The backward runs are rebuilt rather than decoded: ParseV4
+    // already proved the stored backward sections consistent, and the
+    // rebuild gives bit-identical results by construction.
+    HOPI_ASSIGN_OR_RETURN(FileViewV4 view, ParseV4(image, path));
+    LinLoutStore store;
+    store.with_distance_ = view.with_distance;
+    auto decode_side = [&](const LabelSectionView& side, bool with_distance,
+                           std::vector<TableRow>* run) -> Status {
+      run->reserve(side.TotalEntries());
+      for (const V4BlockEntry& block : side.blocks) {
+        HOPI_ASSIGN_OR_RETURN(
+            DecodedBlock decoded,
+            DecodeLabelBlock(side.blob, side.dir, block, with_distance,
+                             path));
+        for (size_t r = 0; r < decoded.NumRows(); ++r) {
+          for (const twohop::LabelEntry& e : decoded.Row(r)) {
+            run->push_back({decoded.row_keys[r], e.center, e.dist});
+          }
+        }
+      }
+      return Status::OK();
+    };
+    HOPI_RETURN_NOT_OK(
+        decode_side(view.lin, view.with_distance, &store.lin_fwd_));
+    HOPI_RETURN_NOT_OK(
+        decode_side(view.lout, view.with_distance, &store.lout_fwd_));
+    store.BuildBackwardRuns();
+    return store;
+  }
   if (header.version != kFormatVersion) {
     return Status::Unsupported(
         "LIN/LOUT file " + path + " has format version " +
         std::to_string(header.version) + "; this build reads versions " +
         std::to_string(kLegacyFormatVersion) + "-" +
-        std::to_string(kFormatVersion) +
+        std::to_string(kFormatVersionV4) +
         " — rebuild the store from the cover");
   }
   HOPI_ASSIGN_OR_RETURN(FileView view, ParseV3(image, path));

@@ -21,10 +21,21 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "storage/compress.h"
 #include "twohop/cover.h"
 #include "util/result.h"
 
 namespace hopi::storage {
+
+/// Writer knobs for the versioned WriteToFile overload.
+struct StoreWriteOptions {
+  /// kFormatVersion (3, raw rows — the zero-copy mmap layout) or
+  /// kFormatVersionV4 (4, block-compressed rows — smaller files,
+  /// decoded lazily by MappedLinLoutStore).
+  uint32_t format_version = 4;
+  /// Block sizing for v4; ignored when writing v3.
+  CompressOptions compress;
+};
 
 /// One table row: a node and one center from its label.
 struct TableRow {
@@ -87,19 +98,23 @@ class LinLoutStore {
   // ---- persistence ----
   //
   // Files use the versioned on-disk format defined in storage/format.h
-  // and specified byte-by-byte in docs/FILE_FORMAT.md. WriteToFile
-  // always emits the current version (v3: section table + trailing
-  // CRC-32) and is crash-safe: the image is staged in a sibling temp
-  // file, fsynced, and atomically renamed into place, so readers see
-  // either the old file or the new one — never a torn mix.
+  // and specified byte-by-byte in docs/FILE_FORMAT.md. The parameter-
+  // less WriteToFile emits v3 (raw rows + section table + trailing
+  // CRC-32, the zero-copy mmap layout); the options overload can emit
+  // v4 (block-compressed rows) instead. Both are crash-safe: the image
+  // is staged in a sibling temp file, fsynced, and atomically renamed
+  // into place, so readers see either the old file or the new one —
+  // never a torn mix.
   //
-  // ReadFromFile accepts v3 and the previous v2 layout (reading a v2
-  // file and writing it back migrates it to v3). Stale/future versions
-  // fail with Unsupported; foreign, truncated, or bit-flipped files
-  // fail with Corruption — never garbage rows. For zero-copy reads of
-  // v3 files see storage/mapped_linlout.h.
+  // ReadFromFile accepts v2 through v4 (reading an old file and
+  // writing it back migrates it forward). Stale/future versions fail
+  // with Unsupported; foreign, truncated, or bit-flipped files fail
+  // with Corruption — never garbage rows. For zero-copy (v3) or
+  // lazily decoded (v4) reads see storage/mapped_linlout.h.
 
   Status WriteToFile(const std::string& path) const;
+  Status WriteToFile(const std::string& path,
+                     const StoreWriteOptions& options) const;
   static Result<LinLoutStore> ReadFromFile(const std::string& path);
 
  private:

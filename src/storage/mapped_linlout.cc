@@ -1,8 +1,45 @@
 #include "storage/mapped_linlout.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace hopi::storage {
+
+namespace {
+
+/// Handle group ids (see the header's block-handle contract).
+constexpr uint64_t kGroupLin = 0;
+constexpr uint64_t kGroupLout = 1;
+constexpr uint64_t kGroupLinBwd = 2;
+constexpr uint64_t kGroupLoutBwd = 3;
+
+uint64_t MakeHandle(uint64_t group, uint64_t block_index) {
+  return (group << 32) | block_index;
+}
+
+/// Caches block decodes within one scalar query (Descendants probes
+/// many centers whose backward rows often share a block).
+class LocalBlockCache {
+ public:
+  explicit LocalBlockCache(const MappedLinLoutStore* store) : store_(store) {}
+
+  /// Null on decode failure (the infallible query shapes degrade to
+  /// "no rows"; checked access goes through the store's Result API).
+  const DecodedBlock* Get(uint64_t handle) {
+    auto it = blocks_.find(handle);
+    if (it != blocks_.end()) return it->second.get();
+    auto decoded = store_->DecodeBlock(handle);
+    std::shared_ptr<const DecodedBlock> block =
+        decoded.ok() ? std::move(*decoded) : nullptr;
+    return blocks_.emplace(handle, std::move(block)).first->second.get();
+  }
+
+ private:
+  const MappedLinLoutStore* store_;
+  std::unordered_map<uint64_t, std::shared_ptr<const DecodedBlock>> blocks_;
+};
+
+}  // namespace
 
 Result<MappedLinLoutStore> MappedLinLoutStore::Open(
     const std::string& path, MappedOpenOptions options) {
@@ -24,6 +61,7 @@ Result<MappedLinLoutStore> MappedLinLoutStore::Open(
     HOPI_ASSIGN_OR_RETURN(store.buffer_, ReadFileImage(path));
     image = store.buffer_;
   }
+  store.file_bytes_ = image.size();
   HOPI_ASSIGN_OR_RETURN(RawHeader header, ReadRawHeader(image, path));
   if (header.version == kLegacyFormatVersion) {
     return Status::Unsupported(
@@ -31,16 +69,159 @@ Result<MappedLinLoutStore> MappedLinLoutStore::Open(
         " uses format v2 (no section table) — read it with "
         "LinLoutStore::ReadFromFile and WriteToFile to migrate to v3");
   }
+  if (header.version == kFormatVersionV4) {
+    ParseV4Options parse_options;
+    parse_options.verify_file_checksum = options.verify_file_checksum;
+    HOPI_ASSIGN_OR_RETURN(store.view4_,
+                          ParseV4(image, path, parse_options));
+    store.version_ = kFormatVersionV4;
+    store.num_lin_entries_ = store.view4_.lin.TotalEntries();
+    store.num_lout_entries_ = store.view4_.lout.TotalEntries();
+    return store;
+  }
   HOPI_ASSIGN_OR_RETURN(store.view_, ParseV3(image, path));
+  store.version_ = kFormatVersion;
+  store.num_lin_entries_ = store.view_.lin_rows.size();
+  store.num_lout_entries_ = store.view_.lout_rows.size();
   return store;
 }
 
+// ---- v4 block access ----
+
+const LabelSectionView* MappedLinLoutStore::SectionForGroup(
+    uint64_t group) const {
+  switch (group) {
+    case kGroupLin:
+      return &view4_.lin;
+    case kGroupLout:
+      return &view4_.lout;
+    case kGroupLinBwd:
+      return &view4_.lin_bwd;
+    case kGroupLoutBwd:
+      return &view4_.lout_bwd;
+    default:
+      return nullptr;
+  }
+}
+
+std::optional<uint64_t> MappedLinLoutStore::FindRow(uint64_t group,
+                                                   uint32_t key) const {
+  if (!compressed()) return std::nullopt;
+  const LabelSectionView* section = SectionForGroup(group);
+  // Directory lookup: is there a row for this key at all?
+  size_t lo = 0, hi = section->dir.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (section->dir[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == section->dir.size() || section->dir[lo].key != key) {
+    return std::nullopt;
+  }
+  // Block lookup: the last block whose first_dir <= the row's index.
+  // Blocks tile the directory (ParseV4 verified), so this block holds
+  // the row.
+  size_t blo = 0, bhi = section->blocks.size();
+  while (blo < bhi) {
+    size_t mid = blo + (bhi - blo) / 2;
+    if (section->blocks[mid].first_dir <= lo) {
+      blo = mid + 1;
+    } else {
+      bhi = mid;
+    }
+  }
+  return MakeHandle(group, blo - 1);
+}
+
+std::optional<uint64_t> MappedLinLoutStore::LinBlockHandle(NodeId id) const {
+  return FindRow(kGroupLin, id);
+}
+
+std::optional<uint64_t> MappedLinLoutStore::LoutBlockHandle(NodeId id) const {
+  return FindRow(kGroupLout, id);
+}
+
+Result<std::shared_ptr<const DecodedBlock>> MappedLinLoutStore::DecodeBlock(
+    uint64_t handle) const {
+  if (!compressed()) {
+    return Status::InvalidArgument(
+        "block handles only exist for v4 (compressed) stores");
+  }
+  const uint64_t group = handle >> 32;
+  const uint64_t index = handle & 0xFFFFFFFFu;
+  const LabelSectionView* section = SectionForGroup(group);
+  if (section == nullptr || index >= section->blocks.size()) {
+    return Status::InvalidArgument("unknown block handle " +
+                                   std::to_string(handle));
+  }
+  // Backward sections are dist-less regardless of the store flag.
+  const bool with_distance =
+      view4_.with_distance && (group == kGroupLin || group == kGroupLout);
+  HOPI_ASSIGN_OR_RETURN(
+      DecodedBlock decoded,
+      DecodeLabelBlock(section->blob, section->dir, section->blocks[index],
+                       with_distance,
+                       "block " + std::to_string(index) + " of section group " +
+                           std::to_string(group)));
+  return std::make_shared<const DecodedBlock>(std::move(decoded));
+}
+
+Result<PinnedRow> MappedLinLoutStore::DecodeForwardRow(uint64_t group,
+                                                       NodeId id) const {
+  if (!compressed()) {
+    return PinnedRow{group == kGroupLin ? LinSpan(id) : LoutSpan(id),
+                     nullptr};
+  }
+  std::optional<uint64_t> handle = FindRow(group, id);
+  if (!handle) return PinnedRow{};  // no rows: engaged, empty
+  HOPI_ASSIGN_OR_RETURN(std::shared_ptr<const DecodedBlock> block,
+                        DecodeBlock(*handle));
+  PinnedRow row;
+  row.entries = block->RowFor(id);
+  row.block = std::move(block);
+  return row;
+}
+
+Result<PinnedRow> MappedLinLoutStore::DecodeLinRow(NodeId id) const {
+  return DecodeForwardRow(kGroupLin, id);
+}
+
+Result<PinnedRow> MappedLinLoutStore::DecodeLoutRow(NodeId id) const {
+  return DecodeForwardRow(kGroupLout, id);
+}
+
+Status MappedLinLoutStore::VerifyBlocks() const {
+  if (!compressed()) return Status::OK();
+  for (uint64_t group = 0; group < 4; ++group) {
+    const LabelSectionView* section = SectionForGroup(group);
+    for (size_t i = 0; i < section->blocks.size(); ++i) {
+      HOPI_RETURN_NOT_OK(DecodeBlock(MakeHandle(group, i)).status());
+    }
+  }
+  return Status::OK();
+}
+
+// ---- the paper's query shapes ----
+
 bool MappedLinLoutStore::TestConnection(NodeId id1, NodeId id2) const {
   if (id1 == id2) return true;
-  auto lout = LoutSpan(id1);
-  auto lin = LinSpan(id2);
-  return twohop::JoinLabelRanges(id1, id2, lout.data(), lout.size(),
-                                 lin.data(), lin.size(),
+  if (!compressed()) {
+    auto lout = LoutSpan(id1);
+    auto lin = LinSpan(id2);
+    return twohop::JoinLabelRanges(id1, id2, lout.data(), lout.size(),
+                                   lin.data(), lin.size(),
+                                   /*want_distance=*/false)
+        .connected;
+  }
+  auto lout = DecodeLoutRow(id1);
+  auto lin = DecodeLinRow(id2);
+  if (!lout.ok() || !lin.ok()) return false;  // post-Open corruption only
+  return twohop::JoinLabelRanges(id1, id2, lout->entries.data(),
+                                 lout->entries.size(), lin->entries.data(),
+                                 lin->entries.size(),
                                  /*want_distance=*/false)
       .connected;
 }
@@ -48,26 +229,63 @@ bool MappedLinLoutStore::TestConnection(NodeId id1, NodeId id2) const {
 std::optional<uint32_t> MappedLinLoutStore::MinDistance(NodeId id1,
                                                         NodeId id2) const {
   if (id1 == id2) return 0;
-  auto lout = LoutSpan(id1);
-  auto lin = LinSpan(id2);
-  return twohop::JoinLabelRanges(id1, id2, lout.data(), lout.size(),
-                                 lin.data(), lin.size(),
+  if (!compressed()) {
+    auto lout = LoutSpan(id1);
+    auto lin = LinSpan(id2);
+    return twohop::JoinLabelRanges(id1, id2, lout.data(), lout.size(),
+                                   lin.data(), lin.size(),
+                                   /*want_distance=*/true)
+        .distance;
+  }
+  auto lout = DecodeLoutRow(id1);
+  auto lin = DecodeLinRow(id2);
+  if (!lout.ok() || !lin.ok()) return std::nullopt;
+  return twohop::JoinLabelRanges(id1, id2, lout->entries.data(),
+                                 lout->entries.size(), lin->entries.data(),
+                                 lin->entries.size(),
                                  /*want_distance=*/true)
       .distance;
 }
 
 std::vector<NodeId> MappedLinLoutStore::Descendants(NodeId id) const {
   std::vector<NodeId> result;
-  auto probe_center = [this, &result, id](NodeId center) {
-    if (center != id) result.push_back(center);  // the center itself
-    for (NodeId x : LookupRows(view_.lin_bwd_dir, view_.lin_bwd_ids, center)) {
-      if (x != id) result.push_back(x);
+  if (!compressed()) {
+    auto probe_center = [this, &result, id](NodeId center) {
+      if (center != id) result.push_back(center);  // the center itself
+      for (NodeId x :
+           LookupRows(view_.lin_bwd_dir, view_.lin_bwd_ids, center)) {
+        if (x != id) result.push_back(x);
+      }
+    };
+    for (const twohop::LabelEntry& e : LoutSpan(id)) probe_center(e.center);
+    // Implicit self center: nodes whose LIN mentions `id`.
+    for (NodeId x : LookupRows(view_.lin_bwd_dir, view_.lin_bwd_ids, id)) {
+      result.push_back(x);
     }
-  };
-  for (const twohop::LabelEntry& e : LoutSpan(id)) probe_center(e.center);
-  // Implicit self center: nodes whose LIN mentions `id`.
-  for (NodeId x : LookupRows(view_.lin_bwd_dir, view_.lin_bwd_ids, id)) {
-    result.push_back(x);
+  } else {
+    LocalBlockCache blocks(this);
+    auto backward_row = [this, &blocks](NodeId center) {
+      std::span<const twohop::LabelEntry> none;
+      std::optional<uint64_t> handle = FindRow(kGroupLinBwd, center);
+      if (!handle) return none;
+      const DecodedBlock* block = blocks.Get(*handle);
+      return block == nullptr ? none : block->RowFor(center);
+    };
+    auto probe_center = [&result, &backward_row, id](NodeId center) {
+      if (center != id) result.push_back(center);
+      for (const twohop::LabelEntry& e : backward_row(center)) {
+        if (e.center != id) result.push_back(e.center);
+      }
+    };
+    auto lout = DecodeLoutRow(id);
+    if (lout.ok()) {
+      for (const twohop::LabelEntry& e : lout->entries) {
+        probe_center(e.center);
+      }
+    }
+    for (const twohop::LabelEntry& e : backward_row(id)) {
+      result.push_back(e.center);
+    }
   }
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());
@@ -76,16 +294,42 @@ std::vector<NodeId> MappedLinLoutStore::Descendants(NodeId id) const {
 
 std::vector<NodeId> MappedLinLoutStore::Ancestors(NodeId id) const {
   std::vector<NodeId> result;
-  auto probe_center = [this, &result, id](NodeId center) {
-    if (center != id) result.push_back(center);
-    for (NodeId x :
-         LookupRows(view_.lout_bwd_dir, view_.lout_bwd_ids, center)) {
-      if (x != id) result.push_back(x);
+  if (!compressed()) {
+    auto probe_center = [this, &result, id](NodeId center) {
+      if (center != id) result.push_back(center);
+      for (NodeId x :
+           LookupRows(view_.lout_bwd_dir, view_.lout_bwd_ids, center)) {
+        if (x != id) result.push_back(x);
+      }
+    };
+    for (const twohop::LabelEntry& e : LinSpan(id)) probe_center(e.center);
+    for (NodeId x : LookupRows(view_.lout_bwd_dir, view_.lout_bwd_ids, id)) {
+      result.push_back(x);
     }
-  };
-  for (const twohop::LabelEntry& e : LinSpan(id)) probe_center(e.center);
-  for (NodeId x : LookupRows(view_.lout_bwd_dir, view_.lout_bwd_ids, id)) {
-    result.push_back(x);
+  } else {
+    LocalBlockCache blocks(this);
+    auto backward_row = [this, &blocks](NodeId center) {
+      std::span<const twohop::LabelEntry> none;
+      std::optional<uint64_t> handle = FindRow(kGroupLoutBwd, center);
+      if (!handle) return none;
+      const DecodedBlock* block = blocks.Get(*handle);
+      return block == nullptr ? none : block->RowFor(center);
+    };
+    auto probe_center = [&result, &backward_row, id](NodeId center) {
+      if (center != id) result.push_back(center);
+      for (const twohop::LabelEntry& e : backward_row(center)) {
+        if (e.center != id) result.push_back(e.center);
+      }
+    };
+    auto lin = DecodeLinRow(id);
+    if (lin.ok()) {
+      for (const twohop::LabelEntry& e : lin->entries) {
+        probe_center(e.center);
+      }
+    }
+    for (const twohop::LabelEntry& e : backward_row(id)) {
+      result.push_back(e.center);
+    }
   }
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());

@@ -1,35 +1,56 @@
-// Zero-copy, mmap-backed reader for LIN/LOUT files (v3 format).
+// Zero-copy, mmap-backed reader for LIN/LOUT files (v3 + v4 formats).
 //
 // Where LinLoutStore::ReadFromFile copies every table row onto the heap
 // and re-sorts the backward runs, MappedLinLoutStore maps the file
-// read-only and answers queries straight out of the page cache: the
-// forward sections are stored as (center, dist) pairs bit-identical to
-// twohop::LabelEntry, so LinSpan/LoutSpan return borrowed spans over
-// the mapping and the QueryEngine batch path joins them without a
-// single row copy (engine::MappedLinLoutBackend wires this into the
-// ReachabilityBackend borrow hook). The backward sections persisted by
-// the v3 writer serve Descendants/Ancestors without rebuilding the
-// backward index in memory.
+// read-only and serves queries off the page cache. What that looks
+// like depends on the format version:
 //
-// Open() fully validates the file first — header, trailing CRC-32,
-// section bounds, directory sortedness — so a torn or bit-flipped file
-// fails with Status::Corruption before any query can dereference it.
+//   v3 (raw rows)  — the forward sections are stored as (center, dist)
+//     pairs bit-identical to twohop::LabelEntry, so LinSpan/LoutSpan
+//     return borrowed spans over the mapping and the QueryEngine batch
+//     path joins them without a single row copy
+//     (engine::MappedLinLoutBackend wires this into the
+//     ReachabilityBackend borrow hook).
+//
+//   v4 (block-compressed rows) — label rows live in compressed blocks
+//     (storage/compress.h) and are decoded on demand: LinBlockHandle/
+//     LoutBlockHandle name the block holding a node's row, DecodeBlock
+//     materializes it as a shared, immutable DecodedBlock, and
+//     DecodeLinRow/DecodeLoutRow pin one row. The engine caches the
+//     decoded blocks by byte budget (engine/label_cache.h), so hot
+//     rows stay as cheap as v3 borrows while the file itself can be
+//     far bigger than RAM — Open touches only the metadata sections,
+//     never the blobs.
+//
+// Open() validates before any query can dereference: header, section
+// bounds, directory sortedness, and — per MappedOpenOptions — either
+// the whole-file CRC-32 (the default; decode can then only fail if
+// the file is tampered with after Open) or, for v4 lazy opens, the
+// metadata CRC now plus each block's CRC at first decode. A torn or
+// bit-flipped file fails with Status::Corruption; decode-time
+// corruption surfaces through the Result-returning accessors, while
+// the infallible conveniences (TestConnection, LinSpan, ...) degrade
+// to "no rows" — never a crash or silently wrong rows.
+//
 // On platforms without mmap (or when the kernel refuses the map) Open
 // falls back to one buffered read of the whole file into a private
 // heap image; every query path is identical, only the backing memory
 // differs.
 //
 // A MappedLinLoutStore is immutable and therefore safe to share across
-// threads once constructed.
+// threads once constructed (block decoding allocates fresh
+// DecodedBlocks; it never mutates the store).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "storage/compress.h"
 #include "storage/format.h"
 #include "twohop/cover.h"
 #include "util/mmap_file.h"
@@ -42,6 +63,22 @@ struct MappedOpenOptions {
   /// where mmap is available (used by tests and benchmarks to compare
   /// the two modes; queries behave identically).
   bool prefer_mmap = true;
+  /// When false, a v4 open skips the whole-file checksum: the metadata
+  /// CRC is still verified (structure is always trusted-after-check)
+  /// but blob bytes wait for their per-block CRC at first decode — the
+  /// lazy open for covers bigger than RAM. Ignored for v3, which has
+  /// no per-block checksums to fall back on.
+  bool verify_file_checksum = true;
+};
+
+/// One decoded label row pinned by the block that backs it: the span
+/// aliases `block->entries`, so the row stays valid for as long as the
+/// PinnedRow (or any copy of its block pointer) lives — independent of
+/// any cache eviction. For v3 stores `block` is null and the span
+/// borrows from the file image (store-lifetime) instead.
+struct PinnedRow {
+  std::span<const twohop::LabelEntry> entries;
+  std::shared_ptr<const DecodedBlock> block;
 };
 
 class MappedLinLoutStore {
@@ -49,8 +86,8 @@ class MappedLinLoutStore {
   /// Opens and validates `path`. Errors: IOError (missing/unreadable
   /// file), Corruption (torn write, checksum mismatch, inconsistent
   /// sections), Unsupported (v1/v2 or future versions — v2 files are
-  /// readable via LinLoutStore::ReadFromFile and migrate to v3 on the
-  /// next WriteToFile).
+  /// readable via LinLoutStore::ReadFromFile and migrate forward on
+  /// the next WriteToFile).
   static Result<MappedLinLoutStore> Open(const std::string& path,
                                          MappedOpenOptions options = {});
 
@@ -71,27 +108,66 @@ class MappedLinLoutStore {
   /// LOUT sections.
   std::vector<NodeId> Ancestors(NodeId id) const;
 
-  // ---- zero-copy label access ----
+  // ---- zero-copy label access (v3 stores) ----
 
   /// LIN(id) / LOUT(id) as spans borrowed from the file image, sorted
-  /// by center; empty for nodes without rows. Valid for the lifetime of
-  /// this store.
+  /// by center; empty for nodes without rows. Valid for the lifetime
+  /// of this store. Precondition: !compressed() — a v4 store has no
+  /// raw rows to borrow and returns empty (use the block API below).
   std::span<const twohop::LabelEntry> LinSpan(NodeId id) const {
+    if (compressed()) return {};
     return LookupRows(view_.lin_dir, view_.lin_rows, id);
   }
   std::span<const twohop::LabelEntry> LoutSpan(NodeId id) const {
+    if (compressed()) return {};
     return LookupRows(view_.lout_dir, view_.lout_rows, id);
   }
 
+  // ---- block-wise label access (v4 stores) ----
+  //
+  // A block handle names one compressed block: (section group << 32) |
+  // block index, where the group is 0=LIN, 1=LOUT, 2=backward LIN,
+  // 3=backward LOUT. Handles are dense per section and stable for the
+  // store's lifetime — the engine uses them as cache keys.
+
+  /// Handle of the block holding LIN(id) / LOUT(id); nullopt when the
+  /// node has no rows on that side (or the store is not compressed).
+  std::optional<uint64_t> LinBlockHandle(NodeId id) const;
+  std::optional<uint64_t> LoutBlockHandle(NodeId id) const;
+
+  /// Decodes one block (CRC + full structural validation). Errors:
+  /// InvalidArgument (foreign handle), Corruption (bit rot — only
+  /// reachable on lazy opens or post-Open tampering).
+  Result<std::shared_ptr<const DecodedBlock>> DecodeBlock(
+      uint64_t handle) const;
+
+  /// Checked row access: LIN(id) / LOUT(id) decoded and pinned. A node
+  /// without rows yields an engaged PinnedRow with an empty span. Also
+  /// works on v3 stores (span into the image, null pin).
+  Result<PinnedRow> DecodeLinRow(NodeId id) const;
+  Result<PinnedRow> DecodeLoutRow(NodeId id) const;
+
+  /// Decodes every block of every section once (discarding the rows):
+  /// the full-integrity sweep a lazy open defers. OK for v3 stores
+  /// (Open already verified everything).
+  Status VerifyBlocks() const;
+
   // ---- storage accounting (parity with LinLoutStore) ----
 
-  uint64_t NumEntries() const {
-    return view_.lin_rows.size() + view_.lout_rows.size();
-  }
+  uint64_t NumEntries() const { return num_lin_entries_ + num_lout_entries_; }
   uint64_t StorageIntegers() const {
     return NumEntries() * (2 + (with_distance() ? 1 : 0)) * 2;
   }
-  bool with_distance() const { return view_.with_distance; }
+  bool with_distance() const {
+    return compressed() ? view4_.with_distance : view_.with_distance;
+  }
+
+  /// Format version this store was opened from (3 or 4).
+  uint32_t format_version() const { return version_; }
+  /// True for v4 stores (rows live in compressed blocks).
+  bool compressed() const { return version_ == kFormatVersionV4; }
+  /// On-disk size (bytes/entry accounting in the storage bench).
+  uint64_t file_bytes() const { return file_bytes_; }
 
   /// True when backed by an actual memory map; false on the buffered
   /// fallback path.
@@ -100,11 +176,23 @@ class MappedLinLoutStore {
  private:
   MappedLinLoutStore() = default;
 
-  // Exactly one of map_/buffer_ backs view_; both keep their data
-  // pointer stable under move, so the spans in view_ survive moves.
+  /// The four v4 label sections by handle group (0..3).
+  const LabelSectionView* SectionForGroup(uint64_t group) const;
+  /// Handle of the block holding `key`'s row in `group`'s section;
+  /// nullopt when the key has no row there.
+  std::optional<uint64_t> FindRow(uint64_t group, uint32_t key) const;
+  Result<PinnedRow> DecodeForwardRow(uint64_t group, NodeId id) const;
+
+  // Exactly one of map_/buffer_ backs the views; both keep their data
+  // pointer stable under move, so the spans survive moves.
   std::optional<MappedFile> map_;
   std::vector<std::byte> buffer_;
-  FileView view_;
+  FileView view_;      // v3
+  FileViewV4 view4_;   // v4
+  uint32_t version_ = kFormatVersion;
+  uint64_t num_lin_entries_ = 0;
+  uint64_t num_lout_entries_ = 0;
+  uint64_t file_bytes_ = 0;
 };
 
 }  // namespace hopi::storage

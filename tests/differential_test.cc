@@ -127,13 +127,27 @@ void ExpectAllAccessPathsMatchOracle(const Collection& c,
   ASSERT_TRUE(store.WriteToFile(path).ok());
   auto mapped = storage::MappedLinLoutStore::Open(path);
   ASSERT_TRUE(mapped.ok()) << mapped.status();
+  // The same cover block-compressed: the v4 decode path faces the
+  // oracle too. Tiny blocks force multi-block sections even on these
+  // small scenario covers.
+  std::string v4_path = ::testing::TempDir() + "hopi_differential_" + context +
+                        "_v4.bin";
+  storage::StoreWriteOptions v4_options;
+  v4_options.format_version = storage::kFormatVersionV4;
+  v4_options.compress.target_block_bytes = 256;
+  v4_options.compress.cluster_split_bytes = 64;
+  ASSERT_TRUE(store.WriteToFile(v4_path, v4_options).ok());
+  auto mapped_v4 = storage::MappedLinLoutStore::Open(v4_path);
+  ASSERT_TRUE(mapped_v4.ok()) << mapped_v4.status();
 
   engine::HopiIndexBackend hopi_backend(index);
   engine::LinLoutBackend linlout_backend(store);
   engine::MappedLinLoutBackend mapped_backend(*mapped);
+  engine::MappedLinLoutBackend mapped_v4_backend(*mapped_v4);
   engine::ClosureBackend closure_backend(closure, with_distance);
   const engine::ReachabilityBackend* backends[] = {
-      &hopi_backend, &linlout_backend, &mapped_backend, &closure_backend};
+      &hopi_backend, &linlout_backend, &mapped_backend, &mapped_v4_backend,
+      &closure_backend};
 
   // Scalar probes: full matrix against every backend. Mismatches are
   // counted manually (EXPECT per probe would drown the log — and the
@@ -208,6 +222,7 @@ void ExpectAllAccessPathsMatchOracle(const Collection& c,
   }
   EXPECT_EQ(pool_mismatches, 0u) << context << ": EnginePool disagrees";
   std::remove(path.c_str());
+  std::remove(v4_path.c_str());
 }
 
 // ---- scenarios ----

@@ -194,7 +194,7 @@ TEST_F(EnginePoolFixture, WorkerCacheStatsReadableWhileServing) {
     while (!done.load(std::memory_order_acquire)) {
       for (const LabelCache::Stats& s : pool.WorkerCacheStats()) {
         EXPECT_GE(s.hits + s.misses, 0u);
-        EXPECT_LE(s.entries, s.capacity == 0 ? 0 : s.capacity);
+        EXPECT_LE(s.bytes_resident, s.byte_budget);
       }
     }
   });

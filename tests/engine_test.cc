@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -19,9 +20,9 @@ namespace {
 using collection::Collection;
 
 /// One distance-aware index over a small DBLP-like collection, exposed
-/// through all four backends (the mapped store is round-tripped
-/// through an actual v3 file, so this suite also proves the on-disk
-/// format preserves every query shape).
+/// through all five backends (the mapped stores are round-tripped
+/// through actual v3 and v4 files, so this suite also proves both
+/// on-disk formats preserve every query shape).
 class BackendParityFixture : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -41,20 +42,40 @@ class BackendParityFixture : public ::testing::Test {
     ASSERT_TRUE(mapped.ok()) << mapped.status();
     mapped_store_ = std::make_unique<storage::MappedLinLoutStore>(
         std::move(mapped).value());
+    // The same cover as a block-compressed v4 file. Tiny blocks force a
+    // multi-block layout even on this test-sized cover, so block
+    // routing and the cluster split actually get exercised.
+    v4_path_ = ::testing::TempDir() + "hopi_engine_parity_v4.bin";
+    storage::StoreWriteOptions v4_options;
+    v4_options.compress.target_block_bytes = 256;
+    v4_options.compress.cluster_split_bytes = 64;
+    ASSERT_TRUE(store_->WriteToFile(v4_path_, v4_options).ok());
+    auto mapped_v4 = storage::MappedLinLoutStore::Open(v4_path_);
+    ASSERT_TRUE(mapped_v4.ok()) << mapped_v4.status();
+    mapped_v4_store_ = std::make_unique<storage::MappedLinLoutStore>(
+        std::move(mapped_v4).value());
+    ASSERT_TRUE(mapped_v4_store_->compressed());
     backends_.push_back(std::make_unique<HopiIndexBackend>(*index_));
     backends_.push_back(std::make_unique<LinLoutBackend>(*store_));
     backends_.push_back(std::make_unique<ClosureBackend>(*closure_, true));
     backends_.push_back(std::make_unique<MappedLinLoutBackend>(*mapped_store_));
+    backends_.push_back(
+        std::make_unique<MappedLinLoutBackend>(*mapped_v4_store_));
   }
 
-  void TearDown() override { std::remove(store_path_.c_str()); }
+  void TearDown() override {
+    std::remove(store_path_.c_str());
+    std::remove(v4_path_.c_str());
+  }
 
   Collection c_;
   std::unique_ptr<HopiIndex> index_;
   std::unique_ptr<storage::LinLoutStore> store_;
   std::unique_ptr<TransitiveClosureIndex> closure_;
   std::unique_ptr<storage::MappedLinLoutStore> mapped_store_;
+  std::unique_ptr<storage::MappedLinLoutStore> mapped_v4_store_;
   std::string store_path_;
+  std::string v4_path_;
   std::vector<std::unique_ptr<ReachabilityBackend>> backends_;
 };
 
@@ -164,6 +185,8 @@ class QueryEngineFixture : public BackendParityFixture {
         QueryEngine::ForClosure(c_, *closure_, true)));
     engines_.push_back(std::make_unique<QueryEngine>(
         QueryEngine::ForMappedStore(c_, *mapped_store_)));
+    engines_.push_back(std::make_unique<QueryEngine>(
+        QueryEngine::ForMappedStore(c_, *mapped_v4_store_)));
   }
 
   std::vector<NodePair> RandomPairs(size_t n, uint64_t seed) const {
@@ -275,6 +298,49 @@ TEST_F(QueryEngineFixture, MappedBackendBorrowsSpansZeroCopy) {
   }
 }
 
+TEST_F(QueryEngineFixture, MappedV4BackendDecodesBlocksThroughCache) {
+  QueryEngine& engine = *engines_[4];  // block-compressed mmap store
+  std::vector<NodePair> pairs = RandomPairs(200, 37);
+  size_t non_reflexive = 0;
+  {
+    std::vector<NodePair> unique;
+    for (const auto& p : pairs) {
+      if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+        unique.push_back(p);
+        if (p.first != p.second) ++non_reflexive;
+      }
+    }
+  }
+  BatchResponse cold = engine.Batch({.pairs = pairs});
+  ASSERT_TRUE(cold.error.ok()) << cold.error;
+  // Every label fetch takes exactly one route; empty rows are borrowed
+  // (the one label a compressed store never decodes), the rest flow
+  // through the block cache.
+  EXPECT_EQ(cold.stats.cache_hits + cold.stats.cache_misses +
+                cold.stats.labels_borrowed,
+            2u * non_reflexive);
+  EXPECT_GT(cold.stats.blocks_decoded, 0u);
+  EXPECT_LE(cold.stats.blocks_decoded, cold.stats.cache_misses);
+  EXPECT_EQ(cold.stats.backend_probes, 0u);
+
+  LabelCache::Stats stats = engine.CacheStats();
+  EXPECT_EQ(stats.blocks_decoded, cold.stats.blocks_decoded);
+  EXPECT_GT(stats.bytes_resident, 0u);
+  EXPECT_LE(stats.bytes_resident, stats.byte_budget);
+  EXPECT_GT(stats.decode_nanos, 0u);
+
+  // Warm pass: everything is resident (default budget far exceeds this
+  // cover), so no block is decoded twice and answers are bit-identical.
+  BatchResponse warm = engine.Batch({.pairs = pairs});
+  EXPECT_EQ(warm.stats.blocks_decoded, 0u);
+  EXPECT_EQ(warm.stats.cache_misses, 0u);
+  EXPECT_EQ(warm.reachable, cold.reachable);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(cold.reachable[i],
+              engine.backend().IsReachable(pairs[i].first, pairs[i].second));
+  }
+}
+
 TEST_F(QueryEngineFixture, LabelLessBackendFallsBackToDirectProbes) {
   QueryEngine& engine = *engines_[2];  // closure backend: no labels
   std::vector<NodePair> pairs = RandomPairs(50, 29);
@@ -329,84 +395,189 @@ TEST_F(QueryEngineFixture, SimilarityOptionExpandsApproximateSteps) {
   EXPECT_GE(approx->count, exact->count);
 }
 
-// ---- the LRU label cache ----
+// ---- the byte-budgeted block cache ----
 
-Label MakeLabel(NodeId center) { return Label{{center, 1}}; }
+/// A one-row block for node `key` whose single entry points at
+/// `center` — the copy-route currency, and the smallest block there is.
+LabelBlock MakeBlock(NodeId key, NodeId center) {
+  auto block = std::make_shared<storage::DecodedBlock>();
+  block->entries = {{center, 1}};
+  block->row_keys = {key};
+  block->row_begin = {0, 1};
+  return block;
+}
+
+/// Byte charge of one MakeBlock() block (they are all the same shape).
+size_t OneBlockBytes() { return MakeBlock(0, 0)->ApproxBytes(); }
+
+uint64_t OutKey(NodeId node) {
+  return LabelCache::KeyFor(LabelCache::Side::kOut, node);
+}
+uint64_t InKey(NodeId node) {
+  return LabelCache::KeyFor(LabelCache::Side::kIn, node);
+}
 
 TEST(LabelCacheTest, HitsAndMisses) {
-  LabelCache cache(8);
-  EXPECT_EQ(cache.Get(LabelCache::Side::kOut, 1), nullptr);
+  LabelCache cache(1 << 20);
+  EXPECT_EQ(cache.Get(OutKey(1)), nullptr);
   EXPECT_EQ(cache.misses(), 1u);
-  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(42));
-  const Label* hit = cache.Get(LabelCache::Side::kOut, 1);
+  cache.Put(OutKey(1), MakeBlock(1, 42));
+  LabelBlock hit = cache.Get(OutKey(1));
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ((*hit)[0].center, 42u);
+  EXPECT_EQ(hit->Row(0)[0].center, 42u);
   EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.bytes_resident(), OneBlockBytes());
 }
 
-TEST(LabelCacheTest, SidesAreDistinct) {
-  LabelCache cache(8);
-  cache.Put(LabelCache::Side::kOut, 5, MakeLabel(1));
-  EXPECT_EQ(cache.Get(LabelCache::Side::kIn, 5), nullptr);
-  cache.Put(LabelCache::Side::kIn, 5, MakeLabel(2));
-  EXPECT_EQ((*cache.Get(LabelCache::Side::kOut, 5))[0].center, 1u);
-  EXPECT_EQ((*cache.Get(LabelCache::Side::kIn, 5))[0].center, 2u);
-}
-
-TEST(LabelCacheTest, EvictsLeastRecentlyUsed) {
-  LabelCache cache(3);
-  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(1));
-  cache.Put(LabelCache::Side::kOut, 2, MakeLabel(2));
-  cache.Put(LabelCache::Side::kOut, 3, MakeLabel(3));
-  // Touch 1 so 2 becomes the LRU entry.
-  ASSERT_NE(cache.Get(LabelCache::Side::kOut, 1), nullptr);
-  cache.Put(LabelCache::Side::kOut, 4, MakeLabel(4));
-  EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_EQ(cache.Get(LabelCache::Side::kOut, 2), nullptr);  // evicted
-  EXPECT_NE(cache.Get(LabelCache::Side::kOut, 1), nullptr);
-  EXPECT_NE(cache.Get(LabelCache::Side::kOut, 3), nullptr);
-  EXPECT_NE(cache.Get(LabelCache::Side::kOut, 4), nullptr);
+TEST(LabelCacheTest, SidesAndBlockKeysAreDistinct) {
+  LabelCache cache(1 << 20);
+  cache.Put(OutKey(5), MakeBlock(5, 1));
+  EXPECT_EQ(cache.Get(InKey(5)), nullptr);
+  cache.Put(InKey(5), MakeBlock(5, 2));
+  EXPECT_EQ(cache.Get(OutKey(5))->Row(0)[0].center, 1u);
+  EXPECT_EQ(cache.Get(InKey(5))->Row(0)[0].center, 2u);
+  // Block keys live in their own namespace: a block handle can never
+  // collide with a copy-route key (bit 63 separates them).
+  EXPECT_EQ(cache.Get(LabelCache::BlockKeyFor(OutKey(5))), nullptr);
+  cache.Put(LabelCache::BlockKeyFor(0), MakeBlock(5, 3));
+  EXPECT_EQ(cache.Get(LabelCache::BlockKeyFor(0))->Row(0)[0].center, 3u);
   EXPECT_EQ(cache.size(), 3u);
 }
 
-TEST(LabelCacheTest, PutOverwritesInPlace) {
-  LabelCache cache(2);
-  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(1));
-  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(9));
-  EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ((*cache.Get(LabelCache::Side::kOut, 1))[0].center, 9u);
+TEST(LabelCacheTest, EvictsLeastRecentlyUsedWhenOverBudget) {
+  LabelCache cache(3 * OneBlockBytes());
+  cache.Put(OutKey(1), MakeBlock(1, 1));
+  cache.Put(OutKey(2), MakeBlock(2, 2));
+  cache.Put(OutKey(3), MakeBlock(3, 3));
+  EXPECT_EQ(cache.bytes_resident(), 3 * OneBlockBytes());
+  // Touch 1 so 2 becomes the LRU entry.
+  ASSERT_NE(cache.Get(OutKey(1)), nullptr);
+  cache.Put(OutKey(4), MakeBlock(4, 4));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get(OutKey(2)), nullptr);  // evicted
+  EXPECT_NE(cache.Get(OutKey(1)), nullptr);
+  EXPECT_NE(cache.Get(OutKey(3)), nullptr);
+  EXPECT_NE(cache.Get(OutKey(4)), nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_LE(cache.bytes_resident(), cache.byte_budget());
 }
 
-TEST(LabelCacheTest, CapacityClampedToTwo) {
-  // A capacity-0/1 cache would let a probe's LIN fetch evict its own
-  // LOUT fetch mid-join; the constructor clamps to 2.
+TEST(LabelCacheTest, PutOverwritesInPlace) {
+  LabelCache cache(1 << 20);
+  cache.Put(OutKey(1), MakeBlock(1, 1));
+  cache.Put(OutKey(1), MakeBlock(1, 9));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes_resident(), OneBlockBytes());
+  EXPECT_EQ(cache.Get(OutKey(1))->Row(0)[0].center, 9u);
+}
+
+TEST(LabelCacheTest, ZeroBudgetCachesNothingButPinsStillWork) {
+  // Budget 0 is legal: every insert is immediately evicted, yet the
+  // caller's shared_ptr pin keeps the returned block usable — the
+  // engine stays correct, just cold.
   LabelCache cache(0);
-  EXPECT_EQ(cache.capacity(), 2u);
-  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(1));
-  cache.Put(LabelCache::Side::kIn, 2, MakeLabel(2));
-  EXPECT_NE(cache.Get(LabelCache::Side::kOut, 1), nullptr);
-  EXPECT_NE(cache.Get(LabelCache::Side::kIn, 2), nullptr);
+  LabelBlock pinned = cache.Put(OutKey(1), MakeBlock(1, 7));
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->Row(0)[0].center, 7u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes_resident(), 0u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get(OutKey(1)), nullptr);
+}
+
+TEST(LabelCacheTest, EvictionDoesNotInvalidatePinnedBlocks) {
+  LabelCache cache(OneBlockBytes());  // room for exactly one block
+  LabelBlock pinned = cache.Put(OutKey(1), MakeBlock(1, 11));
+  cache.Put(OutKey(2), MakeBlock(2, 22));  // evicts block 1
+  EXPECT_EQ(cache.Get(OutKey(1)), nullptr);
+  // The evicted block is alive for as long as the pin is held: this is
+  // the ownership rule PinnedLabel relies on mid-join.
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->Row(0)[0].center, 11u);
+  EXPECT_EQ(pinned.use_count(), 1);  // cache reference is gone
+}
+
+TEST(LabelCacheTest, RowMemoServesPinnedRowsWithoutBlockLookups) {
+  LabelCache cache(1 << 20);
+  LabelBlock block = cache.Put(LabelCache::BlockKeyFor(7), MakeBlock(3, 99));
+  cache.MemoRow(OutKey(3), block, 0);
+  uint32_t row = 123;
+  LabelBlock hit = cache.GetRow(OutKey(3), &row);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(row, 0u);
+  EXPECT_EQ(hit->Row(row)[0].center, 99u);
+  EXPECT_EQ(hit.get(), block.get());  // same block, now pinned twice
+  EXPECT_EQ(cache.hits(), 1u);        // a memo hit is a cache hit
+  // A key never memoized misses without touching the miss counter —
+  // the block route that follows does the accounting.
+  EXPECT_EQ(cache.GetRow(OutKey(4), &row), nullptr);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(LabelCacheTest, RowMemoHoldsNoStrongReference) {
+  LabelCache cache(OneBlockBytes());  // room for exactly one block
+  LabelBlock block = cache.Put(LabelCache::BlockKeyFor(1), MakeBlock(1, 11));
+  cache.MemoRow(OutKey(1), block, 0);
+  cache.Put(LabelCache::BlockKeyFor(2), MakeBlock(2, 22));  // evicts block 1
+  // The memo's weak reference neither kept the evicted block resident
+  // nor dangles: once the last pin drops, the memo entry just misses.
+  EXPECT_EQ(block.use_count(), 1);
+  uint32_t row = 0;
+  ASSERT_NE(cache.GetRow(OutKey(1), &row), nullptr);  // pin still alive
+  block = nullptr;
+  EXPECT_EQ(cache.GetRow(OutKey(1), &row), nullptr);  // expired, dropped
+}
+
+TEST(LabelCacheTest, DecodeAccountingFlowsIntoStats) {
+  LabelCache cache(1 << 20);
+  cache.RecordDecode(1500);
+  cache.RecordDecode(500);
+  LabelCache::Stats stats = cache.StatsSnapshot();
+  EXPECT_EQ(stats.blocks_decoded, 2u);
+  EXPECT_EQ(stats.decode_nanos, 2000u);
+  EXPECT_EQ(stats.byte_budget, size_t{1} << 20);
 }
 
 TEST(LabelCacheTest, ClearResetsEntriesButKeepsCounters) {
-  LabelCache cache(4);
-  cache.Put(LabelCache::Side::kOut, 1, MakeLabel(1));
-  ASSERT_NE(cache.Get(LabelCache::Side::kOut, 1), nullptr);
+  LabelCache cache(1 << 20);
+  cache.Put(OutKey(1), MakeBlock(1, 1));
+  ASSERT_NE(cache.Get(OutKey(1)), nullptr);
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.Get(LabelCache::Side::kOut, 1), nullptr);
+  EXPECT_EQ(cache.bytes_resident(), 0u);
+  EXPECT_EQ(cache.Get(OutKey(1)), nullptr);
   EXPECT_EQ(cache.hits(), 1u);
 }
 
 TEST_F(QueryEngineFixture, SmallCacheEvictsUnderPressure) {
   QueryEngineOptions options;
-  options.label_cache_capacity = 4;
+  options.label_cache_bytes = 4 * OneBlockBytes();
   QueryEngine engine = QueryEngine::ForStore(c_, *store_, std::move(options));
-  // Probe far more than 4 distinct nodes; answers must stay correct
-  // while the cache churns.
+  // Probe far more distinct nodes than the budget holds; answers must
+  // stay correct while the cache churns.
   std::vector<NodePair> pairs = RandomPairs(200, 31);
   BatchResponse r = engine.Batch({.pairs = pairs});
   EXPECT_GT(engine.label_cache().evictions(), 0u);
+  EXPECT_LE(engine.label_cache().bytes_resident(),
+            engine.label_cache().byte_budget());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(r.reachable[i],
+              engine.backend().IsReachable(pairs[i].first, pairs[i].second));
+  }
+}
+
+TEST_F(QueryEngineFixture, TinyCacheStillAnswersCompressedStoreCorrectly) {
+  // Same pressure test against the v4 block route: a budget smaller
+  // than one decoded block means every probe decodes cold — the
+  // pathological-but-legal configuration the pinning rule exists for.
+  QueryEngineOptions options;
+  options.label_cache_bytes = 1;
+  QueryEngine engine =
+      QueryEngine::ForMappedStore(c_, *mapped_v4_store_, std::move(options));
+  std::vector<NodePair> pairs = RandomPairs(100, 41);
+  BatchResponse r = engine.Batch({.pairs = pairs});
+  ASSERT_TRUE(r.error.ok()) << r.error;
+  EXPECT_EQ(engine.label_cache().size(), 0u);
   for (size_t i = 0; i < pairs.size(); ++i) {
     EXPECT_EQ(r.reachable[i],
               engine.backend().IsReachable(pairs[i].first, pairs[i].second));

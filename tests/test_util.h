@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -100,6 +102,23 @@ inline collection::Collection SmallDblp(size_t docs = 60, uint64_t seed = 7) {
   auto report = datagen::GenerateDblpCollection(config, &c);
   EXPECT_TRUE(report.ok()) << report.status();
   return c;
+}
+
+/// Whole file as bytes; fails the calling test on IO errors.
+inline std::vector<std::byte> ReadFileBytes(const std::string& path) {
+  std::vector<std::byte> bytes;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return bytes;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  bytes.resize(static_cast<size_t>(size));
+  if (size > 0) {
+    EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+  return bytes;
 }
 
 }  // namespace hopi::testing
