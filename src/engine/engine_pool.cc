@@ -2,17 +2,53 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 #include <string>
 #include <utility>
 
 namespace hopi::engine {
+namespace {
+
+/// Best-effort message for the in-flight exception (what() when it is
+/// a std::exception).
+std::string DescribeCurrentException() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(size_t high, size_t low)
+    : high_(high),
+      low_(high == 0 ? 0 : std::min(low == 0 ? high / 2 : low, high - 1)) {}
+
+bool AdmissionController::Admit(size_t load) {
+  if (high_ == 0) return true;
+  if (shedding_.load(std::memory_order_relaxed)) {
+    if (load > low_) return false;
+    shedding_.store(false, std::memory_order_relaxed);
+    return true;
+  }
+  if (load >= high_) {
+    shedding_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
 
 EnginePool::EnginePool(std::shared_ptr<const BackendSnapshot> snapshot,
                        EnginePoolOptions options)
     : options_(std::move(options)),
+      admission_(options_.shed_high_watermark, options_.shed_low_watermark),
       queue_(options_.num_threads != 0
                  ? options_.num_threads
-                 : std::max<size_t>(1, std::thread::hardware_concurrency())),
+                 : std::max<size_t>(1, std::thread::hardware_concurrency()),
+             options_.queue_capacity),
       published_(std::move(snapshot)) {
   assert(published_ && "EnginePool requires a non-null initial snapshot");
   size_t n = queue_.NumLanes();
@@ -72,28 +108,69 @@ size_t EnginePool::PickLane() {
   return best;
 }
 
+size_t EnginePool::PendingLoad() const {
+  size_t load = queue_.TotalQueued();
+  for (const auto& ws : workers_) {
+    load += ws->inflight.load(std::memory_order_relaxed);
+  }
+  return load;
+}
+
+Status EnginePool::Enqueue(WorkItem item, const char* what) {
+  HOPI_RETURN_NOT_OK(CheckAcceptingOr(what));
+  if (!admission_.Admit(PendingLoad())) {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        std::string(what) + " shed: pending load over the high watermark");
+  }
+  switch (queue_.TryPush(PickLane(), std::move(item))) {
+    case LanePush::kAccepted:
+      return Status::OK();
+    case LanePush::kShed:
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          std::string(what) + " shed: worker lane at capacity");
+    case LanePush::kClosed:
+      break;
+  }
+  return Status::FailedPrecondition(
+      std::string(what) + " on a shut-down EnginePool");
+}
+
 Result<std::future<PoolBatchResponse>> EnginePool::SubmitBatch(
     BatchRequest request) {
-  HOPI_RETURN_NOT_OK(CheckAcceptingOr("SubmitBatch"));
   WorkItem item;
-  item.batch.emplace(BatchJob{std::move(request), {}});
+  item.batch.emplace(BatchJob{std::move(request), {}, nullptr});
   std::future<PoolBatchResponse> future = item.batch->promise.get_future();
-  if (!queue_.Push(PickLane(), std::move(item))) {
-    return Status::FailedPrecondition("SubmitBatch on a shut-down EnginePool");
-  }
+  HOPI_RETURN_NOT_OK(Enqueue(std::move(item), "SubmitBatch"));
   return future;
 }
 
 Result<std::future<PoolPathResponse>> EnginePool::SubmitQuery(
     PathQueryRequest request) {
-  HOPI_RETURN_NOT_OK(CheckAcceptingOr("SubmitQuery"));
   WorkItem item;
-  item.path.emplace(PathJob{std::move(request), {}});
+  item.path.emplace(PathJob{std::move(request), {}, nullptr});
   std::future<PoolPathResponse> future = item.path->promise.get_future();
-  if (!queue_.Push(PickLane(), std::move(item))) {
-    return Status::FailedPrecondition("SubmitQuery on a shut-down EnginePool");
-  }
+  HOPI_RETURN_NOT_OK(Enqueue(std::move(item), "SubmitQuery"));
   return future;
+}
+
+Status EnginePool::SubmitBatch(
+    BatchRequest request,
+    std::function<void(Result<PoolBatchResponse>)> on_done) {
+  assert(on_done && "SubmitBatch callback form requires a callback");
+  WorkItem item;
+  item.batch.emplace(BatchJob{std::move(request), {}, std::move(on_done)});
+  return Enqueue(std::move(item), "SubmitBatch");
+}
+
+Status EnginePool::SubmitQuery(
+    PathQueryRequest request,
+    std::function<void(Result<PoolPathResponse>)> on_done) {
+  assert(on_done && "SubmitQuery callback form requires a callback");
+  WorkItem item;
+  item.path.emplace(PathJob{std::move(request), {}, std::move(on_done)});
+  return Enqueue(std::move(item), "SubmitQuery");
 }
 
 Result<PoolBatchResponse> EnginePool::Batch(BatchRequest request) {
@@ -168,21 +245,55 @@ void EnginePool::WorkerLoop(size_t lane) {
         ws.backend_probes.fetch_add(stats.backend_probes,
                                     std::memory_order_relaxed);
         ws.batches.fetch_add(1, std::memory_order_relaxed);
-        item->batch->promise.set_value(
-            PoolBatchResponse{std::move(response), snap.version(), lane});
+        PoolBatchResponse out{std::move(response), snap.version(), lane};
+        if (item->batch->on_done) {
+          // Detach first so the catch-all below cannot double-deliver
+          // if the callback itself throws.
+          auto on_done = std::move(item->batch->on_done);
+          item->batch->on_done = nullptr;
+          on_done(std::move(out));
+        } else {
+          item->batch->promise.set_value(std::move(out));
+        }
       } else {
         Result<PathQueryResponse> result =
             ws.engine->Query(item->path->request);
         ws.path_queries.fetch_add(1, std::memory_order_relaxed);
-        item->path->promise.set_value(
-            PoolPathResponse{std::move(result), snap.version(), lane});
+        PoolPathResponse out{std::move(result), snap.version(), lane};
+        if (item->path->on_done) {
+          auto on_done = std::move(item->path->on_done);
+          item->path->on_done = nullptr;
+          on_done(std::move(out));
+        } else {
+          item->path->promise.set_value(std::move(out));
+        }
       }
     } catch (...) {
+      // Callback jobs get a typed error Result; future jobs get the
+      // exception itself (the pre-callback contract).
+      Status error = Status::Internal("serving worker failed: " +
+                                      DescribeCurrentException());
       try {
         if (item->batch) {
-          item->batch->promise.set_exception(std::current_exception());
+          if (item->batch->on_done) {
+            try {
+              item->batch->on_done(error);
+            } catch (...) {
+              // Callbacks must not throw; swallowing here keeps the
+              // worker alive (contract documented on SubmitBatch).
+            }
+          } else {
+            item->batch->promise.set_exception(std::current_exception());
+          }
         } else {
-          item->path->promise.set_exception(std::current_exception());
+          if (item->path->on_done) {
+            try {
+              item->path->on_done(error);
+            } catch (...) {
+            }
+          } else {
+            item->path->promise.set_exception(std::current_exception());
+          }
         }
       } catch (const std::future_error&) {
         // The promise was already satisfied (set_value threw after
@@ -216,6 +327,12 @@ PoolStats EnginePool::Stats() const {
   }
   stats.swaps = swaps_.load(std::memory_order_relaxed);
   stats.snapshot_version = snapshot()->version();
+  stats.sheds = sheds_.load(std::memory_order_relaxed);
+  stats.queued = queue_.TotalQueued();
+  for (const auto& ws : workers_) {
+    stats.executing += ws->inflight.load(std::memory_order_relaxed);
+  }
+  stats.shedding = admission_.shedding();
   return stats;
 }
 

@@ -30,11 +30,19 @@
 // Shutdown are rejected with FailedPrecondition. All snapshots handed
 // to the pool must simply stay un-mutated; the pool's shared_ptrs keep
 // them alive as long as needed.
+// Overload safety: the work queue can be bounded (queue_capacity) and
+// fronted by an AdmissionController — hysteresis watermarks over the
+// aggregate pending load (queued + executing). Submissions beyond
+// either bound fail fast with a typed ResourceExhausted instead of
+// queueing unboundedly; the network front-end (net/service.h) turns
+// that into HTTP 429. Both bounds are off by default, preserving the
+// PR-5 in-process behavior.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -72,6 +80,44 @@ struct EnginePoolOptions {
 
   /// Ontology for ~tag path steps, copied into every worker engine.
   std::optional<query::TagSimilarity> similarity = std::nullopt;
+
+  /// Per-lane bound on queued work items (LaneQueue capacity). A
+  /// submission to a full lane fails with ResourceExhausted even when
+  /// the admission controller admits — the hard backstop under a
+  /// burst. 0 = unbounded (the pre-overload-control behavior).
+  size_t queue_capacity = 0;
+
+  /// Admission watermarks over the aggregate pending load (items
+  /// queued across all lanes + items executing). At or above
+  /// `shed_high_watermark` the pool starts shedding every submission
+  /// with ResourceExhausted; it re-admits once the load drains to
+  /// `shed_low_watermark` or below (hysteresis, so the gate does not
+  /// flap at the boundary). high = 0 disables admission control;
+  /// low defaults to high / 2 when left at 0.
+  size_t shed_high_watermark = 0;
+  size_t shed_low_watermark = 0;
+};
+
+/// Hysteresis gate for overload shedding: trips at the high watermark,
+/// re-admits at the low one. Thread-safe; races between concurrent
+/// Admit calls can at worst admit/shed a handful of requests around a
+/// transition, which is inherent to sampling a moving load anyway.
+class AdmissionController {
+ public:
+  /// high = 0 disables the gate (everything admits). low is clamped to
+  /// high - 1 so a trip always needs a real drain to clear.
+  AdmissionController(size_t high, size_t low);
+
+  /// Decides one submission given the current aggregate load.
+  bool Admit(size_t load);
+
+  /// Currently in the shedding regime?
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+
+ private:
+  size_t high_;
+  size_t low_;
+  std::atomic<bool> shedding_{false};
 };
 
 /// A Batch() answer plus its provenance.
@@ -112,6 +158,13 @@ struct PoolStats {
   /// Worker engine rebuilds. Each worker's initial bind counts too, so
   /// the bound is (swaps + 1) × workers, not swaps × workers.
   uint64_t rebinds = 0;
+  /// Submissions refused with ResourceExhausted (admission watermark
+  /// or a full lane). Monotonic.
+  uint64_t sheds = 0;
+  /// Gauges (not monotonic): the load picture at the Stats() call.
+  uint64_t queued = 0;    ///< Work items waiting across all lanes.
+  uint64_t executing = 0; ///< Workers currently inside an item.
+  bool shedding = false;  ///< Admission gate currently tripped.
   /// Version of the currently published snapshot. The one field that
   /// is not monotonic: Swap publishes whatever snapshot it is given,
   /// including an older one (rollback is a feature).
@@ -135,11 +188,27 @@ class EnginePool {
   // ---- submission (any thread) ----
 
   /// Enqueues a batch; the future completes with the response and the
-  /// serving snapshot's version. FailedPrecondition after Shutdown().
+  /// serving snapshot's version. FailedPrecondition after Shutdown();
+  /// ResourceExhausted when the admission gate or a bounded lane sheds
+  /// (the request was NOT queued — retry later).
   Result<std::future<PoolBatchResponse>> SubmitBatch(BatchRequest request);
 
   /// Enqueues a path query; contract as SubmitBatch.
   Result<std::future<PoolPathResponse>> SubmitQuery(PathQueryRequest request);
+
+  /// Callback forms for async callers (the network front-end): instead
+  /// of a future, `on_done` runs ON THE SERVING WORKER right after the
+  /// item completes — it must be cheap and non-blocking (hand the
+  /// result off; a slow callback stalls that worker's lane) and must
+  /// not throw (exceptions are swallowed). A worker-side failure
+  /// (rebind allocation, backend fault) is delivered as an error
+  /// Result. The returned Status only covers enqueueing: OK means
+  /// `on_done` will eventually run exactly once; ResourceExhausted /
+  /// FailedPrecondition mean it never will.
+  Status SubmitBatch(BatchRequest request,
+                     std::function<void(Result<PoolBatchResponse>)> on_done);
+  Status SubmitQuery(PathQueryRequest request,
+                     std::function<void(Result<PoolPathResponse>)> on_done);
 
   /// Synchronous conveniences: submit + wait.
   Result<PoolBatchResponse> Batch(BatchRequest request);
@@ -172,11 +241,15 @@ class EnginePool {
  private:
   struct BatchJob {
     BatchRequest request;
+    // Exactly one completion channel: `on_done` when set, else the
+    // promise.
     std::promise<PoolBatchResponse> promise;
+    std::function<void(Result<PoolBatchResponse>)> on_done;
   };
   struct PathJob {
     PathQueryRequest request;
     std::promise<PoolPathResponse> promise;
+    std::function<void(Result<PoolPathResponse>)> on_done;
   };
   struct WorkItem {
     // Exactly one engaged (a variant would also do; two optionals keep
@@ -216,10 +289,17 @@ class EnginePool {
   /// returns the snapshot the next item will be served from.
   const BackendSnapshot& BindCurrentSnapshot(WorkerState* ws);
   Status CheckAcceptingOr(const char* what) const;
+  /// Items queued across lanes + items executing — the load the
+  /// admission watermarks are measured against.
+  size_t PendingLoad() const;
+  /// Shared submission tail: admission gate, lane pick, bounded push.
+  Status Enqueue(WorkItem item, const char* what);
 
   EnginePoolOptions options_;
+  AdmissionController admission_;
   LaneQueue<WorkItem> queue_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::atomic<uint64_t> sheds_{0};
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const BackendSnapshot> published_;  // guarded by snapshot_mu_

@@ -1,0 +1,220 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace hopi::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+const std::string* ClientResponse::FindHeader(
+    std::string_view name_lower) const {
+  for (const auto& [name, value] : headers) {
+    if (name == name_lower) return &value;
+  }
+  return nullptr;
+}
+
+BlockingHttpClient::~BlockingHttpClient() { Close(); }
+
+BlockingHttpClient::BlockingHttpClient(BlockingHttpClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+BlockingHttpClient& BlockingHttpClient::operator=(
+    BlockingHttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void BlockingHttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status BlockingHttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address \"" + host + "\"");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Errno("connect " + host + ":" + std::to_string(port));
+    Close();
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status BlockingHttpClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> BlockingHttpClient::ReadUntilClose() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string out = std::move(buffer_);
+  buffer_.clear();
+  char buf[8192];
+  while (true) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // ECONNRESET counts as close too: the refuse-over-capacity path
+    // resets rather than FINs.
+    break;
+  }
+  Close();
+  return out;
+}
+
+Result<ClientResponse> BlockingHttpClient::Request(std::string_view method,
+                                                   std::string_view target,
+                                                   std::string_view body) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string request;
+  request.reserve(128 + body.size());
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request += "host: hopi\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "content-type: application/json\r\n";
+    request += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request.append(body);
+  HOPI_RETURN_NOT_OK(SendRaw(request));
+  Result<ClientResponse> response = ReadResponse();
+  if (response.ok() && response.value().close) Close();
+  return response;
+}
+
+Result<ClientResponse> BlockingHttpClient::ReadResponse() {
+  auto fill = [&]() -> Status {
+    char buf[8192];
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      buffer_.append(buf, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) return Status::IOError("connection closed mid-response");
+    if (errno == EINTR) return Status::OK();
+    return Errno("read");
+  };
+
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    HOPI_RETURN_NOT_OK(fill());
+  }
+  std::string_view head(buffer_.data(), head_end);
+
+  ClientResponse response;
+  size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (!status_line.starts_with("HTTP/1.") || status_line.size() < 12) {
+    return Status::Corruption("malformed status line");
+  }
+  response.status = 0;
+  for (size_t i = 9; i < 12; ++i) {
+    char c = status_line[i];
+    if (c < '0' || c > '9') return Status::Corruption("malformed status code");
+    response.status = response.status * 10 + (c - '0');
+  }
+
+  size_t content_length = 0;
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    std::string_view field = eol == std::string_view::npos
+                                 ? head.substr(pos)
+                                 : head.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? head.size() : eol + 2;
+    size_t colon = field.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::Corruption("malformed response header");
+    }
+    std::string name = ToLower(Trim(field.substr(0, colon)));
+    std::string value(Trim(field.substr(colon + 1)));
+    if (name == "content-length") {
+      content_length = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          return Status::Corruption("bad content-length");
+        }
+        content_length = content_length * 10 + static_cast<size_t>(c - '0');
+      }
+    }
+    if (name == "connection" && ToLower(value).find("close") !=
+                                    std::string::npos) {
+      response.close = true;
+    }
+    response.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  size_t body_start = head_end + 4;
+  while (buffer_.size() - body_start < content_length) {
+    HOPI_RETURN_NOT_OK(fill());
+  }
+  response.body.assign(buffer_, body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+  return response;
+}
+
+}  // namespace hopi::net

@@ -1,0 +1,69 @@
+// BlockingHttpClient: the minimal keep-alive HTTP/1.1 client the
+// end-to-end tests and the closed-loop load bench drive the server
+// with. Deliberately synchronous — one outstanding request per client,
+// blocking socket IO — because the bench's closed-loop arrival model
+// IS "N clients each waiting for their previous response", and tests
+// want linear control flow. Not a general client: Content-Length
+// responses only (which is all our server emits).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace hopi::net {
+
+/// One parsed response. Header names lowercased, like HttpRequest.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool close = false;  ///< server asked to close after this response
+
+  const std::string* FindHeader(std::string_view name_lower) const;
+};
+
+class BlockingHttpClient {
+ public:
+  BlockingHttpClient() = default;
+  ~BlockingHttpClient();
+
+  BlockingHttpClient(BlockingHttpClient&& other) noexcept;
+  BlockingHttpClient& operator=(BlockingHttpClient&& other) noexcept;
+  BlockingHttpClient(const BlockingHttpClient&) = delete;
+  BlockingHttpClient& operator=(const BlockingHttpClient&) = delete;
+
+  /// Connects (blocking) to host:port. IOError on failure.
+  Status Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Writes one request and blocks for its response. The connection is
+  /// kept alive across calls unless the server says close (then it is
+  /// closed here; Connect again to continue). A body is sent with
+  /// Content-Length; GET with empty body sends none.
+  Result<ClientResponse> Request(std::string_view method,
+                                 std::string_view target,
+                                 std::string_view body = {});
+
+  /// Raw-bytes escape hatch for protocol tests: write exactly `bytes`.
+  Status SendRaw(std::string_view bytes);
+  /// Reads whatever the server answers until it closes the connection
+  /// (for tests sending malformed input, where the server always
+  /// closes).
+  Result<std::string> ReadUntilClose();
+
+ private:
+  Result<ClientResponse> ReadResponse();
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the previous response
+};
+
+}  // namespace hopi::net

@@ -1,0 +1,339 @@
+#include "net/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hopi::net {
+namespace {
+
+/// Recursive-descent parser over a fixed text span. All positions are
+/// byte offsets into the original input so error messages point at the
+/// offending byte.
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonParseLimits& limits)
+      : text_(text), limits_(limits) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    HOPI_RETURN_NOT_OK(ParseValue(0, &value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  Status CountElement() {
+    if (++elements_ > limits_.max_elements) {
+      return Status::InvalidArgument(
+          "JSON error: document exceeds " +
+          std::to_string(limits_.max_elements) + " container elements");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(size_t depth, JsonValue* out) {
+    if (depth > limits_.max_depth) {
+      return Fail("nesting deeper than " + std::to_string(limits_.max_depth));
+    }
+    SkipWhitespace();
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        HOPI_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        HOPI_RETURN_NOT_OK(Expect("true"));
+        *out = JsonValue(true);
+        return Status::OK();
+      case 'f':
+        HOPI_RETURN_NOT_OK(Expect("false"));
+        *out = JsonValue(false);
+        return Status::OK();
+      case 'n':
+        HOPI_RETURN_NOT_OK(Expect("null"));
+        *out = JsonValue(nullptr);
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status Expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("expected '" + std::string(literal) + "'");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseObject(size_t depth, JsonValue* out) {
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *out = JsonValue(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key string");
+      std::string key;
+      HOPI_RETURN_NOT_OK(ParseString(&key));
+      for (const auto& [existing, _] : members) {
+        if (existing == key) return Fail("duplicate object key '" + key + "'");
+      }
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') return Fail("expected ':' after key");
+      ++pos_;
+      JsonValue value;
+      HOPI_RETURN_NOT_OK(CountElement());
+      HOPI_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        *out = JsonValue(std::move(members));
+        return Status::OK();
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(size_t depth, JsonValue* out) {
+    ++pos_;  // '['
+    JsonValue::Array items;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      *out = JsonValue(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      HOPI_RETURN_NOT_OK(CountElement());
+      HOPI_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        *out = JsonValue(std::move(items));
+        return Status::OK();
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  static int HexDigit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      int d = HexDigit(text_[pos_ + i]);
+      if (d < 0) return Fail("bad hex digit in \\u escape");
+      value = value * 16 + static_cast<uint32_t>(d);
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (AtEnd()) return Fail("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          HOPI_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("lone high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            HOPI_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("lone low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    // int part: 0 | [1-9][0-9]*
+    if (AtEnd() || !IsDigit(Peek())) return Fail("invalid number");
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && IsDigit(Peek())) ++pos_;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || !IsDigit(Peek())) return Fail("digits required after '.'");
+      while (!AtEnd() && IsDigit(Peek())) ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !IsDigit(Peek())) return Fail("digits required in exponent");
+      while (!AtEnd() && IsDigit(Peek())) ++pos_;
+    }
+    // The span was validated against the JSON grammar, so strtod
+    // consumes exactly it (a NUL-terminated copy keeps strtod off the
+    // unterminated string_view).
+    std::string span(text_.substr(start, pos_ - start));
+    double value = std::strtod(span.c_str(), nullptr);
+    if (!std::isfinite(value)) return Fail("number overflows double");
+    *out = JsonValue(value);
+    return Status::OK();
+  }
+
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+  std::string_view text_;
+  const JsonParseLimits& limits_;
+  size_t pos_ = 0;
+  size_t elements_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonParseLimits& limits) {
+  return Parser(text, limits).Parse();
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no NaN/Inf
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace hopi::net

@@ -1,0 +1,103 @@
+// Strict, dependency-free JSON for the wire layer.
+//
+// The serving front-end speaks a hand-rolled JSON wire format
+// (docs/WIRE_FORMAT.md); this header is its foundation: a small
+// recursive-descent parser producing a JsonValue tree, and escaping
+// helpers for the writer side. The parser is deliberately strict —
+// RFC 8259 grammar only, no comments, no trailing commas, no NaN/Inf,
+// full-input consumption, bounded nesting depth — because every byte
+// arriving here crossed a network boundary: anything malformed must
+// become a typed InvalidArgument (HTTP 400), never UB or an accepted
+// approximation. The corruption fuzzer (tests/wire_fuzz_test.cc)
+// enforces exactly that under ASan/UBSan.
+//
+// Object members keep their textual order in a flat vector (like
+// BenchReport): lookups are O(members), which is fine for the wire
+// format's handful of keys, and order preservation makes serialization
+// deterministic. Duplicate keys are rejected — a request whose meaning
+// depends on which duplicate wins is a smuggling vector, not a client.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+
+namespace hopi::net {
+
+struct JsonParseLimits {
+  /// Maximum container nesting (objects + arrays). The wire format
+  /// needs 3; the default leaves headroom without letting "[[[[..."
+  /// recurse the stack away.
+  size_t max_depth = 32;
+  /// Maximum total container elements (array items + object members)
+  /// across the document — a flat-bomb bound independent of body size
+  /// limits.
+  size_t max_elements = 1u << 20;
+};
+
+/// One parsed JSON value. kNumber is double throughout (the wire
+/// format's integers — node ids, counts — are all well under 2^53).
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  explicit JsonValue(std::nullptr_t) : value_(nullptr) {}
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double d) : value_(d) {}
+  explicit JsonValue(std::string s) : value_(std::move(s)) {}
+  explicit JsonValue(Array a) : value_(std::move(a)) {}
+  explicit JsonValue(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  // Precondition: the matching is_*() holds.
+  bool AsBool() const { return std::get<bool>(value_); }
+  double AsNumber() const { return std::get<double>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const Array& AsArray() const { return std::get<Array>(value_); }
+  const Object& AsObject() const { return std::get<Object>(value_); }
+
+  /// First member named `key`, or nullptr. Precondition: is_object().
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [name, value] : AsObject()) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Parses exactly one JSON document covering all of `text` (leading /
+/// trailing RFC whitespace tolerated). InvalidArgument on any
+/// violation, with a byte offset in the message.
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonParseLimits& limits = {});
+
+// ---- writer-side helpers (serializers build strings directly) ----
+
+/// Appends `s` as a quoted, escaped JSON string. Control characters go
+/// out as \u00XX; bytes >= 0x80 are passed through (the wire format is
+/// UTF-8 end to end).
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Shortest round-trip decimal for `v` ("%.17g" trimmed via "%g"
+/// laddering is overkill here: "%.10g" is exact for the integral
+/// values the wire emits and plenty for latency millis).
+std::string JsonNumber(double v);
+
+}  // namespace hopi::net

@@ -1,0 +1,155 @@
+// HttpServer: a zero-dependency epoll HTTP/1.1 transport.
+//
+// Topology (the ISSUE's acceptor + IO-thread design):
+//
+//   acceptor thread ──round-robin──▶ IO thread 0 (epoll loop)
+//     accept4 + refuse over cap      IO thread 1 (epoll loop) ...
+//
+// Each IO thread owns an epoll instance, an eventfd, and the
+// connections assigned to it; connections never migrate, so all
+// per-connection state (parser, write buffer) is thread-private and
+// lock-free. The only cross-thread traffic is the IO queue: the
+// acceptor posts new fds, and Responders post finished responses, both
+// under one mutex with an eventfd wake.
+//
+// The handler is invoked on the IO thread with a Responder — a small
+// completion handle that may be fired synchronously (stats, errors) or
+// carried into EnginePool's worker callback and fired from there. That
+// is what makes the loop non-blocking end to end: the IO thread never
+// waits on the engine; an admitted request parks the connection
+// (EPOLLIN paused — one request in flight per connection, responses
+// can never be reordered) until its Responder posts back.
+//
+// Reads, writes, and accepts are all non-blocking; short writes park
+// the remainder under EPOLLOUT. Overload behavior: beyond
+// max_connections the acceptor refuses (accept + immediate close —
+// draining the backlog beats letting SYNs time out), and request-level
+// shedding is the service layer's job (HTTP 429 via the pool's
+// admission controller).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "util/status.h"
+
+namespace hopi::net {
+
+struct HttpServerOptions {
+  /// IPv4 address to bind ("0.0.0.0" for all interfaces).
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks; read it back via port().
+  uint16_t port = 0;
+  /// Epoll loops. One saturates loopback benches; a NIC-facing deploy
+  /// wants a few.
+  size_t num_io_threads = 1;
+  /// Accepted-connection cap; beyond it the acceptor refuses new
+  /// connections immediately.
+  size_t max_connections = 1024;
+  HttpParserLimits parser = {};
+};
+
+/// Monotonic counters plus the open-connection gauge.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;  ///< over max_connections
+  uint64_t connections_closed = 0;
+  uint64_t requests = 0;        ///< complete requests handed to the handler
+  uint64_t responses = 0;       ///< responses fully serialized into a socket
+  uint64_t parse_errors = 0;    ///< requests refused with 4xx/5xx at parse
+  uint64_t open_connections = 0;  ///< gauge
+};
+
+class HttpServer {
+ public:
+  /// Completion handle for exactly one request. Copyable (the copy that
+  /// reaches an EnginePool callback fires it); Send is thread-safe and
+  /// idempotent — the first call wins, later calls are dropped, and a
+  /// Send after the connection died or the server stopped is silently
+  /// discarded (the client is gone; there is nobody to tell).
+  class Responder {
+   public:
+    void Send(HttpResponse response) const;
+
+   private:
+    friend class HttpServer;
+    struct IoQueue;
+    Responder(std::shared_ptr<IoQueue> queue, uint64_t conn_id);
+    std::shared_ptr<IoQueue> queue_;
+    uint64_t conn_id_ = 0;
+    std::shared_ptr<std::atomic<bool>> sent_;
+  };
+
+  /// Runs on the IO thread owning the connection. Must not block; fire
+  /// the Responder now or hand it to an async completion.
+  using Handler = std::function<void(HttpRequest, Responder)>;
+
+  explicit HttpServer(Handler handler, HttpServerOptions options = {});
+  ~HttpServer();  // Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, spawns the acceptor and IO threads. IOError /
+  /// InvalidArgument on socket failures; FailedPrecondition if already
+  /// started.
+  Status Start();
+
+  /// Closes the listener, joins all threads, closes every connection.
+  /// In-flight Responders outlive the server safely (their sends are
+  /// dropped). Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0). Valid after Start().
+  uint16_t port() const { return bound_port_; }
+
+  ServerStats Stats() const;
+
+ private:
+  struct Conn;
+  struct IoLoop;
+
+  void AcceptorLoop();
+  void IoThreadLoop(IoLoop* loop);
+  void HandleReadable(IoLoop* loop, Conn* conn);
+  void HandleWritable(IoLoop* loop, Conn* conn);
+  /// Parses buffered bytes; dispatches at most one request (pausing
+  /// reads until its response is sent) or writes a parse reject.
+  void Pump(IoLoop* loop, Conn* conn);
+  void CompleteResponse(IoLoop* loop, Conn* conn, HttpResponse response);
+  void FlushWrites(IoLoop* loop, Conn* conn);
+  void UpdateInterest(IoLoop* loop, Conn* conn, bool want_read,
+                      bool want_write);
+  void CloseConn(IoLoop* loop, Conn* conn);
+
+  Handler handler_;
+  HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  int acceptor_wake_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<IoLoop>> io_loops_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<size_t> next_io_{0};
+
+  // ServerStats counters.
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> refused_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> open_{0};
+};
+
+}  // namespace hopi::net

@@ -1,0 +1,260 @@
+#include "net/service.h"
+
+#include <chrono>
+#include <utility>
+
+namespace hopi::net {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The percentile block every endpoint reports.
+void AppendLatencyJson(std::string* out,
+                       const LatencyHistogram::Snapshot& snapshot) {
+  *out += "{\"count\":" + std::to_string(snapshot.count);
+  *out += ",\"mean_us\":" + JsonNumber(snapshot.Mean());
+  *out += ",\"p50_us\":" + std::to_string(snapshot.ValueAtQuantile(0.50));
+  *out += ",\"p90_us\":" + std::to_string(snapshot.ValueAtQuantile(0.90));
+  *out += ",\"p99_us\":" + std::to_string(snapshot.ValueAtQuantile(0.99));
+  *out += ",\"p999_us\":" + std::to_string(snapshot.ValueAtQuantile(0.999));
+  *out += '}';
+}
+
+}  // namespace
+
+ReachabilityService::ReachabilityService(engine::EnginePool* pool,
+                                         WireLimits limits)
+    : pool_(pool), wire_(limits) {}
+
+HttpServer::Handler ReachabilityService::AsHandler() {
+  return [this](HttpRequest request, HttpServer::Responder responder) {
+    Handle(std::move(request), std::move(responder));
+  };
+}
+
+void ReachabilityService::BindServerStats(std::function<ServerStats()> source) {
+  server_stats_ = std::move(source);
+}
+
+void ReachabilityService::Handle(HttpRequest request,
+                                 HttpServer::Responder responder) {
+  const uint64_t started_us = NowMicros();
+  // Route on the path alone; a query string is accepted and ignored.
+  std::string_view path = request.target;
+  if (size_t q = path.find('?'); q != std::string_view::npos) {
+    path = path.substr(0, q);
+  }
+
+  const bool is_get = request.method == "GET" || request.method == "HEAD";
+  if (path == "/healthz") {
+    healthz_.requests.fetch_add(1, std::memory_order_relaxed);
+    if (!is_get) {
+      SendError(&healthz_, responder, 405,
+                Status::InvalidArgument("use GET /healthz"), started_us);
+      return;
+    }
+    SendOk(&healthz_, responder, "{\"status\":\"ok\"}", started_us);
+    return;
+  }
+  if (path == "/stats") {
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    if (!is_get) {
+      SendError(&stats_, responder, 405,
+                Status::InvalidArgument("use GET /stats"), started_us);
+      return;
+    }
+    SendOk(&stats_, responder, StatsJson(), started_us);
+    return;
+  }
+  if (path == "/v1/batch") {
+    batch_.requests.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "POST") {
+      SendError(&batch_, responder, 405,
+                Status::InvalidArgument("use POST /v1/batch"), started_us);
+      return;
+    }
+    HandleBatch(std::move(request), std::move(responder));
+    return;
+  }
+  if (path == "/v1/path") {
+    path_.requests.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "POST") {
+      SendError(&path_, responder, 405,
+                Status::InvalidArgument("use POST /v1/path"), started_us);
+      return;
+    }
+    HandlePath(std::move(request), std::move(responder));
+    return;
+  }
+  // Unrouted: book it under /stats-free accounting (healthz_ would
+  // pollute liveness numbers; a dedicated endpoint is overkill).
+  HttpResponse response;
+  response.status = 404;
+  response.body = JsonWire::SerializeError(
+      Status::NotFound("no route for " + std::string(path)));
+  responder.Send(std::move(response));
+}
+
+void ReachabilityService::HandleBatch(HttpRequest&& request,
+                                      HttpServer::Responder&& responder) {
+  const uint64_t started_us = NowMicros();
+  const uint64_t num_elements =
+      pool_->snapshot()->collection().NumElements();
+  Result<engine::BatchRequest> parsed =
+      wire_.ParseBatchRequest(request.body, num_elements);
+  if (!parsed.ok()) {
+    SendError(&batch_, responder, parsed.status(), started_us);
+    return;
+  }
+  // The callback runs on a serving worker: serialize there (cheap) and
+  // let the Responder carry the bytes back to the IO thread.
+  Status submitted = pool_->SubmitBatch(
+      std::move(parsed).value(),
+      [this, responder, started_us](Result<engine::PoolBatchResponse> result) {
+        if (!result.ok()) {
+          SendError(&batch_, responder, result.status(), started_us);
+          return;
+        }
+        SendOk(&batch_, responder,
+               JsonWire::SerializeBatchResponse(result.value()), started_us);
+      });
+  if (!submitted.ok()) {
+    SendError(&batch_, responder, submitted, started_us);
+  }
+}
+
+void ReachabilityService::HandlePath(HttpRequest&& request,
+                                     HttpServer::Responder&& responder) {
+  const uint64_t started_us = NowMicros();
+  Result<engine::PathQueryRequest> parsed =
+      wire_.ParsePathRequest(request.body);
+  if (!parsed.ok()) {
+    SendError(&path_, responder, parsed.status(), started_us);
+    return;
+  }
+  Status submitted = pool_->SubmitQuery(
+      std::move(parsed).value(),
+      [this, responder, started_us](Result<engine::PoolPathResponse> result) {
+        if (!result.ok()) {
+          SendError(&path_, responder, result.status(), started_us);
+          return;
+        }
+        if (!result.value().result.ok()) {
+          // The pool ran it, the query itself failed (bad expression,
+          // budget): same error envelope, pool provenance dropped.
+          SendError(&path_, responder, result.value().result.status(),
+                    started_us);
+          return;
+        }
+        SendOk(&path_, responder,
+               JsonWire::SerializePathResponse(result.value()), started_us);
+      });
+  if (!submitted.ok()) {
+    SendError(&path_, responder, submitted, started_us);
+  }
+}
+
+void ReachabilityService::SendError(Endpoint* endpoint,
+                                    const HttpServer::Responder& responder,
+                                    const Status& status, uint64_t started_us) {
+  SendError(endpoint, responder, JsonWire::HttpStatusFor(status), status,
+            started_us);
+}
+
+void ReachabilityService::SendError(Endpoint* endpoint,
+                                    const HttpServer::Responder& responder,
+                                    int http_status, const Status& status,
+                                    uint64_t started_us) {
+  endpoint->errors.fetch_add(1, std::memory_order_relaxed);
+  if (status.IsResourceExhausted()) {
+    endpoint->sheds.fetch_add(1, std::memory_order_relaxed);
+  }
+  endpoint->latency.Record(NowMicros() - started_us);
+  HttpResponse response;
+  response.status = http_status;
+  response.body = JsonWire::SerializeError(status);
+  if (http_status == 429) {
+    // Sheds clear as soon as the pool drains below the low watermark;
+    // tell well-behaved clients to come right back.
+    response.extra_headers.emplace_back("retry-after", "1");
+  }
+  responder.Send(std::move(response));
+}
+
+void ReachabilityService::SendOk(Endpoint* endpoint,
+                                 const HttpServer::Responder& responder,
+                                 std::string body, uint64_t started_us) {
+  endpoint->latency.Record(NowMicros() - started_us);
+  HttpResponse response;
+  response.body = std::move(body);
+  responder.Send(std::move(response));
+}
+
+std::string ReachabilityService::StatsJson() const {
+  engine::PoolStats pool = pool_->Stats();
+  std::string out = "{\"pool\":{";
+  out += "\"batches\":" + std::to_string(pool.batches);
+  out += ",\"path_queries\":" + std::to_string(pool.path_queries);
+  out += ",\"probes\":" + std::to_string(pool.probes);
+  out += ",\"cache_hits\":" + std::to_string(pool.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(pool.cache_misses);
+  out += ",\"backend_probes\":" + std::to_string(pool.backend_probes);
+  out += ",\"swaps\":" + std::to_string(pool.swaps);
+  out += ",\"rebinds\":" + std::to_string(pool.rebinds);
+  out += ",\"sheds\":" + std::to_string(pool.sheds);
+  out += ",\"queued\":" + std::to_string(pool.queued);
+  out += ",\"executing\":" + std::to_string(pool.executing);
+  out += std::string(",\"shedding\":") + (pool.shedding ? "true" : "false");
+  out += ",\"snapshot_version\":" + std::to_string(pool.snapshot_version);
+  out += ",\"workers\":" + std::to_string(pool_->num_threads());
+  out += '}';
+  if (server_stats_) {
+    ServerStats server = server_stats_();
+    out += ",\"server\":{";
+    out += "\"connections_accepted\":" +
+           std::to_string(server.connections_accepted);
+    out += ",\"connections_refused\":" +
+           std::to_string(server.connections_refused);
+    out += ",\"connections_closed\":" +
+           std::to_string(server.connections_closed);
+    out += ",\"open_connections\":" + std::to_string(server.open_connections);
+    out += ",\"requests\":" + std::to_string(server.requests);
+    out += ",\"responses\":" + std::to_string(server.responses);
+    out += ",\"parse_errors\":" + std::to_string(server.parse_errors);
+    out += '}';
+  }
+  out += ",\"endpoints\":{";
+  const struct {
+    const char* name;
+    const Endpoint* endpoint;
+  } kEndpoints[] = {{"batch", &batch_},
+                    {"path", &path_},
+                    {"stats", &stats_},
+                    {"healthz", &healthz_}};
+  bool first = true;
+  for (const auto& [name, endpoint] : kEndpoints) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"requests\":" +
+           std::to_string(endpoint->requests.load(std::memory_order_relaxed));
+    out += ",\"errors\":" +
+           std::to_string(endpoint->errors.load(std::memory_order_relaxed));
+    out += ",\"sheds\":" +
+           std::to_string(endpoint->sheds.load(std::memory_order_relaxed));
+    out += ",\"latency_us\":";
+    AppendLatencyJson(&out, endpoint->latency.TakeSnapshot());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace hopi::net

@@ -1,0 +1,91 @@
+// ReachabilityService: the HTTP-facing application layer over an
+// EnginePool.
+//
+// One class owns the route table and the request lifecycle:
+//
+//   POST /v1/batch  -> JsonWire::ParseBatchRequest -> pool SubmitBatch
+//   POST /v1/path   -> JsonWire::ParsePathRequest  -> pool SubmitQuery
+//   GET  /stats     -> pool + server counters, gauges, latency
+//                      percentiles (answered inline)
+//   GET  /healthz   -> liveness (answered inline)
+//
+// Engine requests use the pool's callback submission: the handler
+// returns to the epoll loop immediately and the serving worker's
+// on_done serializes the result and fires the Responder — no thread
+// ever blocks on a query. Shedding falls out of the same path: a
+// refused submission (ResourceExhausted from the admission gate or a
+// full lane) is answered 429 right from the handler, which is exactly
+// why an overloaded server keeps answering /stats and 429s instead of
+// stalling accepts.
+//
+// Per-endpoint log-bucketed latency histograms (microseconds, handler
+// entry to response send) feed the /stats percentiles the bench and
+// the overload tests read back.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "engine/engine_pool.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace hopi::net {
+
+class ReachabilityService {
+ public:
+  /// `pool` must outlive the service (and the server routing into it).
+  explicit ReachabilityService(engine::EnginePool* pool,
+                               WireLimits limits = {});
+
+  /// The HttpServer handler. Bind with
+  ///   HttpServer server(service.AsHandler(), options);
+  HttpServer::Handler AsHandler();
+
+  /// Lets /stats include transport counters; typically
+  ///   service.BindServerStats([&] { return server.Stats(); });
+  /// Unset, the "server" section is omitted.
+  void BindServerStats(std::function<ServerStats()> source);
+
+  /// The /stats response body (also handy for tests and the tool's
+  /// periodic report).
+  std::string StatsJson() const;
+
+ private:
+  struct Endpoint {
+    LatencyHistogram latency;  // microseconds, entry to Send
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> errors{0};  // non-2xx answers
+    std::atomic<uint64_t> sheds{0};   // the 429 subset of errors
+  };
+
+  void Handle(HttpRequest request, HttpServer::Responder responder);
+  void HandleBatch(HttpRequest&& request, HttpServer::Responder&& responder);
+  void HandlePath(HttpRequest&& request, HttpServer::Responder&& responder);
+
+  /// Answers with the JsonWire error mapping and books the endpoint
+  /// counters. `started_us` is the handler-entry timestamp.
+  void SendError(Endpoint* endpoint, const HttpServer::Responder& responder,
+                 const Status& status, uint64_t started_us);
+  /// Same, with the HTTP status forced (405 has no Status analogue).
+  void SendError(Endpoint* endpoint, const HttpServer::Responder& responder,
+                 int http_status, const Status& status, uint64_t started_us);
+  void SendOk(Endpoint* endpoint, const HttpServer::Responder& responder,
+              std::string body, uint64_t started_us);
+
+  engine::EnginePool* pool_;
+  JsonWire wire_;
+  std::function<ServerStats()> server_stats_;
+
+  Endpoint batch_;
+  Endpoint path_;
+  Endpoint stats_;
+  Endpoint healthz_;
+};
+
+}  // namespace hopi::net

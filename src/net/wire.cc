@@ -1,0 +1,217 @@
+#include "net/wire.h"
+
+#include <cmath>
+#include <utility>
+
+namespace hopi::net {
+namespace {
+
+/// Extracts a non-negative integer field (JSON numbers are double;
+/// the wire's integers must be integral and fit `max`).
+Status GetUint(const JsonValue& v, std::string_view field, uint64_t max,
+               uint64_t* out) {
+  if (!v.is_number()) {
+    return Status::InvalidArgument(std::string(field) + " must be a number");
+  }
+  double d = v.AsNumber();
+  if (d < 0 || d > static_cast<double>(max) || d != std::floor(d)) {
+    return Status::InvalidArgument(std::string(field) +
+                                   " must be an integer in [0, " +
+                                   std::to_string(max) + "]");
+  }
+  *out = static_cast<uint64_t>(d);
+  return Status::OK();
+}
+
+Status GetBool(const JsonValue& v, std::string_view field, bool* out) {
+  if (!v.is_bool()) {
+    return Status::InvalidArgument(std::string(field) + " must be a boolean");
+  }
+  *out = v.AsBool();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<engine::BatchRequest> JsonWire::ParseBatchRequest(
+    std::string_view body, uint64_t num_elements) const {
+  HOPI_ASSIGN_OR_RETURN(JsonValue root, ParseJson(body, limits_.json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  const JsonValue* pairs = root.Find("pairs");
+  if (pairs == nullptr || !pairs->is_array()) {
+    return Status::InvalidArgument("\"pairs\" must be an array of [u, v]");
+  }
+  engine::BatchRequest request;
+  if (pairs->AsArray().size() > limits_.max_pairs) {
+    return Status::InvalidArgument(
+        "\"pairs\" has " + std::to_string(pairs->AsArray().size()) +
+        " entries; the wire limit is " + std::to_string(limits_.max_pairs));
+  }
+  if (!pairs->AsArray().empty() && num_elements == 0) {
+    return Status::InvalidArgument("the serving collection has no elements");
+  }
+  request.pairs.reserve(pairs->AsArray().size());
+  for (const JsonValue& pair : pairs->AsArray()) {
+    if (!pair.is_array() || pair.AsArray().size() != 2) {
+      return Status::InvalidArgument(
+          "every \"pairs\" entry must be a two-element array [u, v]");
+    }
+    uint64_t u = 0;
+    uint64_t v = 0;
+    HOPI_RETURN_NOT_OK(
+        GetUint(pair.AsArray()[0], "pair source", num_elements - 1, &u));
+    HOPI_RETURN_NOT_OK(
+        GetUint(pair.AsArray()[1], "pair target", num_elements - 1, &v));
+    request.pairs.push_back(
+        {static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  for (const auto& [key, value] : root.AsObject()) {
+    if (key == "pairs") continue;
+    if (key == "want_distances") {
+      HOPI_RETURN_NOT_OK(GetBool(value, key, &request.want_distances));
+      continue;
+    }
+    return Status::InvalidArgument("unknown field \"" + key + "\"");
+  }
+  return request;
+}
+
+Result<engine::PathQueryRequest> JsonWire::ParsePathRequest(
+    std::string_view body) const {
+  HOPI_ASSIGN_OR_RETURN(JsonValue root, ParseJson(body, limits_.json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  const JsonValue* expression = root.Find("expression");
+  if (expression == nullptr || !expression->is_string()) {
+    return Status::InvalidArgument("\"expression\" must be a string");
+  }
+  if (expression->AsString().size() > limits_.max_expression_bytes) {
+    return Status::InvalidArgument(
+        "\"expression\" longer than " +
+        std::to_string(limits_.max_expression_bytes) + " bytes");
+  }
+  engine::PathQueryRequest request;
+  request.expression = expression->AsString();
+  for (const auto& [key, value] : root.AsObject()) {
+    if (key == "expression") continue;
+    if (key == "max_matches") {
+      uint64_t n = 0;
+      HOPI_RETURN_NOT_OK(GetUint(value, key, limits_.max_matches, &n));
+      request.max_matches = static_cast<size_t>(n);
+    } else if (key == "max_step_distance") {
+      uint64_t n = 0;
+      HOPI_RETURN_NOT_OK(GetUint(value, key, UINT32_MAX, &n));
+      request.max_step_distance = static_cast<uint32_t>(n);
+    } else if (key == "min_tag_similarity") {
+      if (!value.is_number() || value.AsNumber() < 0.0 ||
+          value.AsNumber() > 1.0) {
+        return Status::InvalidArgument(
+            "\"min_tag_similarity\" must be a number in [0, 1]");
+      }
+      request.min_tag_similarity = value.AsNumber();
+    } else if (key == "count_only") {
+      HOPI_RETURN_NOT_OK(GetBool(value, key, &request.count_only));
+    } else {
+      return Status::InvalidArgument("unknown field \"" + key + "\"");
+    }
+  }
+  return request;
+}
+
+std::string JsonWire::SerializeBatchResponse(
+    const engine::PoolBatchResponse& response) {
+  const engine::BatchResponse& batch = response.batch;
+  std::string out = "{\"reachable\":[";
+  for (size_t i = 0; i < batch.reachable.size(); ++i) {
+    if (i > 0) out += ',';
+    out += batch.reachable[i] ? "true" : "false";
+  }
+  out += ']';
+  if (!batch.distances.empty()) {
+    out += ",\"distances\":[";
+    for (size_t i = 0; i < batch.distances.size(); ++i) {
+      if (i > 0) out += ',';
+      if (batch.distances[i].has_value()) {
+        out += std::to_string(*batch.distances[i]);
+      } else {
+        out += "null";
+      }
+    }
+    out += ']';
+  }
+  out += ",\"snapshot_version\":" + std::to_string(response.snapshot_version);
+  out += ",\"worker\":" + std::to_string(response.worker);
+  out += ",\"stats\":{\"probes\":" + std::to_string(batch.stats.probes);
+  out += ",\"unique_probes\":" + std::to_string(batch.stats.unique_probes);
+  out += ",\"cache_hits\":" + std::to_string(batch.stats.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(batch.stats.cache_misses);
+  out += ",\"labels_borrowed\":" + std::to_string(batch.stats.labels_borrowed);
+  out += "}";
+  if (!batch.error.ok()) {
+    out += ",\"partial_error\":";
+    out += SerializeError(batch.error);
+  }
+  out += '}';
+  return out;
+}
+
+std::string JsonWire::SerializePathResponse(
+    const engine::PoolPathResponse& response) {
+  const engine::PathQueryResponse& path = response.result.value();
+  std::string out = "{\"count\":" + std::to_string(path.count);
+  out += ",\"matches\":[";
+  for (size_t i = 0; i < path.matches.size(); ++i) {
+    const query::PathMatch& match = path.matches[i];
+    if (i > 0) out += ',';
+    out += "{\"bindings\":[";
+    for (size_t j = 0; j < match.bindings.size(); ++j) {
+      if (j > 0) out += ',';
+      out += std::to_string(match.bindings[j]);
+    }
+    out += "],\"total_distance\":" + std::to_string(match.total_distance);
+    out += ",\"score\":" + JsonNumber(match.score);
+    out += '}';
+  }
+  out += "],\"snapshot_version\":" + std::to_string(response.snapshot_version);
+  out += ",\"worker\":" + std::to_string(response.worker);
+  out += '}';
+  return out;
+}
+
+std::string JsonWire::SerializeError(const Status& status) {
+  std::string out = "{\"error\":{\"code\":";
+  AppendJsonString(&out, StatusCodeName(status.code()));
+  out += ",\"message\":";
+  AppendJsonString(&out, status.message());
+  out += "}}";
+  return out;
+}
+
+int JsonWire::HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kFailedPrecondition:
+      return 503;
+    case StatusCode::kUnsupported:
+      return 501;
+    case StatusCode::kOutOfBudget:
+      return 503;
+    case StatusCode::kCorruption:
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+}  // namespace hopi::net

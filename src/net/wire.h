@@ -1,0 +1,77 @@
+// JsonWire: the typed boundary between HTTP bodies and engine
+// requests/responses.
+//
+// Parsing is strict and total: every request body either becomes a
+// fully validated engine::BatchRequest / engine::PathQueryRequest or a
+// typed InvalidArgument naming the offending field — node ids are
+// range-checked against the serving collection, sizes against the wire
+// limits, types against the schema. Serialization is deterministic
+// (fixed field order) so responses are diffable across runs; the JSON
+// schemas are documented byte-for-byte in docs/WIRE_FORMAT.md.
+//
+// HttpStatusFor is the single place the util::Status taxonomy maps to
+// HTTP status codes — notably ResourceExhausted -> 429, the overload
+// shedding contract the load bench and the admission tests assert on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "engine/engine.h"
+#include "engine/engine_pool.h"
+#include "net/json.h"
+#include "util/result.h"
+
+namespace hopi::net {
+
+struct WireLimits {
+  /// Probe pairs per batch request.
+  size_t max_pairs = 1u << 16;
+  /// Path expression length in bytes.
+  size_t max_expression_bytes = 4096;
+  /// Materialized matches a path request may ask for.
+  size_t max_matches = 1u << 16;
+  JsonParseLimits json;
+};
+
+class JsonWire {
+ public:
+  explicit JsonWire(WireLimits limits = {}) : limits_(limits) {}
+
+  const WireLimits& limits() const { return limits_; }
+
+  /// Body schema: {"pairs": [[u, v], ...], "want_distances": bool?}.
+  /// Node ids must be integers in [0, num_elements).
+  Result<engine::BatchRequest> ParseBatchRequest(std::string_view body,
+                                                 uint64_t num_elements) const;
+
+  /// Body schema: {"expression": "//a//~b", "max_matches": n?,
+  /// "max_step_distance": n?, "min_tag_similarity": x?,
+  /// "count_only": bool?}.
+  Result<engine::PathQueryRequest> ParsePathRequest(
+      std::string_view body) const;
+
+  // ---- serializers (deterministic field order) ----
+
+  static std::string SerializeBatchResponse(
+      const engine::PoolBatchResponse& response);
+
+  /// Precondition: response.result.ok() (errors go through
+  /// SerializeError at the service layer).
+  static std::string SerializePathResponse(
+      const engine::PoolPathResponse& response);
+
+  /// {"error": {"code": "ResourceExhausted", "message": "..."}}.
+  static std::string SerializeError(const Status& status);
+
+  /// The one Status -> HTTP mapping: InvalidArgument 400, NotFound 404,
+  /// ResourceExhausted 429 (overload shed), FailedPrecondition 503
+  /// (shutting down), Unsupported 501, everything else 500.
+  static int HttpStatusFor(const Status& status);
+
+ private:
+  WireLimits limits_;
+};
+
+}  // namespace hopi::net

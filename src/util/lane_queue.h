@@ -15,6 +15,14 @@
 // empty, then returns nullopt. Everything is guarded by one mutex —
 // items are coarse (a whole query batch), so contention is not the
 // bottleneck; do not put per-microsecond work through this.
+//
+// Bounding: a queue constructed with a per-lane capacity sheds instead
+// of growing without bound — TryPush on a full lane returns kShed and
+// drops the item, which is the primitive under the serving layer's
+// admission control (an unbounded queue under sustained overload is
+// just a slow OOM). Push deliberately ignores the capacity: it is the
+// trusted in-process producer path (maintenance, tests) where the
+// caller would rather queue deep than lose work.
 #pragma once
 
 #include <condition_variable>
@@ -27,12 +35,25 @@
 
 namespace hopi {
 
+/// Outcome of a bounded enqueue attempt.
+enum class LanePush {
+  kAccepted,  ///< Item queued; the lane's consumer was woken.
+  kShed,      ///< Lane at capacity; the item was dropped.
+  kClosed,    ///< Queue closed; the item was dropped.
+};
+
 template <typename T>
 class LaneQueue {
  public:
-  explicit LaneQueue(size_t lanes) : cvs_(lanes), lanes_(lanes) {}
+  /// `capacity_per_lane` bounds how many items one lane may hold
+  /// (TryPush sheds beyond it); 0 = unbounded.
+  explicit LaneQueue(size_t lanes, size_t capacity_per_lane = 0)
+      : cvs_(lanes), lanes_(lanes), capacity_(capacity_per_lane) {}
 
   size_t NumLanes() const { return lanes_.size(); }
+
+  /// Per-lane bound (0 = unbounded). Fixed at construction.
+  size_t CapacityPerLane() const { return capacity_; }
 
   /// Enqueues `item` into `lane`. Returns false (dropping the item)
   /// after Close(). Wakes only `lane`'s consumer — the producer knows
@@ -46,6 +67,24 @@ class LaneQueue {
     }
     cvs_[lane].notify_one();
     return true;
+  }
+
+  /// Bounded enqueue: sheds (dropping `item`) when `lane` already holds
+  /// CapacityPerLane() items, instead of queueing arbitrarily deep.
+  /// Never blocks — this is the admission-controlled producer path, and
+  /// the caller turns kShed into a typed ResourceExhausted for its
+  /// client rather than stalling it.
+  LanePush TryPush(size_t lane, T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return LanePush::kClosed;
+      if (capacity_ != 0 && lanes_[lane].size() >= capacity_) {
+        return LanePush::kShed;
+      }
+      lanes_[lane].push_back(std::move(item));
+    }
+    cvs_[lane].notify_one();
+    return LanePush::kAccepted;
   }
 
   /// Blocks until `lane` has an item or the queue is closed and `lane`
@@ -110,6 +149,7 @@ class LaneQueue {
   // is fine because the vector never grows.
   std::vector<std::condition_variable> cvs_;
   std::vector<std::deque<T>> lanes_;
+  size_t capacity_ = 0;  // 0 = unbounded
   bool closed_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -83,6 +84,60 @@ Summary Summarize(std::vector<double> values) {
                  ? std::sqrt(var / static_cast<double>(values.size() - 1))
                  : 0.0;
   return s;
+}
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  // Values 0..3 are exact; from octave 2 on, the top two bits below the
+  // leading one select one of 4 sub-buckets.
+  if (value < 4) return static_cast<size_t>(value);
+  int octave = 63 - std::countl_zero(value);  // floor(log2), >= 2
+  size_t sub = static_cast<size_t>((value >> (octave - 2)) & 3);
+  size_t index = static_cast<size_t>(octave - 1) * 4 + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index < 4) return index;
+  int octave = static_cast<int>(index / 4) + 1;
+  uint64_t sub = index % 4;
+  // Lower bound of the *next* bucket, minus one.
+  return ((4 + sub + 1) << (octave - 2)) - 1;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+uint64_t LatencyHistogram::Snapshot::ValueAtQuantile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the quantile sample, 1-based; ceil so p=0.999 with 1000
+  // samples lands on sample 999, not 1000.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  size_t last_nonempty = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    last_nonempty = i;
+    seen += buckets[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  // `count` can run ahead of the bucket sums under concurrent Record
+  // (relaxed counters); answer with the largest observed bucket.
+  return BucketUpperBound(last_nonempty);
+}
+
+double LatencyHistogram::Snapshot::Mean() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
 }
 
 }  // namespace hopi

@@ -4,8 +4,15 @@
 // an initial center graph by sampling at most 13,600 candidate edges and
 // taking the upper bound of the 98% confidence interval for the edge
 // fraction. The interval arithmetic lives here.
+// The serving front-end (src/net/) additionally needs cheap, wait-free
+// latency tracking that many threads can feed concurrently and a /stats
+// reader can quantile at any time; LatencyHistogram below is that:
+// log-bucketed (4 sub-buckets per octave, ~19% worst-case relative
+// error), fixed memory, relaxed atomics throughout.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -43,5 +50,53 @@ struct Summary {
 
 /// Computes summary statistics. Returns a zeroed Summary for empty input.
 Summary Summarize(std::vector<double> values);
+
+/// Concurrent log-bucketed histogram for latency-like values (recorded
+/// in nanoseconds; any monotone unit works).
+///
+/// Buckets: values 0..3 get exact buckets; beyond that each power-of-
+/// two octave is split into 4 sub-buckets, so a reported quantile is at
+/// most ~19% above the true value — plenty for p50/p99/p999 serving
+/// dashboards, at 4*64 counters of fixed memory and one relaxed
+/// fetch_add per Record. Record() is safe from any number of threads;
+/// TakeSnapshot() is safe concurrently with recording and returns a
+/// self-contained copy (counts may be torn across buckets by at most
+/// the records in flight — the usual monotonic-counters caveat).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 4 * 64;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// A point-in-time copy, quantile-able without further
+  /// synchronization.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    /// Upper bound of the bucket containing the p-quantile (p in
+    /// [0,1]), or 0 when empty. Monotone in p.
+    uint64_t ValueAtQuantile(double p) const;
+    /// sum / count (0 when empty).
+    double Mean() const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Bucket index for `value` (exposed for tests: the binning must stay
+  /// monotone and total).
+  static size_t BucketIndex(uint64_t value);
+  /// Largest value mapped to bucket `index` (the quantile estimate).
+  static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
 
 }  // namespace hopi

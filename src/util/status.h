@@ -25,6 +25,9 @@ enum class StatusCode : uint8_t {
   kInternal,
   kFailedPrecondition,  // object in the wrong lifecycle state for the call
                         // (e.g. submitting to a shut-down EnginePool)
+  kResourceExhausted,   // transient overload: a bounded queue is full or an
+                        // admission watermark tripped — retrying later is
+                        // expected to succeed (maps to HTTP 429)
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -64,6 +67,9 @@ class [[nodiscard]] Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const {
@@ -77,6 +83,9 @@ class [[nodiscard]] Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   StatusCode code() const { return code_; }

@@ -213,6 +213,181 @@ TEST_F(EnginePoolFixture, WorkerCacheStatsReadableWhileServing) {
   EXPECT_EQ(cache_total, stats.cache_hits + stats.cache_misses);
 }
 
+// ---- admission control + callback submission (overload path) ----
+
+TEST(AdmissionControllerTest, DisabledGateAdmitsEverything) {
+  AdmissionController gate(0, 0);
+  EXPECT_TRUE(gate.Admit(0));
+  EXPECT_TRUE(gate.Admit(1u << 30));
+  EXPECT_FALSE(gate.shedding());
+}
+
+TEST(AdmissionControllerTest, TripsAtHighReadmitsAtLow) {
+  AdmissionController gate(10, 4);
+  EXPECT_TRUE(gate.Admit(9));    // below high
+  EXPECT_FALSE(gate.Admit(10));  // trips
+  EXPECT_TRUE(gate.shedding());
+  // Hysteresis: between low and high it keeps shedding.
+  EXPECT_FALSE(gate.Admit(9));
+  EXPECT_FALSE(gate.Admit(5));
+  // At/below low it re-admits, and stays open below high.
+  EXPECT_TRUE(gate.Admit(4));
+  EXPECT_FALSE(gate.shedding());
+  EXPECT_TRUE(gate.Admit(9));
+  EXPECT_FALSE(gate.Admit(11));  // trips again
+}
+
+TEST(AdmissionControllerTest, LowDefaultsToHalfHighAndClampsBelowHigh) {
+  AdmissionController half(10, 0);  // low -> 5
+  EXPECT_FALSE(half.Admit(10));
+  EXPECT_FALSE(half.Admit(6));
+  EXPECT_TRUE(half.Admit(5));
+
+  AdmissionController clamped(3, 99);  // low clamps to high - 1 = 2
+  EXPECT_FALSE(clamped.Admit(3));
+  EXPECT_FALSE(clamped.Admit(3));
+  EXPECT_TRUE(clamped.Admit(2));
+}
+
+TEST_F(EnginePoolFixture, CallbackSubmissionDeliversOnWorker) {
+  EnginePool pool(snapshot_, {.num_threads = 2});
+  std::promise<Result<PoolBatchResponse>> delivered;
+  Status submitted = pool.SubmitBatch(
+      {.pairs = RandomPairs(64, 7)},
+      [&](Result<PoolBatchResponse> result) {
+        delivered.set_value(std::move(result));
+      });
+  ASSERT_TRUE(submitted.ok());
+  Result<PoolBatchResponse> result = delivered.get_future().get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.reachable.size(), 64u);
+  EXPECT_EQ(result->snapshot_version, snapshot_->version());
+
+  // Path queries through the same channel; a ground-truth engine
+  // agrees with the pool's answer.
+  std::promise<Result<PoolPathResponse>> path_delivered;
+  ASSERT_TRUE(pool.SubmitQuery({.expression = "//article//author"},
+                               [&](Result<PoolPathResponse> result) {
+                                 path_delivered.set_value(std::move(result));
+                               })
+                  .ok());
+  Result<PoolPathResponse> path = path_delivered.get_future().get();
+  ASSERT_TRUE(path.ok());
+  ASSERT_TRUE(path->result.ok());
+  QueryEngine reference(c_, snapshot_->MakeBackend());
+  auto expected = reference.Query({.expression = "//article//author"});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(path->result.value().count, expected->count);
+}
+
+TEST_F(EnginePoolFixture, BoundedLaneShedsDeterministicallyThenReadmits) {
+  // One worker whose first job blocks on a promise we hold: with the
+  // worker provably stalled, lane occupancy is deterministic and the
+  // shed point is exact — no sleeps, no racing.
+  EnginePool pool(snapshot_, {.num_threads = 1, .queue_capacity = 1});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> entered;
+  ASSERT_TRUE(pool.SubmitBatch({.pairs = RandomPairs(1, 0)},
+                               [&](Result<PoolBatchResponse>) {
+                                 entered.set_value();
+                                 gate.wait();
+                               })
+                  .ok());
+  entered.get_future().wait();  // worker is now inside the callback
+
+  // Slot 1: fills the lane (capacity 1). Slot 2: must shed.
+  std::promise<Result<PoolBatchResponse>> queued_done;
+  ASSERT_TRUE(pool.SubmitBatch({.pairs = RandomPairs(2, 1)},
+                               [&](Result<PoolBatchResponse> result) {
+                                 queued_done.set_value(std::move(result));
+                               })
+                  .ok());
+  Status shed = pool.SubmitBatch({.pairs = RandomPairs(2, 2)},
+                                 [](Result<PoolBatchResponse>) {
+                                   FAIL() << "shed submission must never run";
+                                 });
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  // The futures API sheds identically (same Enqueue tail).
+  auto shed_future = pool.SubmitBatch({.pairs = RandomPairs(2, 3)});
+  ASSERT_FALSE(shed_future.ok());
+  EXPECT_TRUE(shed_future.status().IsResourceExhausted());
+
+  PoolStats during = pool.Stats();
+  EXPECT_EQ(during.sheds, 2u);
+  EXPECT_EQ(during.queued, 1u);
+  EXPECT_EQ(during.executing, 1u);
+
+  release.set_value();  // un-stall; the queued job drains
+  ASSERT_TRUE(queued_done.get_future().get().ok());
+  // Re-admission: the lane has room again.
+  auto after = pool.Batch({.pairs = RandomPairs(2, 4)});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(pool.Stats().sheds, 2u);  // no new sheds
+}
+
+TEST_F(EnginePoolFixture, WatermarkGateShedsUntilDrainedToLow) {
+  // Capacity stays unbounded; only the admission watermarks act. One
+  // stalled worker holds executing=1, so with high=2 the second
+  // *queued* item trips the gate (load = queued 1 + executing 1 = 2).
+  EnginePool pool(snapshot_,
+                  {.num_threads = 1,
+                   .shed_high_watermark = 2,
+                   .shed_low_watermark = 1});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> entered;
+  ASSERT_TRUE(pool.SubmitBatch({.pairs = RandomPairs(1, 0)},
+                               [&](Result<PoolBatchResponse>) {
+                                 entered.set_value();
+                                 gate.wait();
+                               })
+                  .ok());
+  entered.get_future().wait();
+
+  // load = 1 (executing): admitted.
+  std::promise<Result<PoolBatchResponse>> queued_done;
+  ASSERT_TRUE(pool.SubmitBatch({.pairs = RandomPairs(2, 1)},
+                               [&](Result<PoolBatchResponse> result) {
+                                 queued_done.set_value(std::move(result));
+                               })
+                  .ok());
+  // load = 2 = high: sheds, and keeps shedding while tripped.
+  Status shed = pool.SubmitBatch({.pairs = RandomPairs(2, 2)},
+                                 [](Result<PoolBatchResponse>) {});
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  EXPECT_TRUE(pool.Stats().shedding);
+
+  release.set_value();
+  ASSERT_TRUE(queued_done.get_future().get().ok());
+  // Drained to 0 <= low: the next submission re-admits.
+  auto after = pool.Batch({.pairs = RandomPairs(2, 3)});
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(pool.Stats().shedding);
+  EXPECT_GE(pool.Stats().sheds, 1u);
+}
+
+TEST_F(EnginePoolFixture, ShutdownStillDrainsCallbackJobs) {
+  EnginePool pool(snapshot_, {.num_threads = 2});
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.SubmitBatch(
+                        {.pairs = RandomPairs(50, static_cast<uint64_t>(i))},
+                        [&](Result<PoolBatchResponse> result) {
+                          ASSERT_TRUE(result.ok());
+                          delivered.fetch_add(1);
+                        })
+                    .ok());
+  }
+  pool.Shutdown();
+  EXPECT_EQ(delivered.load(), 16);  // OK submission => runs exactly once
+  Status rejected = pool.SubmitBatch({.pairs = RandomPairs(2, 99)},
+                                     [](Result<PoolBatchResponse>) {});
+  EXPECT_TRUE(rejected.IsFailedPrecondition());
+}
+
 // ---- the swap/stress test ----
 
 // Two graphs that provably disagree: B is A plus one link that creates

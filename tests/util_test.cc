@@ -558,5 +558,159 @@ TEST(LaneQueueTest, ManyProducersOneConsumerPerLane) {
   EXPECT_EQ(consumed.load(), 4 * kPerProducer);
 }
 
+// ---- bounded LaneQueue (overload shedding substrate) ----
+
+TEST(LaneQueueBoundedTest, TryPushShedsAtCapacityAndReadmitsAfterDrain) {
+  LaneQueue<int> q(2, /*capacity_per_lane=*/2);
+  EXPECT_EQ(q.CapacityPerLane(), 2u);
+  EXPECT_EQ(q.TryPush(0, 1), LanePush::kAccepted);
+  EXPECT_EQ(q.TryPush(0, 2), LanePush::kAccepted);
+  EXPECT_EQ(q.TryPush(0, 3), LanePush::kShed);  // lane 0 full
+  EXPECT_EQ(q.TryPush(1, 9), LanePush::kAccepted);  // lane 1 unaffected
+  EXPECT_EQ(q.Pop(0), 1);  // drain one slot...
+  EXPECT_EQ(q.TryPush(0, 4), LanePush::kAccepted);  // ...re-admits
+  EXPECT_EQ(q.Pop(0), 2);
+  EXPECT_EQ(q.Pop(0), 4);  // shed item 3 was never queued
+  EXPECT_EQ(q.Pop(1), 9);
+}
+
+TEST(LaneQueueBoundedTest, BlockingPushIgnoresCapacity) {
+  // The trusted in-process path (futures API) keeps its pre-overload
+  // semantics: Push never sheds.
+  LaneQueue<int> q(1, /*capacity_per_lane=*/1);
+  EXPECT_TRUE(q.Push(0, 1));
+  EXPECT_TRUE(q.Push(0, 2));
+  EXPECT_EQ(q.Depths(), (std::vector<size_t>{2}));
+}
+
+TEST(LaneQueueBoundedTest, ZeroCapacityMeansUnbounded) {
+  LaneQueue<int> q(1);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(q.TryPush(0, i), LanePush::kAccepted);
+  }
+}
+
+TEST(LaneQueueBoundedTest, TryPushAfterCloseReportsClosed) {
+  LaneQueue<int> q(1, 4);
+  ASSERT_EQ(q.TryPush(0, 7), LanePush::kAccepted);
+  q.Close();
+  EXPECT_EQ(q.TryPush(0, 8), LanePush::kClosed);
+  EXPECT_EQ(q.Pop(0), 7);  // queued work still drains after Close
+  EXPECT_EQ(q.Pop(0), std::nullopt);
+}
+
+TEST(LaneQueueBoundedTest, ShedDrainCloseInterleavingNeverLosesAccepted) {
+  // Producers TryPush as fast as they can against a consumer that
+  // drains slowly, then everything closes mid-flight: every kAccepted
+  // item must come out exactly once, and sheds must be non-zero (the
+  // bound actually bit).
+  constexpr size_t kCapacity = 4;
+  constexpr int kPerProducer = 500;
+  LaneQueue<int> q(1, kCapacity);
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        switch (q.TryPush(0, i)) {
+          case LanePush::kAccepted:
+            accepted.fetch_add(1);
+            break;
+          case LanePush::kShed:
+            shed.fetch_add(1);
+            break;
+          case LanePush::kClosed:
+            return;
+        }
+      }
+    });
+  }
+  std::atomic<int> popped{0};
+  std::thread consumer([&] {
+    while (q.Pop(0)) popped.fetch_add(1);
+  });
+  for (auto& p : producers) p.join();
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_GT(shed.load(), 0);
+  EXPECT_LE(q.TotalQueued(), 0u);
+}
+
+// ---- LatencyHistogram ----
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotoneAndTotal) {
+  size_t prev = 0;
+  const uint64_t values[] = {0,     1,     2,     3,           4,
+                             5,     7,     8,     100,         1000,
+                             65535, 65536, 1ull << 40, UINT64_MAX};
+  for (uint64_t v : values) {
+    size_t index = LatencyHistogram::BucketIndex(v);
+    EXPECT_GE(index, prev) << "value " << v;
+    EXPECT_LT(index, LatencyHistogram::kNumBuckets);
+    // The bucket's upper bound must not undershoot its members.
+    EXPECT_GE(LatencyHistogram::BucketUpperBound(index), v);
+    prev = index;
+  }
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values 0..3 get dedicated buckets: sub-microsecond noise should
+  // not blur into each other.
+  for (uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesOfUniformRampAreRoughlyRight) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  auto snapshot = h.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 10000u);
+  // Log-bucketed: 4 sub-buckets per octave bounds relative error by
+  // ~25% of the value; allow a loose band around each true quantile.
+  uint64_t p50 = snapshot.ValueAtQuantile(0.50);
+  uint64_t p99 = snapshot.ValueAtQuantile(0.99);
+  EXPECT_GE(p50, 4000u);
+  EXPECT_LE(p50, 7000u);
+  EXPECT_GE(p99, 9000u);
+  EXPECT_LE(p99, 13000u);
+  EXPECT_NEAR(snapshot.Mean(), 5000.5, 1.0);
+  // Monotone in p.
+  EXPECT_LE(snapshot.ValueAtQuantile(0.1), p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, snapshot.ValueAtQuantile(1.0));
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotQuantilesAreZero) {
+  LatencyHistogram h;
+  auto snapshot = h.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(snapshot.Mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordersLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(i * (t + 1) % 100000);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto snapshot = h.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kPerThread);
+  uint64_t total = 0;
+  for (uint64_t b : snapshot.buckets) total += b;
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
 }  // namespace
 }  // namespace hopi
