@@ -212,6 +212,81 @@ int main(int argc, char** argv) {
   swap_table.Print(std::cout);
   report.Write();
 
+  PrintHeader("Batch() against a delta overlay (serve-during-rebuild)");
+  // Mutate-while-serving: pre-load the delta with N inserted links,
+  // then measure probe throughput through the DeltaOverlayBackend, the
+  // BFS-fallback share (probes the base index could not answer alone),
+  // and the writer pause of the absorb rebuild that folds the delta.
+  hopi::bench::BenchReport overlay_report("delta_overlay");
+  overlay_report.Add("docs", static_cast<uint64_t>(docs));
+  overlay_report.Add("clients", static_cast<uint64_t>(clients));
+  TablePrinter overlay_table({"delta ops", "threads", "wall s", "probes/s",
+                              "bfs fallback", "absorb pause"});
+  for (size_t delta_ops : {0u, 64u, 256u, 1024u}) {
+    for (size_t threads : {2u, 4u}) {
+      engine::EnginePoolOptions pool_options;
+      pool_options.num_threads = threads;
+      pool_options.label_cache_bytes = cache_bytes;
+      engine::EnginePool pool(hopi_snapshot, pool_options);
+      if (Status armed = pool.EnableMutations(*index); !armed.ok()) {
+        std::cerr << armed << "\n";
+        return 1;
+      }
+      // Random non-duplicate links against a mirror of the base: every
+      // draw is a valid op, so the delta reaches the target size.
+      collection::Collection mirror = hopi_snapshot->collection();
+      Rng mutate_rng(seed * 31 + delta_ops);
+      size_t applied = 0;
+      while (applied < delta_ops) {
+        auto u = static_cast<NodeId>(mutate_rng.NextBounded(c.NumElements()));
+        auto v = static_cast<NodeId>(mutate_rng.NextBounded(c.NumElements()));
+        if (u == v || mirror.ElementGraph().HasEdge(u, v)) continue;
+        engine::Mutation m = engine::Mutation::InsertLink(u, v);
+        if (!pool.ApplyMutation(m).ok()) continue;
+        if (!engine::ApplyMutationToCollection(m, &mirror).ok()) {
+          std::abort();  // delta and mirror disagree: bench invariant
+        }
+        ++applied;
+      }
+      engine::PoolStats before = pool.Stats();
+      RunWorkload(&pool, clients, 2 * threads, 256, c.NumElements(),
+                  seed + 1);  // warm
+      RunResult r = RunWorkload(&pool, clients, batches, 256,
+                                c.NumElements(), seed);
+      engine::PoolStats after = pool.Stats();
+      double pps = static_cast<double>(r.probes) / r.seconds;
+      uint64_t overlay_probes = after.overlay_probes - before.overlay_probes;
+      uint64_t fallbacks =
+          after.overlay_bfs_fallbacks - before.overlay_bfs_fallbacks;
+      double fallback_rate =
+          overlay_probes == 0
+              ? 0.0
+              : static_cast<double>(fallbacks) /
+                    static_cast<double>(overlay_probes);
+      auto absorbed = pool.RebuildNow(engine::RebuildMode::kAbsorb);
+      uint64_t pause_us = 0;
+      if (absorbed.ok()) {
+        pause_us = absorbed->writer_pause_us;
+      } else if (delta_ops > 0) {
+        std::cerr << absorbed.status() << "\n";
+        return 1;
+      }
+      overlay_table.AddRow(
+          {std::to_string(delta_ops), std::to_string(threads),
+           TablePrinter::Fmt(r.seconds, 3),
+           TablePrinter::FmtCount(static_cast<uint64_t>(pps)),
+           TablePrinter::Fmt(100.0 * fallback_rate, 1) + "%",
+           TablePrinter::FmtCount(pause_us) + " us"});
+      std::string prefix =
+          "delta" + std::to_string(delta_ops) + "_t" + std::to_string(threads);
+      overlay_report.Add(prefix + "_probes_per_s", pps);
+      overlay_report.Add(prefix + "_bfs_fallback_rate", fallback_rate);
+      overlay_report.Add(prefix + "_absorb_pause_us", pause_us);
+    }
+  }
+  overlay_table.Print(std::cout);
+  overlay_report.Write();
+
   std::remove(path.c_str());
   return 0;
 }

@@ -6,6 +6,9 @@
 #include <string>
 #include <utility>
 
+#include "hopi/build.h"
+#include "util/timer.h"
+
 namespace hopi::engine {
 namespace {
 
@@ -48,9 +51,14 @@ EnginePool::EnginePool(std::shared_ptr<const BackendSnapshot> snapshot,
       queue_(options_.num_threads != 0
                  ? options_.num_threads
                  : std::max<size_t>(1, std::thread::hardware_concurrency()),
-             options_.queue_capacity),
-      published_(std::move(snapshot)) {
-  assert(published_ && "EnginePool requires a non-null initial snapshot");
+             options_.queue_capacity) {
+  assert(snapshot && "EnginePool requires a non-null initial snapshot");
+  auto state = std::make_shared<ServingState>();
+  state->delta = DeltaState::MakeEmpty(snapshot->collection().NumElements(),
+                                       snapshot->collection().NumDocuments(),
+                                       /*generation=*/0);
+  state->snapshot = std::move(snapshot);
+  published_ = std::move(state);
   size_t n = queue_.NumLanes();
   workers_.reserve(n);
   for (size_t lane = 0; lane < n; ++lane) {
@@ -185,37 +193,299 @@ Result<PoolPathResponse> EnginePool::Query(PathQueryRequest request) {
   return future.get();
 }
 
-void EnginePool::Swap(std::shared_ptr<const BackendSnapshot> snapshot) {
-  assert(snapshot && "Swap requires a non-null snapshot");
-  {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    published_ = std::move(snapshot);
-  }
-  swaps_.fetch_add(1, std::memory_order_relaxed);
-}
-
-std::shared_ptr<const BackendSnapshot> EnginePool::snapshot() const {
+std::shared_ptr<const EnginePool::ServingState> EnginePool::State() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return published_;
 }
 
-const BackendSnapshot& EnginePool::BindCurrentSnapshot(WorkerState* ws) {
-  std::shared_ptr<const BackendSnapshot> current = snapshot();
-  if (ws->snapshot != current) {
+void EnginePool::Publish(std::shared_ptr<const BackendSnapshot> snapshot,
+                         std::shared_ptr<const DeltaState> delta,
+                         bool count_swap) {
+  auto state = std::make_shared<ServingState>();
+  state->snapshot = std::move(snapshot);
+  state->delta = std::move(delta);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    published_ = std::move(state);
+  }
+  if (count_swap) swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EnginePool::Swap(std::shared_ptr<const BackendSnapshot> snapshot) {
+  assert(snapshot && "Swap requires a non-null snapshot");
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  // An externally built snapshot invalidates the maintenance mirror, so
+  // Swap turns the write path off (header comment documents this; call
+  // EnableMutations again to re-arm). The global generation survives.
+  maintenance_.reset();
+  uint64_t generation = State()->delta->generation();
+  auto delta = DeltaState::MakeEmpty(snapshot->collection().NumElements(),
+                                     snapshot->collection().NumDocuments(),
+                                     generation);
+  Publish(std::move(snapshot), std::move(delta), /*count_swap=*/true);
+}
+
+std::shared_ptr<const BackendSnapshot> EnginePool::snapshot() const {
+  return State()->snapshot;
+}
+
+std::shared_ptr<const DeltaState> EnginePool::delta() const {
+  return State()->delta;
+}
+
+size_t EnginePool::ServingElementCount() const {
+  return State()->delta->num_elements();
+}
+
+size_t EnginePool::ServingDocumentCount() const {
+  return State()->delta->num_documents();
+}
+
+double EnginePool::MaintenanceDegradation() const {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  return maintenance_ ? maintenance_->index->DegradationFactor() : 1.0;
+}
+
+bool EnginePool::mutations_enabled() const {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  return maintenance_ != nullptr;
+}
+
+Status EnginePool::EnableMutations(const HopiIndex& source) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  std::shared_ptr<const ServingState> state = State();
+  if (!state->delta->empty()) {
+    return Status::FailedPrecondition(
+        "EnableMutations with a non-empty published delta");
+  }
+  const collection::Collection& base = state->snapshot->collection();
+  if (source.collection() == nullptr ||
+      source.collection()->NumElements() != base.NumElements() ||
+      source.collection()->NumDocuments() != base.NumDocuments()) {
+    return Status::InvalidArgument(
+        "EnableMutations: source index does not match the published "
+        "snapshot's collection");
+  }
+  auto maintenance = std::make_unique<MaintenanceState>();
+  maintenance->collection =
+      std::make_unique<collection::Collection>(*source.collection());
+  maintenance->index.emplace(maintenance->collection.get(),
+                             twohop::TwoHopCover(source.cover()),
+                             source.with_distance());
+  maintenance_ = std::move(maintenance);
+  maintenance_with_distance_ = source.with_distance();
+  if (!overlay_pool_) {
+    // Created once and kept for the pool's lifetime: worker overlay
+    // backends hold the raw pointer and may outlive a later Swap().
+    overlay_pool_ = std::make_unique<ThreadPool>(
+        std::max<size_t>(1, options_.overlay_threads));
+  }
+  return Status::OK();
+}
+
+Status EnginePool::ApplyToMaintenance(MaintenanceState* maintenance,
+                                      const Mutation& mutation) {
+  switch (mutation.kind) {
+    case Mutation::Kind::kInsertLink:
+      return maintenance->index->InsertLink(mutation.source, mutation.target);
+    case Mutation::Kind::kDeleteLink:
+      return maintenance->index->DeleteLink(mutation.source, mutation.target);
+    case Mutation::Kind::kInsertDocument: {
+      // Same replay as ApplyMutationToCollection, then the Sec-6
+      // insert-document merge; the sequential id allocation here is
+      // what the delta's id pre-computation mirrors.
+      collection::DocId doc =
+          maintenance->collection->AddDocument(mutation.doc_name);
+      std::vector<NodeId> ids;
+      ids.reserve(mutation.elements.size());
+      for (const NewElementSpec& spec : mutation.elements) {
+        NodeId parent =
+            spec.parent.has_value() ? ids[*spec.parent] : kInvalidNode;
+        ids.push_back(
+            maintenance->collection->AddElement(doc, spec.tag, parent));
+      }
+      return maintenance->index->InsertDocument(doc);
+    }
+    case Mutation::Kind::kDeleteDocument:
+      return maintenance->index->DeleteDocument(mutation.doc);
+  }
+  return Status::Internal("unknown mutation kind");
+}
+
+Result<MutationReceipt> EnginePool::ApplyMutation(const Mutation& mutation) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  if (!maintenance_) {
+    return Status::FailedPrecondition(
+        "mutations not enabled on this EnginePool (EnableMutations)");
+  }
+  std::shared_ptr<const ServingState> state = State();
+  if (options_.max_delta_ops != 0 &&
+      state->delta->num_ops() >= options_.max_delta_ops) {
+    return Status::ResourceExhausted(
+        "delta at capacity (max_delta_ops); retry after the next rebuild");
+  }
+  // Validate against base ∪ delta FIRST: a rejected op must leave both
+  // the delta and the maintenance mirror untouched.
+  Result<std::shared_ptr<const DeltaState>> next =
+      state->delta->Apply(mutation, state->snapshot->collection());
+  if (!next.ok()) {
+    mutation_failures_.fetch_add(1, std::memory_order_relaxed);
+    return next.status();
+  }
+  // The delta's validation is intended to be exactly as strict as the
+  // Sec-6 preconditions; a divergence here would desynchronize the
+  // mirror, so surface it loudly and publish nothing.
+  Status maintained = ApplyToMaintenance(maintenance_.get(), mutation);
+  if (!maintained.ok()) {
+    mutation_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(
+        "maintenance index rejected a delta-validated op: " +
+        maintained.message());
+  }
+  std::shared_ptr<const DeltaState> delta = std::move(next).value();
+  Publish(state->snapshot, delta, /*count_swap=*/false);
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+
+  MutationReceipt receipt;
+  receipt.generation = delta->generation();
+  receipt.snapshot_version = state->snapshot->version();
+  if (mutation.kind == Mutation::Kind::kInsertDocument) {
+    receipt.doc = static_cast<collection::DocId>(delta->num_documents() - 1);
+    receipt.first_element = static_cast<NodeId>(delta->num_elements() -
+                                                mutation.elements.size());
+    receipt.num_elements = static_cast<uint32_t>(mutation.elements.size());
+  }
+  return receipt;
+}
+
+Result<RebuildReceipt> EnginePool::RebuildNow(RebuildMode mode) {
+  // One rebuild at a time; kFull spends its build outside mutation_mu_,
+  // so writers keep landing ops while it runs.
+  std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
+  RebuildReceipt receipt;
+  receipt.mode = mode;
+
+  if (mode == RebuildMode::kAbsorb) {
+    Stopwatch pause;
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    if (!maintenance_) {
+      return Status::FailedPrecondition("RebuildNow without EnableMutations");
+    }
+    std::shared_ptr<const ServingState> state = State();
+    receipt.generation = state->delta->generation();
+    receipt.absorbed_ops = state->delta->num_ops();
+    if (state->delta->empty()) {
+      receipt.snapshot_version = state->snapshot->version();
+      return receipt;  // nothing buffered; no swap
+    }
+    // Freeze copies the maintenance collection + cover; the delta ops
+    // are all <= generation, so the truncated delta is empty — but the
+    // two are published as ONE state (the swap-truncate ordering rule).
+    std::shared_ptr<const BackendSnapshot> snapshot =
+        BackendSnapshot::Freeze(*maintenance_->index);
+    std::shared_ptr<const DeltaState> delta = state->delta->RebaseAfter(
+        receipt.generation, snapshot->collection().NumElements(),
+        snapshot->collection().NumDocuments());
+    Publish(snapshot, std::move(delta), /*count_swap=*/true);
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    receipt.snapshot_version = snapshot->version();
+    receipt.writer_pause_us = static_cast<uint64_t>(pause.ElapsedMicros());
+    last_rebuild_pause_us_.store(receipt.writer_pause_us,
+                                 std::memory_order_relaxed);
+    return receipt;
+  }
+
+  // kFull: copy under the lock, build outside it, catch up + publish
+  // under the lock again.
+  uint64_t built_through = 0;
+  std::unique_ptr<collection::Collection> copy;
+  uint64_t pause_us = 0;
+  {
+    Stopwatch pause;
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    if (!maintenance_) {
+      return Status::FailedPrecondition("RebuildNow without EnableMutations");
+    }
+    built_through = State()->delta->generation();
+    copy = std::make_unique<collection::Collection>(*maintenance_->collection);
+    pause_us += static_cast<uint64_t>(pause.ElapsedMicros());
+  }
+  IndexBuildOptions build_options;
+  build_options.with_distance = maintenance_with_distance_;
+  Result<HopiIndex> built = BuildIndex(copy.get(), build_options);
+  if (!built.ok()) return built.status();
+  auto fresh = std::make_unique<MaintenanceState>();
+  fresh->collection = std::move(copy);
+  fresh->index.emplace(std::move(built).value());
+  {
+    Stopwatch pause;
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    if (!maintenance_) {
+      return Status::FailedPrecondition(
+          "mutations were disabled while the rebuild ran (Swap?)");
+    }
+    std::shared_ptr<const ServingState> state = State();
+    // Ops that landed during the background build: replay them onto the
+    // fresh index (Sec 6) so it is current through `generation`.
+    for (const Mutation& op : state->delta->OpsAfter(built_through)) {
+      Status replayed = ApplyToMaintenance(fresh.get(), op);
+      if (!replayed.ok()) {
+        return Status::Internal("rebuild catch-up replay failed: " +
+                                replayed.message());
+      }
+    }
+    uint64_t generation = state->delta->generation();
+    std::shared_ptr<const BackendSnapshot> snapshot =
+        BackendSnapshot::Freeze(*fresh->index);
+    std::shared_ptr<const DeltaState> delta = state->delta->RebaseAfter(
+        generation, snapshot->collection().NumElements(),
+        snapshot->collection().NumDocuments());
+    Publish(snapshot, std::move(delta), /*count_swap=*/true);
+    maintenance_ = std::move(fresh);
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    receipt.generation = generation;
+    receipt.absorbed_ops = state->delta->num_ops();
+    receipt.snapshot_version = snapshot->version();
+    pause_us += static_cast<uint64_t>(pause.ElapsedMicros());
+  }
+  receipt.writer_pause_us = pause_us;
+  last_rebuild_pause_us_.store(pause_us, std::memory_order_relaxed);
+  return receipt;
+}
+
+const EnginePool::ServingState& EnginePool::BindCurrentState(WorkerState* ws) {
+  std::shared_ptr<const ServingState> current = State();
+  if (ws->state != current) {
     QueryEngineOptions engine_options;
     engine_options.label_cache_bytes = options_.label_cache_bytes;
     engine_options.similarity = options_.similarity;
-    engine_options.shared_tags = current->tags();
+    engine_options.shared_tags = current->snapshot->tags();
+    std::unique_ptr<ReachabilityBackend> backend =
+        current->snapshot->MakeBackend();
+    if (!current->delta->empty()) {
+      // Non-empty delta: serve through the overlay. The engine still
+      // sees the BASE collection — tag/path features cover base
+      // elements until the next rebuild folds the delta in; pure
+      // reachability sees base ∪ delta.
+      DeltaOverlayOptions overlay_options;
+      overlay_options.hop_budget = options_.overlay_hop_budget;
+      overlay_options.parallel_frontier_threshold =
+          options_.overlay_parallel_threshold;
+      overlay_options.pool = overlay_pool_.get();
+      backend = std::make_unique<DeltaOverlayBackend>(
+          std::move(backend), &current->snapshot->collection(),
+          current->delta, overlay_options, &overlay_counters_);
+    }
     // Pin the rebind so a concurrent WorkerCacheStats() never reads a
     // half-destroyed engine. The lock is uncontended on the hot path
-    // (taken here only when the snapshot actually changed).
+    // (taken here only when the serving state actually changed).
     std::lock_guard<std::mutex> lock(ws->rebind_mu);
-    ws->engine.emplace(current->collection(), current->MakeBackend(),
+    ws->engine.emplace(current->snapshot->collection(), std::move(backend),
                        std::move(engine_options));
-    ws->snapshot = std::move(current);
+    ws->state = std::move(current);
     ws->rebinds.fetch_add(1, std::memory_order_relaxed);
   }
-  return *ws->snapshot;
+  return *ws->state;
 }
 
 void EnginePool::WorkerLoop(size_t lane) {
@@ -228,7 +498,9 @@ void EnginePool::WorkerLoop(size_t lane) {
     // process — the serving-worker analogue of util::ThreadPool's
     // error channel.
     try {
-      const BackendSnapshot& snap = BindCurrentSnapshot(&ws);
+      const ServingState& state = BindCurrentState(&ws);
+      uint64_t version = state.snapshot->version();
+      uint64_t generation = state.delta->generation();
       if (item->batch) {
         BatchResponse response = ws.engine->Batch(item->batch->request);
         const BatchStats& stats = response.stats;
@@ -245,7 +517,7 @@ void EnginePool::WorkerLoop(size_t lane) {
         ws.backend_probes.fetch_add(stats.backend_probes,
                                     std::memory_order_relaxed);
         ws.batches.fetch_add(1, std::memory_order_relaxed);
-        PoolBatchResponse out{std::move(response), snap.version(), lane};
+        PoolBatchResponse out{std::move(response), version, generation, lane};
         if (item->batch->on_done) {
           // Detach first so the catch-all below cannot double-deliver
           // if the callback itself throws.
@@ -259,7 +531,7 @@ void EnginePool::WorkerLoop(size_t lane) {
         Result<PathQueryResponse> result =
             ws.engine->Query(item->path->request);
         ws.path_queries.fetch_add(1, std::memory_order_relaxed);
-        PoolPathResponse out{std::move(result), snap.version(), lane};
+        PoolPathResponse out{std::move(result), version, generation, lane};
         if (item->path->on_done) {
           auto on_done = std::move(item->path->on_done);
           item->path->on_done = nullptr;
@@ -306,7 +578,7 @@ void EnginePool::WorkerLoop(size_t lane) {
   // is also a release of the served index.
   std::lock_guard<std::mutex> lock(ws.rebind_mu);
   ws.engine.reset();
-  ws.snapshot.reset();
+  ws.state.reset();
 }
 
 PoolStats EnginePool::Stats() const {
@@ -326,8 +598,28 @@ PoolStats EnginePool::Stats() const {
     stats.rebinds += ws->rebinds.load(std::memory_order_relaxed);
   }
   stats.swaps = swaps_.load(std::memory_order_relaxed);
-  stats.snapshot_version = snapshot()->version();
   stats.sheds = sheds_.load(std::memory_order_relaxed);
+  stats.mutations = mutations_.load(std::memory_order_relaxed);
+  stats.mutation_failures =
+      mutation_failures_.load(std::memory_order_relaxed);
+  stats.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  stats.last_rebuild_pause_us =
+      last_rebuild_pause_us_.load(std::memory_order_relaxed);
+  stats.overlay_probes =
+      overlay_counters_.probes.load(std::memory_order_relaxed);
+  stats.overlay_base_hits =
+      overlay_counters_.base_hits.load(std::memory_order_relaxed);
+  stats.overlay_bfs_fallbacks =
+      overlay_counters_.bfs_fallbacks.load(std::memory_order_relaxed);
+  stats.overlay_budget_exhaustions =
+      overlay_counters_.budget_exhaustions.load(std::memory_order_relaxed);
+  stats.overlay_parallel_expansions =
+      overlay_counters_.parallel_expansions.load(std::memory_order_relaxed);
+  std::shared_ptr<const ServingState> state = State();
+  stats.snapshot_version = state->snapshot->version();
+  stats.delta_ops = state->delta->num_ops();
+  stats.delta_generation = state->delta->generation();
+  stats.degradation = MaintenanceDegradation();
   stats.queued = queue_.TotalQueued();
   for (const auto& ws : workers_) {
     stats.executing += ws->inflight.load(std::memory_order_relaxed);
@@ -345,6 +637,84 @@ std::vector<LabelCache::Stats> EnginePool::WorkerCacheStats() const {
                                     : LabelCache::Stats{});
   }
   return per_worker;
+}
+
+// ---------------------------------------------------------------------------
+// RebuildDaemon
+// ---------------------------------------------------------------------------
+
+RebuildDaemon::RebuildDaemon(EnginePool* pool)
+    : RebuildDaemon(pool, Options()) {}
+
+RebuildDaemon::RebuildDaemon(EnginePool* pool, Options options)
+    : pool_(pool), options_(options) {
+  assert(pool_ != nullptr);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+RebuildDaemon::~RebuildDaemon() { Stop(); }
+
+void RebuildDaemon::Poke() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    poked_ = true;
+  }
+  cv_.notify_all();
+}
+
+void RebuildDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+RebuildDaemon::Stats RebuildDaemon::stats() const {
+  Stats s;
+  s.polls = polls_.load(std::memory_order_relaxed);
+  s.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  s.full_rebuilds = full_rebuilds_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.last_pause_us = last_pause_us_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RebuildDaemon::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, options_.poll_interval,
+                 [&] { return stop_ || poked_; });
+    if (stop_) return;
+    poked_ = false;
+    lock.unlock();
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    // Policy: degradation is the stronger signal (only kFull resets
+    // it); plain delta growth is absorbed cheaply.
+    std::optional<RebuildMode> mode;
+    if (options_.degradation_threshold > 0.0 &&
+        pool_->MaintenanceDegradation() >= options_.degradation_threshold) {
+      mode = RebuildMode::kFull;
+    } else if (options_.max_delta_ops > 0 &&
+               pool_->delta()->num_ops() >= options_.max_delta_ops) {
+      mode = RebuildMode::kAbsorb;
+    }
+    if (mode.has_value()) {
+      Result<RebuildReceipt> receipt = pool_->RebuildNow(*mode);
+      if (receipt.ok()) {
+        rebuilds_.fetch_add(1, std::memory_order_relaxed);
+        if (*mode == RebuildMode::kFull) {
+          full_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_pause_us_.store(receipt->writer_pause_us,
+                             std::memory_order_relaxed);
+      } else {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    lock.lock();
+  }
 }
 
 }  // namespace hopi::engine

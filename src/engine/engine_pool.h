@@ -8,22 +8,36 @@
 // std::future; producers pick the lane round-robin (cache affinity) or
 // least-loaded (balance).
 //
-// Snapshot swap is RCU-style: Swap() publishes a new
-// shared_ptr<const BackendSnapshot> and returns immediately. Workers
-// notice on their *next* work item, rebind (a fresh backend adapter +
-// a fresh cold label cache; the tag index is snapshot-shared, so
-// rebinding is O(1)), and the old snapshot is reclaimed by its last
-// in-flight reference — queries already executing finish on the
-// snapshot they started with, never a torn mix. Every response carries
-// the version of the snapshot that served it.
+// Snapshot swap is RCU-style: Swap() publishes a new serving state and
+// returns immediately. Workers notice on their *next* work item, rebind
+// (a fresh backend adapter + a fresh cold label cache; the tag index is
+// snapshot-shared, so rebinding is O(1)), and the old snapshot is
+// reclaimed by its last in-flight reference — queries already executing
+// finish on the state they started with, never a torn mix. Every
+// response carries the version of the snapshot that served it.
 //
 // Consistency contract under Swap: each *response* is entirely computed
-// against one snapshot (the one whose version it reports). Two
-// requests submitted around a Swap may be served from different
-// snapshots, and two workers may briefly serve different versions —
-// this is eventual, per-item consistency, the standard RCU trade. A
-// caller that needs a barrier can Swap() and then wait for one
+// against one serving state (the snapshot version + delta generation it
+// reports). Two requests submitted around a Swap may be served from
+// different states, and two workers may briefly serve different
+// versions — this is eventual, per-item consistency, the standard RCU
+// trade. A caller that needs a barrier can Swap() and then wait for one
 // sentinel request per worker lane.
+//
+// Mutation (serve-during-rebuild): EnableMutations() arms a write path.
+// ApplyMutation() validates one op, applies it to a pool-private
+// Sec-6-maintained HopiIndex (the rebuild source), and publishes
+// {same snapshot, delta + op} — the op is visible to the very next
+// work item any worker picks up, served through a DeltaOverlayBackend
+// (delta_overlay.h: base-index-hit ∨ bounded bidirectional BFS).
+// RebuildNow() / the RebuildDaemon then fold the delta back to zero:
+// freeze a fresh snapshot from the maintenance index and publish it
+// TOGETHER with the delta truncated through the frozen generation — one
+// atomic publication, so no reader ever sees the new snapshot paired
+// with already-absorbed delta ops (the swap-truncate ordering rule,
+// docs/ARCHITECTURE.md). Delta generations are global ops-ever counts
+// and survive truncation, so a response's (version, generation) pair
+// always names one logical graph.
 //
 // Lifetime: the pool joins its workers in Shutdown() (also run by the
 // destructor), draining already-queued work first; submissions after
@@ -40,6 +54,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -50,11 +66,14 @@
 #include <thread>
 #include <vector>
 
+#include "engine/delta_overlay.h"
 #include "engine/engine.h"
 #include "engine/snapshot.h"
+#include "hopi/index.h"
 #include "query/similarity.h"
 #include "util/lane_queue.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace hopi::engine {
 
@@ -96,6 +115,21 @@ struct EnginePoolOptions {
   /// low defaults to high / 2 when left at 0.
   size_t shed_high_watermark = 0;
   size_t shed_low_watermark = 0;
+
+  // ---- delta overlay (used only after EnableMutations) ----
+
+  /// Hop budget per BFS side before a probe escalates to the unbounded
+  /// recheck (DeltaOverlayOptions::hop_budget).
+  size_t overlay_hop_budget = 8;
+  /// Frontier size at which overlay BFS expansion goes parallel.
+  size_t overlay_parallel_threshold = 128;
+  /// Threads of the pool shared by all workers' overlay BFS frontiers
+  /// (ThreadPool's re-entrancy guard arbitrates concurrent probes).
+  size_t overlay_threads = 2;
+  /// Hard cap on buffered delta ops: ApplyMutation sheds with
+  /// ResourceExhausted at the cap until a rebuild truncates the delta.
+  /// 0 = unbounded.
+  size_t max_delta_ops = 0;
 };
 
 /// Hysteresis gate for overload shedding: trips at the high watermark,
@@ -126,6 +160,10 @@ struct PoolBatchResponse {
   /// BackendSnapshot::version() of the snapshot this answer was
   /// computed against (matches exactly one published snapshot).
   uint64_t snapshot_version = 0;
+  /// DeltaState::generation() of the delta this answer saw — together
+  /// with snapshot_version this names the exact logical graph served.
+  /// 0 until the first mutation.
+  uint64_t delta_generation = 0;
   /// Worker that served it (its lane index).
   size_t worker = 0;
 };
@@ -134,7 +172,45 @@ struct PoolBatchResponse {
 struct PoolPathResponse {
   Result<PathQueryResponse> result;
   uint64_t snapshot_version = 0;
+  uint64_t delta_generation = 0;
   size_t worker = 0;
+};
+
+/// Outcome of one accepted mutation.
+struct MutationReceipt {
+  /// Delta generation after this op (global, monotonic): the first
+  /// response generation at which the op is guaranteed visible.
+  uint64_t generation = 0;
+  /// Snapshot the delta currently overlays.
+  uint64_t snapshot_version = 0;
+  /// insert_document only: ids the new document received.
+  collection::DocId doc = collection::kInvalidDoc;
+  NodeId first_element = kInvalidNode;
+  uint32_t num_elements = 0;
+};
+
+enum class RebuildMode {
+  /// Freeze the Sec-6-maintained index as-is: cheap (a copy, no cover
+  /// build) but inherits its degradation.
+  kAbsorb,
+  /// Re-run the full BuildIndex pipeline on a collection copy OUTSIDE
+  /// the write lock, then catch up ops that landed meanwhile — resets
+  /// degradation to ~1 at the cost of a background build.
+  kFull,
+};
+
+/// Outcome of one rebuild.
+struct RebuildReceipt {
+  RebuildMode mode = RebuildMode::kAbsorb;
+  /// Generation folded into the new snapshot (every op <= it).
+  uint64_t generation = 0;
+  /// Version of the snapshot published (unchanged if nothing to do).
+  uint64_t snapshot_version = 0;
+  /// Delta ops absorbed (and truncated).
+  uint64_t absorbed_ops = 0;
+  /// Wall time ApplyMutation writers were blocked by this rebuild (the
+  /// mutation_mu_ critical sections; probes are never blocked).
+  uint64_t writer_pause_us = 0;
 };
 
 /// Monotonic pool-wide counters. Aggregated from per-worker relaxed
@@ -154,26 +230,42 @@ struct PoolStats {
   uint64_t labels_borrowed = 0;
   uint64_t blocks_decoded = 0;
   uint64_t backend_probes = 0;
-  uint64_t swaps = 0;  ///< Swap() calls accepted.
+  uint64_t swaps = 0;  ///< Publications (Swap() + rebuild swap-ins).
   /// Worker engine rebuilds. Each worker's initial bind counts too, so
   /// the bound is (swaps + 1) × workers, not swaps × workers.
   uint64_t rebinds = 0;
   /// Submissions refused with ResourceExhausted (admission watermark
   /// or a full lane). Monotonic.
   uint64_t sheds = 0;
+  // ---- mutation / overlay (all zero until EnableMutations) ----
+  uint64_t mutations = 0;          ///< Ops accepted into the delta.
+  uint64_t mutation_failures = 0;  ///< Ops rejected by validation.
+  uint64_t rebuilds = 0;           ///< RebuildNow() calls that swapped.
+  /// Overlay probe outcome counters (delta_overlay.h documents each).
+  uint64_t overlay_probes = 0;
+  uint64_t overlay_base_hits = 0;
+  uint64_t overlay_bfs_fallbacks = 0;
+  uint64_t overlay_budget_exhaustions = 0;
+  uint64_t overlay_parallel_expansions = 0;
   /// Gauges (not monotonic): the load picture at the Stats() call.
   uint64_t queued = 0;    ///< Work items waiting across all lanes.
   uint64_t executing = 0; ///< Workers currently inside an item.
   bool shedding = false;  ///< Admission gate currently tripped.
-  /// Version of the currently published snapshot. The one field that
-  /// is not monotonic: Swap publishes whatever snapshot it is given,
-  /// including an older one (rollback is a feature).
+  uint64_t delta_ops = 0;         ///< Un-absorbed delta ops right now.
+  uint64_t delta_generation = 0;  ///< Global mutation count.
+  /// DegradationFactor() of the maintenance index (1.0 when mutations
+  /// are disabled) — what the RebuildDaemon triggers kFull on.
+  double degradation = 1.0;
+  uint64_t last_rebuild_pause_us = 0;  ///< Writer pause of the last rebuild.
+  /// Version of the currently published snapshot. Not monotonic: Swap
+  /// publishes whatever snapshot it is given, including an older one
+  /// (rollback is a feature).
   uint64_t snapshot_version = 0;
 };
 
 class EnginePool {
  public:
-  /// Starts the workers, all bound to `snapshot`.
+  /// Starts the workers, all bound to `snapshot` (with an empty delta).
   explicit EnginePool(std::shared_ptr<const BackendSnapshot> snapshot,
                       EnginePoolOptions options = {});
 
@@ -216,14 +308,60 @@ class EnginePool {
 
   // ---- snapshot management (any thread) ----
 
-  /// Publishes `snapshot` as the serving backend. Returns immediately;
-  /// workers rebind on their next work item while in-flight queries
-  /// finish on the old snapshot (see the header comment for the exact
-  /// consistency contract). `snapshot` must be non-null.
+  /// Publishes `snapshot` as the serving backend with an EMPTY delta.
+  /// Returns immediately; workers rebind on their next work item while
+  /// in-flight queries finish on the old state (see the header comment
+  /// for the exact consistency contract). `snapshot` must be non-null.
+  ///
+  /// Swapping an arbitrary external snapshot would desynchronize the
+  /// maintenance mirror, so Swap also DISABLES mutations (the delta
+  /// generation is preserved; call EnableMutations again to re-arm the
+  /// write path against the new snapshot). Rebuilds initiated through
+  /// RebuildNow keep mutations enabled — they swap the maintenance
+  /// index itself in.
   void Swap(std::shared_ptr<const BackendSnapshot> snapshot);
 
   /// The currently published snapshot.
   std::shared_ptr<const BackendSnapshot> snapshot() const;
+
+  // ---- mutation (any thread; writers are serialized) ----
+
+  /// Arms the write path. `source` must be the index the currently
+  /// published snapshot was frozen from (same element/document counts);
+  /// the pool deep-copies it into a private maintenance mirror — the
+  /// Sec-6 id-allocation authority and rebuild source. The published
+  /// delta must be empty (it always is right after construction, Swap,
+  /// or a completed rebuild). InvalidArgument on a size mismatch.
+  Status EnableMutations(const HopiIndex& source);
+  bool mutations_enabled() const;
+
+  /// Validates and applies one op: maintenance mirror first (Sec 6),
+  /// then publishes {unchanged snapshot, delta + op}. Serialized with
+  /// other writers; probes are never blocked. Typed failures:
+  /// FailedPrecondition (mutations not enabled), InvalidArgument /
+  /// NotFound (validation, delta untouched), ResourceExhausted (delta
+  /// at max_delta_ops — retry after a rebuild).
+  Result<MutationReceipt> ApplyMutation(const Mutation& mutation);
+
+  /// Folds the delta into a fresh snapshot and publishes it together
+  /// with the truncated delta (one atomic publication). kAbsorb
+  /// freezes the maintenance index under the write lock; kFull runs
+  /// BuildIndex on a collection copy outside the lock and replays ops
+  /// that landed meanwhile. Rebuilds are serialized with each other;
+  /// FailedPrecondition when mutations are not enabled.
+  Result<RebuildReceipt> RebuildNow(RebuildMode mode);
+
+  // ---- serving-state introspection (any thread) ----
+
+  /// The published delta (never null; empty before the first mutation).
+  std::shared_ptr<const DeltaState> delta() const;
+  /// Elements / documents in base ∪ delta — the id space a request may
+  /// probe (the wire layer validates against these).
+  size_t ServingElementCount() const;
+  size_t ServingDocumentCount() const;
+  /// DegradationFactor() of the maintenance index; 1.0 when mutations
+  /// are disabled. What the RebuildDaemon's kFull trigger watches.
+  double MaintenanceDegradation() const;
 
   // ---- observability (any thread) ----
 
@@ -239,6 +377,14 @@ class EnginePool {
   void Shutdown();
 
  private:
+  /// One immutable published serving state. Snapshot and delta travel
+  /// in a single shared_ptr so a reader can never observe the new
+  /// snapshot with the old (pre-truncation) delta or vice versa.
+  struct ServingState {
+    std::shared_ptr<const BackendSnapshot> snapshot;
+    std::shared_ptr<const DeltaState> delta;
+  };
+
   struct BatchJob {
     BatchRequest request;
     // Exactly one completion channel: `on_done` when set, else the
@@ -259,12 +405,12 @@ class EnginePool {
   };
 
   /// Everything one serving thread owns. Only the owning worker touches
-  /// `snapshot`/`engine` — except that Stats readers pin the engine
+  /// `state`/`engine` — except that Stats readers pin the engine
   /// under `rebind_mu` while reading its cache counters.
   struct WorkerState {
     std::thread thread;
     std::mutex rebind_mu;
-    std::shared_ptr<const BackendSnapshot> snapshot;
+    std::shared_ptr<const ServingState> state;
     std::optional<QueryEngine> engine;
     /// 1 while the worker is executing an item (kLeastLoaded dispatch
     /// counts it as load; queue depth alone is blind to a worker stuck
@@ -283,17 +429,35 @@ class EnginePool {
     std::atomic<uint64_t> rebinds{0};
   };
 
+  /// The pool-private Sec-6 mirror: a collection copy plus a HopiIndex
+  /// maintained op-by-op. Guarded by mutation_mu_ (kFull's background
+  /// build works on a further copy, outside the lock).
+  struct MaintenanceState {
+    std::unique_ptr<collection::Collection> collection;
+    std::optional<HopiIndex> index;
+  };
+
   size_t PickLane();
   void WorkerLoop(size_t lane);
-  /// Rebinds worker `lane` to the published snapshot if it changed;
-  /// returns the snapshot the next item will be served from.
-  const BackendSnapshot& BindCurrentSnapshot(WorkerState* ws);
+  /// Rebinds worker `lane` to the published serving state if it
+  /// changed; returns the state the next item will be served from.
+  const ServingState& BindCurrentState(WorkerState* ws);
   Status CheckAcceptingOr(const char* what) const;
   /// Items queued across lanes + items executing — the load the
   /// admission watermarks are measured against.
   size_t PendingLoad() const;
   /// Shared submission tail: admission gate, lane pick, bounded push.
   Status Enqueue(WorkItem item, const char* what);
+
+  /// The published serving state (never null).
+  std::shared_ptr<const ServingState> State() const;
+  /// Publishes {snapshot, delta}; bumps swaps_ when `count_swap`.
+  void Publish(std::shared_ptr<const BackendSnapshot> snapshot,
+               std::shared_ptr<const DeltaState> delta, bool count_swap);
+  /// Replays one validated op onto the maintenance mirror (Sec 6).
+  /// Caller holds mutation_mu_.
+  Status ApplyToMaintenance(MaintenanceState* maintenance,
+                            const Mutation& mutation);
 
   EnginePoolOptions options_;
   AdmissionController admission_;
@@ -302,12 +466,84 @@ class EnginePool {
   std::atomic<uint64_t> sheds_{0};
 
   mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const BackendSnapshot> published_;  // guarded by snapshot_mu_
+  std::shared_ptr<const ServingState> published_;  // guarded by snapshot_mu_
+
+  /// Serializes writers (ApplyMutation, rebuild critical sections,
+  /// Swap, EnableMutations) and guards maintenance_. Lock order:
+  /// mutation_mu_ before snapshot_mu_; never the reverse.
+  mutable std::mutex mutation_mu_;
+  std::unique_ptr<MaintenanceState> maintenance_;  // null = mutations off
+  bool maintenance_with_distance_ = false;
+  /// Serializes whole rebuilds (kFull spends most of its time outside
+  /// mutation_mu_; this keeps two rebuilds from racing each other).
+  std::mutex rebuild_mu_;
+  /// Shared by every worker's overlay backend for parallel BFS
+  /// frontiers; created lazily by EnableMutations.
+  std::unique_ptr<ThreadPool> overlay_pool_;
+  OverlayCounters overlay_counters_;
+
+  std::atomic<uint64_t> mutations_{0};
+  std::atomic<uint64_t> mutation_failures_{0};
+  std::atomic<uint64_t> rebuilds_{0};
+  std::atomic<uint64_t> last_rebuild_pause_us_{0};
 
   std::atomic<uint64_t> swaps_{0};
   std::atomic<size_t> next_lane_{0};  // round-robin cursor
   std::atomic<bool> shutdown_{false};
   std::once_flag shutdown_once_;
+};
+
+/// Background rebuild policy: a thread that polls the pool and calls
+/// RebuildNow when the delta grows past `max_delta_ops` (kAbsorb — fold
+/// the buffered ops into a cheap frozen copy) or the maintenance index
+/// degrades past `degradation_threshold` (kFull — re-run the build
+/// pipeline and reset label density). Stop() (also the destructor)
+/// joins the thread promptly.
+class RebuildDaemon {
+ public:
+  struct Options {
+    std::chrono::milliseconds poll_interval{50};
+    /// Delta size that triggers a kAbsorb rebuild. 0 disables.
+    size_t max_delta_ops = 1024;
+    /// DegradationFactor() that triggers a kFull rebuild (the paper's
+    /// rebuild-at-2x rule of thumb). 0 disables.
+    double degradation_threshold = 2.0;
+  };
+
+  struct Stats {
+    uint64_t polls = 0;
+    uint64_t rebuilds = 0;       ///< Successful rebuilds, either mode.
+    uint64_t full_rebuilds = 0;  ///< The kFull subset.
+    uint64_t errors = 0;         ///< RebuildNow failures.
+    uint64_t last_pause_us = 0;  ///< Writer pause of the last rebuild.
+  };
+
+  explicit RebuildDaemon(EnginePool* pool);  // default Options
+  RebuildDaemon(EnginePool* pool, Options options);
+  ~RebuildDaemon();
+  RebuildDaemon(const RebuildDaemon&) = delete;
+  RebuildDaemon& operator=(const RebuildDaemon&) = delete;
+
+  /// Wakes the daemon for an immediate policy check (tests, admin).
+  void Poke();
+  void Stop();
+  Stats stats() const;
+
+ private:
+  void Loop();
+
+  EnginePool* pool_;
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool poked_ = false;
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<uint64_t> rebuilds_{0};
+  std::atomic<uint64_t> full_rebuilds_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> last_pause_us_{0};
+  std::thread thread_;
 };
 
 }  // namespace hopi::engine

@@ -82,6 +82,16 @@ void ReachabilityService::Handle(HttpRequest request,
     HandleBatch(std::move(request), std::move(responder));
     return;
   }
+  if (path == "/v1/mutate") {
+    mutate_.requests.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "POST") {
+      SendError(&mutate_, responder, 405,
+                Status::InvalidArgument("use POST /v1/mutate"), started_us);
+      return;
+    }
+    HandleMutate(std::move(request), std::move(responder));
+    return;
+  }
   if (path == "/v1/path") {
     path_.requests.fetch_add(1, std::memory_order_relaxed);
     if (request.method != "POST") {
@@ -104,8 +114,8 @@ void ReachabilityService::Handle(HttpRequest request,
 void ReachabilityService::HandleBatch(HttpRequest&& request,
                                       HttpServer::Responder&& responder) {
   const uint64_t started_us = NowMicros();
-  const uint64_t num_elements =
-      pool_->snapshot()->collection().NumElements();
+  // Base ∪ delta: ids created by buffered mutations are probeable.
+  const uint64_t num_elements = pool_->ServingElementCount();
   Result<engine::BatchRequest> parsed =
       wire_.ParseBatchRequest(request.body, num_elements);
   if (!parsed.ok()) {
@@ -158,6 +168,36 @@ void ReachabilityService::HandlePath(HttpRequest&& request,
   if (!submitted.ok()) {
     SendError(&path_, responder, submitted, started_us);
   }
+}
+
+void ReachabilityService::HandleMutate(HttpRequest&& request,
+                                       HttpServer::Responder&& responder) {
+  const uint64_t started_us = NowMicros();
+  if (!mutations_enabled_) {
+    SendError(&mutate_, responder,
+              Status::Unsupported(
+                  "mutation endpoint disabled (start with --mutate=1)"),
+              started_us);
+    return;
+  }
+  Result<engine::Mutation> parsed = wire_.ParseMutationRequest(
+      request.body, pool_->ServingElementCount(),
+      pool_->ServingDocumentCount());
+  if (!parsed.ok()) {
+    SendError(&mutate_, responder, parsed.status(), started_us);
+    return;
+  }
+  // Synchronous on the IO thread (see EnableMutations' doc comment):
+  // writers are serialized in the pool either way, and a validated op
+  // is a small Sec-6 label merge, not a build.
+  Result<engine::MutationReceipt> receipt =
+      pool_->ApplyMutation(parsed.value());
+  if (!receipt.ok()) {
+    SendError(&mutate_, responder, receipt.status(), started_us);
+    return;
+  }
+  SendOk(&mutate_, responder,
+         JsonWire::SerializeMutationReceipt(receipt.value()), started_us);
 }
 
 void ReachabilityService::SendError(Endpoint* endpoint,
@@ -214,6 +254,23 @@ std::string ReachabilityService::StatsJson() const {
   out += ",\"snapshot_version\":" + std::to_string(pool.snapshot_version);
   out += ",\"workers\":" + std::to_string(pool_->num_threads());
   out += '}';
+  out += ",\"overlay\":{";
+  out += "\"mutations\":" + std::to_string(pool.mutations);
+  out += ",\"mutation_failures\":" + std::to_string(pool.mutation_failures);
+  out += ",\"delta_ops\":" + std::to_string(pool.delta_ops);
+  out += ",\"delta_generation\":" + std::to_string(pool.delta_generation);
+  out += ",\"probes\":" + std::to_string(pool.overlay_probes);
+  out += ",\"base_hits\":" + std::to_string(pool.overlay_base_hits);
+  out += ",\"bfs_fallbacks\":" + std::to_string(pool.overlay_bfs_fallbacks);
+  out += ",\"budget_exhaustions\":" +
+         std::to_string(pool.overlay_budget_exhaustions);
+  out += ",\"parallel_expansions\":" +
+         std::to_string(pool.overlay_parallel_expansions);
+  out += ",\"rebuilds\":" + std::to_string(pool.rebuilds);
+  out += ",\"last_rebuild_pause_us\":" +
+         std::to_string(pool.last_rebuild_pause_us);
+  out += ",\"degradation\":" + JsonNumber(pool.degradation);
+  out += '}';
   if (server_stats_) {
     ServerStats server = server_stats_();
     out += ",\"server\":{";
@@ -235,6 +292,7 @@ std::string ReachabilityService::StatsJson() const {
     const Endpoint* endpoint;
   } kEndpoints[] = {{"batch", &batch_},
                     {"path", &path_},
+                    {"mutate", &mutate_},
                     {"stats", &stats_},
                     {"healthz", &healthz_}};
   bool first = true;

@@ -5,6 +5,9 @@
 //
 //   POST /v1/batch  -> JsonWire::ParseBatchRequest -> pool SubmitBatch
 //   POST /v1/path   -> JsonWire::ParsePathRequest  -> pool SubmitQuery
+//   POST /v1/mutate -> JsonWire::ParseMutationRequest
+//                      -> pool ApplyMutation (gated by EnableMutations;
+//                      501 when the write path is off)
 //   GET  /stats     -> pool + server counters, gauges, latency
 //                      percentiles (answered inline)
 //   GET  /healthz   -> liveness (answered inline)
@@ -47,6 +50,14 @@ class ReachabilityService {
   ///   HttpServer server(service.AsHandler(), options);
   HttpServer::Handler AsHandler();
 
+  /// Opens POST /v1/mutate. Call it after arming the pool's write path
+  /// (EnginePool::EnableMutations); until then the route answers 501
+  /// Unsupported. ApplyMutation runs synchronously on the IO thread —
+  /// acceptable because one validated op is microseconds of Sec-6
+  /// maintenance, and serializing writers is the pool's contract
+  /// anyway.
+  void EnableMutations() { mutations_enabled_ = true; }
+
   /// Lets /stats include transport counters; typically
   ///   service.BindServerStats([&] { return server.Stats(); });
   /// Unset, the "server" section is omitted.
@@ -67,6 +78,7 @@ class ReachabilityService {
   void Handle(HttpRequest request, HttpServer::Responder responder);
   void HandleBatch(HttpRequest&& request, HttpServer::Responder&& responder);
   void HandlePath(HttpRequest&& request, HttpServer::Responder&& responder);
+  void HandleMutate(HttpRequest&& request, HttpServer::Responder&& responder);
 
   /// Answers with the JsonWire error mapping and books the endpoint
   /// counters. `started_us` is the handler-entry timestamp.
@@ -81,9 +93,11 @@ class ReachabilityService {
   engine::EnginePool* pool_;
   JsonWire wire_;
   std::function<ServerStats()> server_stats_;
+  bool mutations_enabled_ = false;  // set once before serving starts
 
   Endpoint batch_;
   Endpoint path_;
+  Endpoint mutate_;
   Endpoint stats_;
   Endpoint healthz_;
 };

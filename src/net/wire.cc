@@ -121,6 +121,163 @@ Result<engine::PathQueryRequest> JsonWire::ParsePathRequest(
   return request;
 }
 
+Result<engine::Mutation> JsonWire::ParseMutationRequest(
+    std::string_view body, uint64_t num_elements,
+    uint64_t num_documents) const {
+  HOPI_ASSIGN_OR_RETURN(JsonValue root, ParseJson(body, limits_.json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  const JsonValue* op = root.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("\"op\" must be a string");
+  }
+  const std::string& kind = op->AsString();
+
+  // Per-op field whitelists: anything else is an unknown field, the
+  // same strictness as the batch/path parsers.
+  auto check_fields = [&](std::initializer_list<std::string_view> allowed)
+      -> Status {
+    for (const auto& [key, value] : root.AsObject()) {
+      (void)value;
+      if (key == "op") continue;
+      bool known = false;
+      for (std::string_view a : allowed) known = known || key == a;
+      if (!known) {
+        return Status::InvalidArgument("unknown field \"" + key + "\"");
+      }
+    }
+    return Status::OK();
+  };
+  auto require_uint = [&](const char* field, uint64_t max,
+                          uint64_t* out) -> Status {
+    const JsonValue* v = root.Find(field);
+    if (v == nullptr) {
+      return Status::InvalidArgument(std::string("\"") + field +
+                                     "\" is required");
+    }
+    return GetUint(*v, field, max, out);
+  };
+
+  if (kind == "insert_link" || kind == "delete_link") {
+    HOPI_RETURN_NOT_OK(check_fields({"source", "target"}));
+    if (num_elements == 0) {
+      return Status::InvalidArgument("the serving collection has no elements");
+    }
+    uint64_t u = 0;
+    uint64_t v = 0;
+    HOPI_RETURN_NOT_OK(require_uint("source", num_elements - 1, &u));
+    HOPI_RETURN_NOT_OK(require_uint("target", num_elements - 1, &v));
+    return kind == "insert_link"
+               ? engine::Mutation::InsertLink(static_cast<NodeId>(u),
+                                              static_cast<NodeId>(v))
+               : engine::Mutation::DeleteLink(static_cast<NodeId>(u),
+                                              static_cast<NodeId>(v));
+  }
+  if (kind == "insert_document") {
+    HOPI_RETURN_NOT_OK(check_fields({"name", "elements"}));
+    const JsonValue* name = root.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return Status::InvalidArgument("\"name\" must be a string");
+    }
+    if (name->AsString().size() > limits_.max_name_bytes) {
+      return Status::InvalidArgument(
+          "\"name\" longer than " + std::to_string(limits_.max_name_bytes) +
+          " bytes");
+    }
+    const JsonValue* elements = root.Find("elements");
+    if (elements == nullptr || !elements->is_array()) {
+      return Status::InvalidArgument("\"elements\" must be an array");
+    }
+    if (elements->AsArray().empty()) {
+      return Status::InvalidArgument(
+          "\"elements\" needs at least one element (the root)");
+    }
+    if (elements->AsArray().size() > limits_.max_document_elements) {
+      return Status::InvalidArgument(
+          "\"elements\" has " + std::to_string(elements->AsArray().size()) +
+          " entries; the wire limit is " +
+          std::to_string(limits_.max_document_elements));
+    }
+    std::vector<engine::NewElementSpec> specs;
+    specs.reserve(elements->AsArray().size());
+    for (size_t i = 0; i < elements->AsArray().size(); ++i) {
+      const JsonValue& e = elements->AsArray()[i];
+      if (!e.is_object()) {
+        return Status::InvalidArgument(
+            "every \"elements\" entry must be an object");
+      }
+      const JsonValue* tag = e.Find("tag");
+      if (tag == nullptr || !tag->is_string()) {
+        return Status::InvalidArgument("element \"tag\" must be a string");
+      }
+      if (tag->AsString().size() > limits_.max_name_bytes) {
+        return Status::InvalidArgument(
+            "element \"tag\" longer than " +
+            std::to_string(limits_.max_name_bytes) + " bytes");
+      }
+      const JsonValue* parent = e.Find("parent");
+      if (parent == nullptr) {
+        return Status::InvalidArgument(
+            "element \"parent\" is required (null for the root)");
+      }
+      engine::NewElementSpec spec;
+      spec.tag = tag->AsString();
+      if (parent->is_null()) {
+        if (i != 0) {
+          return Status::InvalidArgument(
+              "only the first element (the root) may have a null parent");
+        }
+      } else {
+        uint64_t p = 0;
+        if (i == 0) {
+          return Status::InvalidArgument(
+              "the first element is the root and must have parent null");
+        }
+        HOPI_RETURN_NOT_OK(GetUint(*parent, "element parent", i - 1, &p));
+        spec.parent = static_cast<uint32_t>(p);
+      }
+      for (const auto& [key, value] : e.AsObject()) {
+        (void)value;
+        if (key != "tag" && key != "parent") {
+          return Status::InvalidArgument("unknown element field \"" + key +
+                                         "\"");
+        }
+      }
+      specs.push_back(std::move(spec));
+    }
+    return engine::Mutation::InsertDocument(name->AsString(),
+                                            std::move(specs));
+  }
+  if (kind == "delete_document") {
+    HOPI_RETURN_NOT_OK(check_fields({"doc"}));
+    if (num_documents == 0) {
+      return Status::InvalidArgument("the serving collection has no documents");
+    }
+    uint64_t d = 0;
+    HOPI_RETURN_NOT_OK(require_uint("doc", num_documents - 1, &d));
+    return engine::Mutation::DeleteDocument(
+        static_cast<collection::DocId>(d));
+  }
+  return Status::InvalidArgument(
+      "\"op\" must be one of insert_link, delete_link, insert_document, "
+      "delete_document");
+}
+
+std::string JsonWire::SerializeMutationReceipt(
+    const engine::MutationReceipt& receipt) {
+  std::string out =
+      "{\"applied\":true,\"generation\":" + std::to_string(receipt.generation);
+  out += ",\"snapshot_version\":" + std::to_string(receipt.snapshot_version);
+  if (receipt.doc != collection::kInvalidDoc) {
+    out += ",\"doc\":" + std::to_string(receipt.doc);
+    out += ",\"first_element\":" + std::to_string(receipt.first_element);
+    out += ",\"num_elements\":" + std::to_string(receipt.num_elements);
+  }
+  out += '}';
+  return out;
+}
+
 std::string JsonWire::SerializeBatchResponse(
     const engine::PoolBatchResponse& response) {
   const engine::BatchResponse& batch = response.batch;
@@ -143,6 +300,7 @@ std::string JsonWire::SerializeBatchResponse(
     out += ']';
   }
   out += ",\"snapshot_version\":" + std::to_string(response.snapshot_version);
+  out += ",\"delta_generation\":" + std::to_string(response.delta_generation);
   out += ",\"worker\":" + std::to_string(response.worker);
   out += ",\"stats\":{\"probes\":" + std::to_string(batch.stats.probes);
   out += ",\"unique_probes\":" + std::to_string(batch.stats.unique_probes);
@@ -176,6 +334,7 @@ std::string JsonWire::SerializePathResponse(
     out += '}';
   }
   out += "],\"snapshot_version\":" + std::to_string(response.snapshot_version);
+  out += ",\"delta_generation\":" + std::to_string(response.delta_generation);
   out += ",\"worker\":" + std::to_string(response.worker);
   out += '}';
   return out;

@@ -32,6 +32,10 @@ struct WireLimits {
   size_t max_expression_bytes = 4096;
   /// Materialized matches a path request may ask for.
   size_t max_matches = 1u << 16;
+  /// Elements one insert_document mutation may create.
+  size_t max_document_elements = 4096;
+  /// Bytes of a mutation's document name or element tag.
+  size_t max_name_bytes = 1024;
   JsonParseLimits json;
 };
 
@@ -52,6 +56,21 @@ class JsonWire {
   Result<engine::PathQueryRequest> ParsePathRequest(
       std::string_view body) const;
 
+  /// Body schema (one op per request, discriminated by "op"):
+  ///   {"op": "insert_link", "source": u, "target": v}
+  ///   {"op": "delete_link", "source": u, "target": v}
+  ///   {"op": "insert_document", "name": "...",
+  ///    "elements": [{"tag": "...", "parent": null | index}, ...]}
+  ///   {"op": "delete_document", "doc": d}
+  /// Ids are range-checked against the SERVING counts (base ∪ delta);
+  /// element parents are indices into the op's own "elements" array
+  /// (the first element is the root and must have parent null). The
+  /// deeper semantic checks (edge exists, document live, ...) happen in
+  /// EnginePool::ApplyMutation — this layer is shape and range only.
+  Result<engine::Mutation> ParseMutationRequest(std::string_view body,
+                                                uint64_t num_elements,
+                                                uint64_t num_documents) const;
+
   // ---- serializers (deterministic field order) ----
 
   static std::string SerializeBatchResponse(
@@ -61,6 +80,11 @@ class JsonWire {
   /// SerializeError at the service layer).
   static std::string SerializePathResponse(
       const engine::PoolPathResponse& response);
+
+  /// {"applied":true,"generation":g,"snapshot_version":v} plus
+  /// "doc"/"first_element"/"num_elements" for insert_document receipts.
+  static std::string SerializeMutationReceipt(
+      const engine::MutationReceipt& receipt);
 
   /// {"error": {"code": "ResourceExhausted", "message": "..."}}.
   static std::string SerializeError(const Status& status);

@@ -110,8 +110,17 @@ Status ThreadPool::ParallelFor(
     size_t begin, size_t end,
     const std::function<Status(size_t, size_t)>& fn) {
   if (end <= begin) return Status::OK();
-  if (workers_.empty() || end - begin == 1) {
-    // Serial fast path with the same early-cancel error semantics.
+  bool claimed = false;
+  if (!(workers_.empty() || end - begin == 1)) {
+    bool expected = false;
+    claimed = loop_active_.compare_exchange_strong(
+        expected, true, std::memory_order_acquire);
+  }
+  if (!claimed) {
+    // Serial path with the same early-cancel error semantics. Taken for
+    // trivial ranges, worker-less pools, and — the re-entrancy guard —
+    // whenever another ParallelFor already owns the workers (a
+    // concurrent caller or a nested call from inside a task).
     for (size_t i = begin; i < end; ++i) {
       Status s = fn(i, 0);
       if (!s.ok()) return s;
@@ -143,6 +152,7 @@ Status ThreadPool::ParallelFor(
     std::lock_guard<std::mutex> lock(mu_);
     job_ = nullptr;
   }
+  loop_active_.store(false, std::memory_order_release);
   if (job->exception) std::rethrow_exception(job->exception);
   return job->status;
 }

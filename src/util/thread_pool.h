@@ -16,6 +16,7 @@
 // streams) writing to disjoint slots.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -33,10 +34,16 @@ namespace hopi {
 /// runs loops on exactly n threads (and a pool of 1 spawns nothing and
 /// degrades to a serial loop).
 ///
-/// One loop runs at a time: ParallelFor must not be called concurrently
-/// from two threads, nor reentrantly from inside a task of the same pool
-/// (nested parallelism uses a separate, smaller pool — see the thread
-/// budget split in hopi/build.cc).
+/// One *parallel* loop runs at a time. A second ParallelFor — whether
+/// called concurrently from another thread or reentrantly from inside a
+/// task of the same pool — does not block and does not corrupt the
+/// running loop: it detects the busy pool and degrades to an inline
+/// serial loop on the calling thread, preserving the error-channel
+/// semantics. This makes the pool safe to share between a background
+/// build and concurrent overlay BFS probes (engine/delta_overlay.cc);
+/// callers that want guaranteed nested parallelism still use a
+/// separate, smaller pool (see the thread budget split in
+/// hopi/build.cc).
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -76,6 +83,9 @@ class ThreadPool {
   uint64_t job_seq_ = 0;      // bumped per loop so a worker never rejoins
                               // a loop it already finished
   bool stop_ = false;
+  // Claimed by the one ParallelFor that may use the workers; a
+  // concurrent or reentrant call that loses the claim runs inline.
+  std::atomic<bool> loop_active_{false};
 };
 
 }  // namespace hopi

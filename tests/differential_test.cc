@@ -12,13 +12,16 @@
 // a pure function of its seed, so a failure reproduces by number.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "engine/backends.h"
+#include "engine/delta_overlay.h"
 #include "engine/engine_pool.h"
 #include "engine/snapshot.h"
 #include "hopi/build.h"
@@ -274,6 +277,427 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Scenario>& info) {
       return "seed" + std::to_string(info.param.seed);
     });
+
+// ---- overlay scenarios (serve-during-rebuild) ----
+//
+// The mutation path's oracle: mutations go through the LIVE pool
+// (EnginePool::ApplyMutation, served by the DeltaOverlayBackend over an
+// un-rebuilt snapshot) while a mirror Collection replays the same ops
+// via ApplyMutationToCollection. After each batch of ops the full n×n
+// matrix through the pool must equal the closure re-materialized from
+// the mirror — the overlay's bounded BFS, base-hit gating, deleted-edge
+// masking and dead-document handling all face the same independent
+// oracle as the frozen access paths above.
+
+// Draws one mutation that is valid against `mirror` (the replayed
+// base-plus-delta collection). Falls back to inserting a fresh small
+// document, which is always valid, so every draw applies.
+engine::Mutation RandomOverlayMutation(Rng* rng, const Collection& mirror,
+                                       int* doc_counter) {
+  switch (rng->NextBounded(6)) {
+    case 0:
+    case 1: {  // insert_link between live elements (base or delta)
+      std::vector<NodeId> live = testing::LiveElements(mirror);
+      for (int attempt = 0; attempt < 10 && live.size() > 1; ++attempt) {
+        NodeId u = live[rng->NextBounded(live.size())];
+        NodeId v = live[rng->NextBounded(live.size())];
+        if (u == v || mirror.ElementGraph().HasEdge(u, v)) continue;
+        return engine::Mutation::InsertLink(u, v);
+      }
+      break;
+    }
+    case 2: {  // delete a random existing link (base or delta-inserted)
+      if (mirror.Links().empty()) break;
+      collection::Link l =
+          mirror.Links()[rng->NextBounded(mirror.Links().size())];
+      return engine::Mutation::DeleteLink(l.source, l.target);
+    }
+    case 3: {  // delete a live document
+      if (mirror.NumLiveDocuments() <= 2) break;
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        auto d = static_cast<DocId>(rng->NextBounded(mirror.NumDocuments()));
+        if (!mirror.IsLive(d)) continue;
+        return engine::Mutation::DeleteDocument(d);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  // insert_document: a small random tree (also the fallback when the
+  // drawn op found no applicable target).
+  std::vector<engine::NewElementSpec> elements;
+  elements.push_back({"article", std::nullopt});
+  size_t extra = rng->NextBounded(5);
+  for (size_t i = 0; i < extra; ++i) {
+    elements.push_back(
+        {i % 2 == 0 ? "section" : "cite",
+         static_cast<uint32_t>(rng->NextBounded(elements.size()))});
+  }
+  return engine::Mutation::InsertDocument(
+      "delta" + std::to_string((*doc_counter)++) + ".xml",
+      std::move(elements));
+}
+
+std::string Describe(const engine::Mutation& m) {
+  using Kind = engine::Mutation::Kind;
+  switch (m.kind) {
+    case Kind::kInsertLink:
+      return "+link(" + std::to_string(m.source) + "," +
+             std::to_string(m.target) + ")";
+    case Kind::kDeleteLink:
+      return "-link(" + std::to_string(m.source) + "," +
+             std::to_string(m.target) + ")";
+    case Kind::kInsertDocument:
+      return "+doc(" + std::to_string(m.elements.size()) + "el)";
+    case Kind::kDeleteDocument:
+      return "-doc(" + std::to_string(m.doc) + ")";
+  }
+  return "?";
+}
+
+// Full n×n matrix through the pool's Batch path vs the closure oracle
+// over the mirror collection. Every response must also report the
+// current delta generation (no concurrent writers in these scenarios,
+// so the generation is stable across the whole matrix).
+void ExpectPoolMatchesMirrorOracle(engine::EnginePool* pool,
+                                   const Collection& mirror,
+                                   const std::string& context) {
+  ASSERT_EQ(pool->ServingElementCount(), mirror.NumElements()) << context;
+  ASSERT_EQ(pool->ServingDocumentCount(), mirror.NumDocuments()) << context;
+  const auto n = static_cast<NodeId>(mirror.NumElements());
+  TransitiveClosureIndex closure =
+      TransitiveClosureIndex::Build(mirror.ElementGraph(), false);
+  const uint64_t generation = pool->delta()->generation();
+  size_t mismatches = 0;
+  engine::BatchRequest request;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      request.pairs.push_back({u, v});
+      if (request.pairs.size() < 1024 && !(u + 1 == n && v + 1 == n)) {
+        continue;
+      }
+      std::vector<engine::NodePair> pairs = request.pairs;
+      auto response = pool->Batch(std::exchange(request, {}));
+      ASSERT_TRUE(response.ok()) << context << ": " << response.status();
+      EXPECT_EQ(response->delta_generation, generation) << context;
+      ASSERT_EQ(response->batch.reachable.size(), pairs.size()) << context;
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        bool expect = closure.IsReachable(pairs[i].first, pairs[i].second);
+        if (response->batch.reachable[i] != expect) {
+          if (mismatches == 0) {
+            ADD_FAILURE() << context << ": pool disagrees with the mirror "
+                          << "closure on " << pairs[i].first << "->"
+                          << pairs[i].second << " (got "
+                          << (response->batch.reachable[i] != 0) << ", want "
+                          << expect << ")";
+          }
+          ++mismatches;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << context;
+}
+
+class OverlayDifferentialScenario
+    : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(OverlayDifferentialScenario, OverlayMatchesClosureOracleWhileMutating) {
+  const uint64_t seed = GetParam().seed;
+  Rng rng(seed * 9176 + 3);
+  size_t docs = 3 + rng.NextBounded(5);
+  size_t mean_extra = 3 + rng.NextBounded(6);
+  size_t links = 4 + rng.NextBounded(12);
+  const size_t rounds = 3;
+  size_t ops_per_round = 4 + rng.NextBounded(5);
+
+  Collection c = testing::RandomCollection(docs, mean_extra, links, seed + 500);
+  auto built = BuildIndex(&c, {});
+  ASSERT_TRUE(built.ok()) << built.status();
+  HopiIndex index = std::move(built).value();
+  auto snapshot = engine::BackendSnapshot::Freeze(index);
+
+  engine::EnginePoolOptions pool_options;
+  pool_options.num_threads = 2;
+  // A third of the seeds serve with a starvation-level hop budget, so
+  // nontrivial probes straddle it and cross the typed-unknown recheck;
+  // half drive frontier expansion through the shared thread pool from
+  // frontier size 2 up. Answers must be identical either way.
+  pool_options.overlay_hop_budget = seed % 3 == 0 ? 1 : 8;
+  pool_options.overlay_parallel_threshold = seed % 2 == 0 ? 2 : 128;
+  engine::EnginePool pool(snapshot, pool_options);
+  ASSERT_TRUE(pool.EnableMutations(index).ok());
+
+  Collection mirror = c;
+  std::string trace;
+  int doc_counter = 0;
+  uint64_t generation = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    for (size_t op = 0; op < ops_per_round; ++op) {
+      engine::Mutation m = RandomOverlayMutation(&rng, mirror, &doc_counter);
+      trace += (trace.empty() ? "" : ", ") + Describe(m);
+      auto receipt = pool.ApplyMutation(m);
+      ASSERT_TRUE(receipt.ok()) << trace << ": " << receipt.status();
+      Status mirrored = engine::ApplyMutationToCollection(m, &mirror);
+      ASSERT_TRUE(mirrored.ok()) << trace << ": " << mirrored;
+      EXPECT_EQ(receipt->generation, ++generation);
+      if (m.kind == engine::Mutation::Kind::kInsertDocument) {
+        // The receipt's pre-assigned ids must match the mirror's
+        // sequential allocation — the equivalence InsertDocument's
+        // id contract rests on.
+        EXPECT_EQ(receipt->doc, mirror.NumDocuments() - 1);
+        EXPECT_EQ(receipt->num_elements, m.elements.size());
+        EXPECT_EQ(receipt->first_element,
+                  static_cast<NodeId>(mirror.NumElements() -
+                                      m.elements.size()));
+      }
+    }
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + trace);
+    ExpectPoolMatchesMirrorOracle(
+        &pool, mirror,
+        "seed" + std::to_string(seed) + "_round" + std::to_string(round));
+  }
+
+  // Rejected ops must leave the delta untouched: typed failure, same
+  // generation.
+  auto missing_doc = pool.ApplyMutation(engine::Mutation::DeleteDocument(
+      static_cast<DocId>(mirror.NumDocuments() + 7)));
+  EXPECT_TRUE(missing_doc.status().IsNotFound());
+  auto oob_link = pool.ApplyMutation(engine::Mutation::InsertLink(
+      static_cast<NodeId>(mirror.NumElements() + 1), 0));
+  EXPECT_TRUE(oob_link.status().IsInvalidArgument());
+  EXPECT_EQ(pool.delta()->generation(), generation);
+
+  // Fold the delta: the swapped-in snapshot must agree with the same
+  // oracle (= a fresh build over the mutated graph), the delta must be
+  // empty, and the global generation must survive the truncation.
+  const engine::RebuildMode mode = seed % 2 == 0
+                                       ? engine::RebuildMode::kFull
+                                       : engine::RebuildMode::kAbsorb;
+  auto rebuilt = pool.RebuildNow(mode);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_EQ(rebuilt->generation, generation);
+  EXPECT_EQ(rebuilt->absorbed_ops, rounds * ops_per_round);
+  EXPECT_TRUE(pool.delta()->empty());
+  EXPECT_EQ(pool.delta()->generation(), generation);
+  ExpectPoolMatchesMirrorOracle(
+      &pool, mirror, "seed" + std::to_string(seed) + "_postrebuild");
+
+  // Mutations stay armed across a rebuild: the delta regrows over the
+  // new snapshot and keeps matching the oracle, and receipts continue
+  // the global generation count.
+  for (size_t op = 0; op < ops_per_round; ++op) {
+    engine::Mutation m = RandomOverlayMutation(&rng, mirror, &doc_counter);
+    auto receipt = pool.ApplyMutation(m);
+    ASSERT_TRUE(receipt.ok()) << Describe(m) << ": " << receipt.status();
+    ASSERT_TRUE(engine::ApplyMutationToCollection(m, &mirror).ok());
+    EXPECT_EQ(receipt->generation, ++generation);
+  }
+  ExpectPoolMatchesMirrorOracle(
+      &pool, mirror, "seed" + std::to_string(seed) + "_postrebuild_mutated");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverlayRandomOpSequences, OverlayDifferentialScenario,
+    ::testing::ValuesIn([] {
+      std::vector<Scenario> scenarios;
+      for (uint64_t seed = 1; seed <= 12; ++seed) scenarios.push_back({seed});
+      return scenarios;
+    }()),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// The typed probe state machine, outcome by outcome, on a handmade
+// graph: base hit while the delta is purely additive, BFS once a base
+// edge is masked, typed unknown + unbounded recheck at a 1-hop budget,
+// dead endpoints after a document deletion.
+TEST(DeltaOverlayOutcomeTest, TypedOutcomesCoverTheProbeStateMachine) {
+  using Outcome = engine::DeltaOverlayBackend::Outcome;
+  Collection c;
+  DocId d0 = c.AddDocument("a.xml");
+  NodeId a = c.AddElement(d0, "article");
+  NodeId b = c.AddElement(d0, "section", a);
+  DocId d1 = c.AddDocument("z.xml");
+  NodeId z = c.AddElement(d1, "article");
+  ASSERT_TRUE(c.AddLink(b, z));
+  TransitiveClosureIndex closure =
+      TransitiveClosureIndex::Build(c.ElementGraph(), false);
+  auto mk_base = [&] {
+    return std::make_unique<engine::ClosureBackend>(closure, false);
+  };
+
+  auto delta =
+      engine::DeltaState::MakeEmpty(c.NumElements(), c.NumDocuments(), 0);
+  engine::OverlayCounters counters;
+  auto apply = [&](engine::Mutation m) {
+    auto next = delta->Apply(m, c);
+    ASSERT_TRUE(next.ok()) << Describe(m) << ": " << next.status();
+    delta = std::move(next).value();
+  };
+
+  // Empty delta: positive base answers come from the fast path.
+  {
+    engine::DeltaOverlayBackend overlay(mk_base(), &c, delta, {}, &counters);
+    EXPECT_EQ(overlay.Probe(a, a), Outcome::kReflexive);
+    EXPECT_EQ(overlay.Probe(a, z), Outcome::kBaseHit);
+    EXPECT_EQ(overlay.Probe(z, a), Outcome::kBfsUnreachable);
+    EXPECT_EQ(overlay.Distance(a, z), std::optional<uint32_t>(0));
+    EXPECT_EQ(overlay.Distance(z, a), std::nullopt);
+  }
+
+  // Deleting the base link b->z invalidates the base fast path; the
+  // BFS sees the masked edge and answers no.
+  apply(engine::Mutation::DeleteLink(b, z));
+  ASSERT_TRUE(delta->has_base_removals());
+  {
+    engine::DeltaOverlayBackend overlay(mk_base(), &c, delta, {}, &counters);
+    EXPECT_EQ(overlay.Probe(a, z), Outcome::kBfsUnreachable);
+  }
+
+  // Deleting a tree edge is refused (links only), as is re-deleting the
+  // already-masked link.
+  EXPECT_TRUE(
+      delta->Apply(engine::Mutation::DeleteLink(a, b), c).status().IsNotFound());
+  EXPECT_TRUE(
+      delta->Apply(engine::Mutation::DeleteLink(b, z), c).status().IsNotFound());
+
+  // An 8-document chain a -> e0 -> ... -> e7 -> z through the delta:
+  // with a 1-hop budget per side the probe is a typed unknown, and the
+  // unbounded recheck restores the exact answer.
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 8; ++i) {
+    apply(engine::Mutation::InsertDocument("chain" + std::to_string(i) + ".xml",
+                                           {{"note", std::nullopt}}));
+    chain.push_back(static_cast<NodeId>(delta->num_elements() - 1));
+    apply(engine::Mutation::InsertLink(i == 0 ? a : chain[i - 1],
+                                       chain.back()));
+  }
+  apply(engine::Mutation::InsertLink(chain.back(), z));
+  {
+    engine::DeltaOverlayOptions tight;
+    tight.hop_budget = 1;
+    engine::DeltaOverlayBackend overlay(mk_base(), &c, delta, tight,
+                                        &counters);
+    uint64_t before = counters.budget_exhaustions.load();
+    EXPECT_EQ(overlay.Probe(a, z), Outcome::kRecheckReachable);
+    EXPECT_EQ(counters.budget_exhaustions.load(), before + 1);
+    EXPECT_EQ(overlay.Probe(chain[5], chain[1]), Outcome::kRecheckUnreachable);
+    // A frontier that empties within the budget is definitive without a
+    // recheck: z has no outgoing edges at all.
+    EXPECT_EQ(overlay.Probe(z, chain[0]), Outcome::kBfsUnreachable);
+  }
+
+  // Descendants/Ancestors walk the combined graph.
+  {
+    engine::DeltaOverlayBackend overlay(mk_base(), &c, delta, {}, &counters);
+    std::vector<NodeId> down = overlay.Descendants(a);
+    EXPECT_EQ(down.size(), 1u /*b*/ + 8u /*chain*/ + 1u /*z*/);
+    EXPECT_NE(std::find(down.begin(), down.end(), z), down.end());
+    std::vector<NodeId> up = overlay.Ancestors(z);
+    EXPECT_NE(std::find(up.begin(), up.end(), a), up.end());
+  }
+
+  // Killing z's (base) document: probes touching z die typed, reflexive
+  // stays reflexive.
+  apply(engine::Mutation::DeleteDocument(d1));
+  {
+    engine::DeltaOverlayBackend overlay(mk_base(), &c, delta, {}, &counters);
+    EXPECT_EQ(overlay.Probe(a, z), Outcome::kDeadEndpoint);
+    EXPECT_EQ(overlay.Probe(z, z), Outcome::kReflexive);
+    EXPECT_EQ(overlay.Probe(a, chain[7]), Outcome::kBfsReachable);
+  }
+}
+
+// A document created and deleted entirely inside the delta: its ids
+// stay allocated (and probeable) but answer dead, exactly like the
+// mirror's isolated elements — and the delta refuses to touch it again.
+TEST(DeltaOverlayOutcomeTest, DocumentBornAndDeletedInsideTheDeltaStaysDead) {
+  Collection c = testing::RandomCollection(3, 4, 5, 77);
+  auto built = BuildIndex(&c, {});
+  ASSERT_TRUE(built.ok()) << built.status();
+  HopiIndex index = std::move(built).value();
+  auto snapshot = engine::BackendSnapshot::Freeze(index);
+  engine::EnginePool pool(snapshot, {.num_threads = 2});
+  ASSERT_TRUE(pool.EnableMutations(index).ok());
+  Collection mirror = c;
+
+  auto mutate = [&](engine::Mutation m) {
+    auto receipt = pool.ApplyMutation(m);
+    ASSERT_TRUE(receipt.ok()) << Describe(m) << ": " << receipt.status();
+    ASSERT_TRUE(engine::ApplyMutationToCollection(m, &mirror).ok());
+  };
+
+  auto inserted = pool.ApplyMutation(engine::Mutation::InsertDocument(
+      "ephemeral.xml",
+      {{"article", std::nullopt}, {"section", 0u}, {"cite", 1u}}));
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  ASSERT_TRUE(engine::ApplyMutationToCollection(
+                  engine::Mutation::InsertDocument(
+                      "ephemeral.xml", {{"article", std::nullopt},
+                                        {"section", 0u},
+                                        {"cite", 1u}}),
+                  &mirror)
+                  .ok());
+  const NodeId root = inserted->first_element;
+  mutate(engine::Mutation::InsertLink(0, root));
+  ExpectPoolMatchesMirrorOracle(&pool, mirror, "ephemeral_alive");
+
+  mutate(engine::Mutation::DeleteDocument(inserted->doc));
+  // Double delete and links to the dead ids are typed rejects.
+  EXPECT_TRUE(pool.ApplyMutation(engine::Mutation::DeleteDocument(
+                                     inserted->doc))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(pool.ApplyMutation(engine::Mutation::InsertLink(0, root))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(pool.ApplyMutation(engine::Mutation::DeleteLink(0, root))
+                  .status()
+                  .IsNotFound());
+  ExpectPoolMatchesMirrorOracle(&pool, mirror, "ephemeral_dead");
+
+  auto probe = pool.Batch({.pairs = {{0, root}}});
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe->batch.reachable[0] != 0);
+}
+
+// Pool-level hop-budget starvation: with a 1-hop budget over a long
+// delta chain the full matrix stays exact, and the exhaustions surface
+// as typed counters in PoolStats.
+TEST(DeltaOverlayOutcomeTest, HopBudgetExhaustionsSurfaceInPoolStats) {
+  Collection c = testing::RandomCollection(3, 3, 4, 123);
+  auto built = BuildIndex(&c, {});
+  ASSERT_TRUE(built.ok()) << built.status();
+  HopiIndex index = std::move(built).value();
+  auto snapshot = engine::BackendSnapshot::Freeze(index);
+  engine::EnginePoolOptions pool_options;
+  pool_options.num_threads = 2;
+  pool_options.overlay_hop_budget = 1;
+  engine::EnginePool pool(snapshot, pool_options);
+  ASSERT_TRUE(pool.EnableMutations(index).ok());
+  Collection mirror = c;
+
+  NodeId previous = 0;  // doc0's root
+  for (int i = 0; i < 6; ++i) {
+    engine::Mutation ins = engine::Mutation::InsertDocument(
+        "chain" + std::to_string(i) + ".xml", {{"note", std::nullopt}});
+    auto receipt = pool.ApplyMutation(ins);
+    ASSERT_TRUE(receipt.ok()) << receipt.status();
+    ASSERT_TRUE(engine::ApplyMutationToCollection(ins, &mirror).ok());
+    engine::Mutation link =
+        engine::Mutation::InsertLink(previous, receipt->first_element);
+    ASSERT_TRUE(pool.ApplyMutation(link).ok());
+    ASSERT_TRUE(engine::ApplyMutationToCollection(link, &mirror).ok());
+    previous = receipt->first_element;
+  }
+  ExpectPoolMatchesMirrorOracle(&pool, mirror, "hop_budget_chain");
+  engine::PoolStats stats = pool.Stats();
+  EXPECT_GT(stats.overlay_probes, 0u);
+  EXPECT_GT(stats.overlay_bfs_fallbacks, 0u);
+  EXPECT_GT(stats.overlay_budget_exhaustions, 0u);
+}
 
 // The no-maintenance baseline: a freshly built index over a random
 // collection already matches the oracle through every access path

@@ -11,9 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -21,6 +24,7 @@
 
 #include "engine/engine_pool.h"
 #include "engine/snapshot.h"
+#include "hopi/baseline.h"
 #include "hopi/build.h"
 #include "test_util.h"
 
@@ -388,6 +392,205 @@ TEST_F(EnginePoolFixture, ShutdownStillDrainsCallbackJobs) {
   EXPECT_TRUE(rejected.IsFailedPrecondition());
 }
 
+// ---- mutation + rebuild (the serve-during-rebuild write path) ----
+
+// First live (u, v) pair with no current edge: an always-valid
+// insert_link against `c`. Callers mutating repeatedly keep a mirror
+// collection and query against that.
+NodePair FindInsertableLink(const Collection& c) {
+  std::vector<NodeId> live = hopi::testing::LiveElements(c);
+  for (NodeId u : live) {
+    for (NodeId v : live) {
+      if (u != v && !c.ElementGraph().HasEdge(u, v)) return {u, v};
+    }
+  }
+  ADD_FAILURE() << "no insertable link exists";
+  return {0, 0};
+}
+
+TEST_F(EnginePoolFixture, MutationsRequireEnableAndValidateTyped) {
+  EnginePool pool(snapshot_, {.num_threads = 1});
+  EXPECT_FALSE(pool.mutations_enabled());
+  auto off = pool.ApplyMutation(Mutation::InsertLink(0, 1));
+  EXPECT_TRUE(off.status().IsFailedPrecondition());
+
+  ASSERT_TRUE(pool.EnableMutations(*index_).ok());
+  EXPECT_TRUE(pool.mutations_enabled());
+  NodePair link = FindInsertableLink(c_);
+  auto receipt = pool.ApplyMutation(Mutation::InsertLink(link.first,
+                                                         link.second));
+  ASSERT_TRUE(receipt.ok()) << receipt.status();
+  EXPECT_EQ(receipt->generation, 1u);
+  EXPECT_EQ(receipt->snapshot_version, snapshot_->version());
+
+  // The op is visible to the very next request, which names the
+  // serving state it was computed against.
+  auto probe = pool.Batch({.pairs = {link}});
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->batch.reachable[0] != 0);
+  EXPECT_EQ(probe->delta_generation, 1u);
+  EXPECT_EQ(probe->snapshot_version, snapshot_->version());
+
+  // Typed rejects, each leaving the delta untouched: duplicate link,
+  // tree-edge deletion, missing link, dead/oob ids.
+  auto duplicate =
+      pool.ApplyMutation(Mutation::InsertLink(link.first, link.second));
+  EXPECT_TRUE(duplicate.status().IsInvalidArgument());
+  NodeId child = kInvalidNode;
+  for (NodeId e = 0; e < c_.NumElements(); ++e) {
+    if (c_.ParentOf(e) != kInvalidNode) {
+      child = e;
+      break;
+    }
+  }
+  ASSERT_NE(child, kInvalidNode);
+  auto tree_edge =
+      pool.ApplyMutation(Mutation::DeleteLink(c_.ParentOf(child), child));
+  EXPECT_TRUE(tree_edge.status().IsNotFound());
+  auto missing = pool.ApplyMutation(Mutation::DeleteLink(link.second,
+                                                         link.first));
+  EXPECT_TRUE(missing.status().IsNotFound());
+  auto oob = pool.ApplyMutation(Mutation::InsertLink(
+      static_cast<NodeId>(c_.NumElements() + 3), 0));
+  EXPECT_TRUE(oob.status().IsInvalidArgument());
+  EXPECT_EQ(pool.delta()->generation(), 1u);
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.mutations, 1u);
+  EXPECT_EQ(stats.mutation_failures, 4u);
+  EXPECT_EQ(stats.delta_ops, 1u);
+  EXPECT_EQ(stats.delta_generation, 1u);
+}
+
+TEST_F(EnginePoolFixture, SwapDisablesMutationsAndPreservesGeneration) {
+  EnginePool pool(snapshot_, {.num_threads = 1});
+  ASSERT_TRUE(pool.EnableMutations(*index_).ok());
+  NodePair link = FindInsertableLink(c_);
+  ASSERT_TRUE(
+      pool.ApplyMutation(Mutation::InsertLink(link.first, link.second)).ok());
+
+  // An external snapshot swap cannot keep the maintenance mirror in
+  // sync, so it disarms the write path — but the global generation
+  // survives (responses stay totally ordered across the swap).
+  pool.Swap(snapshot_);
+  EXPECT_FALSE(pool.mutations_enabled());
+  EXPECT_TRUE(pool.delta()->empty());
+  EXPECT_EQ(pool.delta()->generation(), 1u);
+  auto disarmed = pool.ApplyMutation(Mutation::InsertLink(link.first,
+                                                          link.second));
+  EXPECT_TRUE(disarmed.status().IsFailedPrecondition());
+
+  // Re-arming against the (re-published) snapshot continues the count.
+  ASSERT_TRUE(pool.EnableMutations(*index_).ok());
+  auto receipt =
+      pool.ApplyMutation(Mutation::InsertLink(link.first, link.second));
+  ASSERT_TRUE(receipt.ok()) << receipt.status();
+  EXPECT_EQ(receipt->generation, 2u);
+}
+
+TEST_F(EnginePoolFixture, MaxDeltaOpsShedsMutationsUntilRebuild) {
+  EnginePoolOptions options;
+  options.num_threads = 1;
+  options.max_delta_ops = 2;
+  EnginePool pool(snapshot_, options);
+  ASSERT_TRUE(pool.EnableMutations(*index_).ok());
+  Collection mirror = hopi::testing::SmallDblp(30, 41);
+
+  for (int i = 0; i < 2; ++i) {
+    NodePair link = FindInsertableLink(mirror);
+    Mutation m = Mutation::InsertLink(link.first, link.second);
+    ASSERT_TRUE(pool.ApplyMutation(m).ok());
+    ASSERT_TRUE(ApplyMutationToCollection(m, &mirror).ok());
+  }
+  NodePair link = FindInsertableLink(mirror);
+  auto shed = pool.ApplyMutation(Mutation::InsertLink(link.first,
+                                                      link.second));
+  EXPECT_TRUE(shed.status().IsResourceExhausted());
+
+  // A rebuild truncates the delta; the shed op then applies.
+  auto rebuilt = pool.RebuildNow(RebuildMode::kAbsorb);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  auto retried = pool.ApplyMutation(Mutation::InsertLink(link.first,
+                                                         link.second));
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_EQ(retried->generation, 3u);
+}
+
+TEST_F(EnginePoolFixture, RebuildFoldsDeltaAndKeepsServingMutations) {
+  EnginePool pool(snapshot_, {.num_threads = 2});
+  ASSERT_TRUE(pool.EnableMutations(*index_).ok());
+  Collection mirror = hopi::testing::SmallDblp(30, 41);
+  std::vector<NodePair> inserted;
+  for (int i = 0; i < 3; ++i) {
+    NodePair link = FindInsertableLink(mirror);
+    Mutation m = Mutation::InsertLink(link.first, link.second);
+    ASSERT_TRUE(pool.ApplyMutation(m).ok());
+    ASSERT_TRUE(ApplyMutationToCollection(m, &mirror).ok());
+    inserted.push_back(link);
+  }
+
+  const uint64_t version_before = pool.snapshot()->version();
+  auto absorbed = pool.RebuildNow(RebuildMode::kAbsorb);
+  ASSERT_TRUE(absorbed.ok()) << absorbed.status();
+  EXPECT_EQ(absorbed->generation, 3u);
+  EXPECT_EQ(absorbed->absorbed_ops, 3u);
+  EXPECT_NE(absorbed->snapshot_version, version_before);
+  EXPECT_TRUE(pool.delta()->empty());
+  EXPECT_EQ(pool.delta()->generation(), 3u);
+  EXPECT_TRUE(pool.mutations_enabled());
+
+  // The folded snapshot serves the absorbed links natively (no delta).
+  auto probe = pool.Batch({.pairs = inserted});
+  ASSERT_TRUE(probe.ok());
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    EXPECT_TRUE(probe->batch.reachable[i] != 0) << i;
+  }
+  EXPECT_EQ(probe->snapshot_version, absorbed->snapshot_version);
+  EXPECT_EQ(probe->delta_generation, 3u);
+
+  // kFull resets the maintenance index's label degradation to a fresh
+  // build and catches up any op applied meanwhile (none here).
+  NodePair link = FindInsertableLink(mirror);
+  ASSERT_TRUE(
+      pool.ApplyMutation(Mutation::InsertLink(link.first, link.second)).ok());
+  auto full = pool.RebuildNow(RebuildMode::kFull);
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_EQ(full->mode, RebuildMode::kFull);
+  EXPECT_EQ(full->generation, 4u);
+  EXPECT_EQ(full->absorbed_ops, 1u);
+  EXPECT_DOUBLE_EQ(pool.MaintenanceDegradation(), 1.0);
+  EXPECT_EQ(pool.Stats().rebuilds, 2u);
+}
+
+TEST_F(EnginePoolFixture, RebuildDaemonAbsorbsWhenTheDeltaGrows) {
+  EnginePool pool(snapshot_, {.num_threads = 1});
+  ASSERT_TRUE(pool.EnableMutations(*index_).ok());
+  Collection mirror = hopi::testing::SmallDblp(30, 41);
+
+  RebuildDaemon::Options options;
+  options.poll_interval = std::chrono::milliseconds(1);
+  options.max_delta_ops = 2;
+  options.degradation_threshold = 0;  // absorb-only in this test
+  RebuildDaemon daemon(&pool, options);
+
+  for (int i = 0; i < 2; ++i) {
+    NodePair link = FindInsertableLink(mirror);
+    Mutation m = Mutation::InsertLink(link.first, link.second);
+    ASSERT_TRUE(pool.ApplyMutation(m).ok());
+    ASSERT_TRUE(ApplyMutationToCollection(m, &mirror).ok());
+  }
+  daemon.Poke();
+  for (int spin = 0; spin < 5000 && pool.Stats().rebuilds == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  daemon.Stop();
+  EXPECT_GE(pool.Stats().rebuilds, 1u);
+  EXPECT_GE(daemon.stats().rebuilds, 1u);
+  EXPECT_EQ(daemon.stats().errors, 0u);
+  EXPECT_TRUE(pool.delta()->empty());
+  EXPECT_EQ(pool.delta()->generation(), 2u);
+  EXPECT_TRUE(pool.mutations_enabled());
+}
+
 // ---- the swap/stress test ----
 
 // Two graphs that provably disagree: B is A plus one link that creates
@@ -587,6 +790,237 @@ TEST(EnginePoolStressTest, SwapAcrossBackendKindsKeepsAnswers) {
   EXPECT_EQ(wrong.load(), 0u);
   pool.Shutdown();
   std::remove(path.c_str());
+}
+
+// Serve-during-rebuild under fire: client threads hammer Batch() while
+// a writer streams mutations and the RebuildDaemon races absorb
+// rebuilds, snapshot swap-ins, and delta truncations against both.
+//
+// The oracle protocol: every accepted mutation advances the global
+// delta generation by exactly one, and (snapshot_version,
+// delta_generation) always names one unique logical graph — absorbing
+// a delta changes the version but *preserves* the generation, so the
+// generation alone identifies the graph. The writer publishes, under
+// one mutex, {ApplyMutation -> mirror replay -> closure matrix of that
+// generation}; a client holding a response for generation g therefore
+// finds a matrix that is correct for g (spinning briefly if the writer
+// is still inside the critical section). A torn response — answers
+// mixing the pre- and post-rebuild state, or a delta truncated before
+// its snapshot swapped in — shows up as a content mismatch, not just a
+// sanitizer report.
+TEST(EnginePoolStressTest, MutationsRebuildsAndProbesRaceConsistently) {
+  Collection base = hopi::testing::RandomCollection(4, 5, 8, 31337);
+  HopiIndex index = MustBuild(&base);
+  auto snapshot = BackendSnapshot::Freeze(index);
+  const auto n0 = static_cast<NodeId>(base.NumElements());
+
+  EnginePoolOptions options;
+  options.num_threads = 3;
+  options.overlay_hop_budget = 2;  // force recheck traffic
+  options.overlay_parallel_threshold = 4;
+  options.max_delta_ops = 64;  // writer must wait for absorbs
+  EnginePool pool(snapshot, options);
+  ASSERT_TRUE(pool.EnableMutations(index).ok());
+
+  RebuildDaemon::Options daemon_options;
+  daemon_options.poll_interval = std::chrono::milliseconds(1);
+  daemon_options.max_delta_ops = 8;
+  daemon_options.degradation_threshold = 1.5;
+  RebuildDaemon daemon(&pool, daemon_options);
+
+  // Clients probe base ids only, so a fixed n0 x n0 matrix per
+  // generation suffices even as inserted documents grow the id space.
+  auto matrix_for = [n0](const Collection& mirror) {
+    TransitiveClosureIndex closure =
+        TransitiveClosureIndex::Build(mirror.ElementGraph(), false);
+    std::vector<bool> matrix(static_cast<size_t>(n0) * n0);
+    for (NodeId u = 0; u < n0; ++u) {
+      for (NodeId v = 0; v < n0; ++v) {
+        matrix[static_cast<size_t>(u) * n0 + v] = closure.IsReachable(u, v);
+      }
+    }
+    return matrix;
+  };
+
+  std::mutex mx;  // guards mirror + matrices, serializes the writer
+  Collection mirror = base;
+  std::map<uint64_t, std::vector<bool>> matrix_of_generation;
+  matrix_of_generation[0] = matrix_for(mirror);
+
+  constexpr int kWriterOps = 120;  // > max_delta_ops: forces absorbs
+  std::atomic<size_t> accepted{0};
+  std::atomic<size_t> torn{0};
+  std::atomic<bool> clients_done{false};
+
+  std::thread writer([&] {
+    Rng rng(9001);
+    int doc_counter = 0;
+    // Valid-by-construction draw against the mirror: mostly links in
+    // and out of the combined graph, some document births and deaths.
+    auto draw = [&](const Collection& m) -> Mutation {
+      switch (rng.NextBounded(5)) {
+        case 0:
+        case 1: {
+          std::vector<NodeId> live = hopi::testing::LiveElements(m);
+          for (int attempt = 0; attempt < 10 && live.size() > 1; ++attempt) {
+            NodeId u = live[rng.NextBounded(live.size())];
+            NodeId v = live[rng.NextBounded(live.size())];
+            if (u == v || m.ElementGraph().HasEdge(u, v)) continue;
+            return Mutation::InsertLink(u, v);
+          }
+          break;
+        }
+        case 2: {
+          if (m.Links().empty()) break;
+          collection::Link l = m.Links()[rng.NextBounded(m.Links().size())];
+          return Mutation::DeleteLink(l.source, l.target);
+        }
+        case 3: {
+          if (m.NumLiveDocuments() <= 2) break;
+          for (int attempt = 0; attempt < 10; ++attempt) {
+            auto d = static_cast<uint32_t>(rng.NextBounded(m.NumDocuments()));
+            if (m.IsLive(d)) return Mutation::DeleteDocument(d);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      std::vector<NewElementSpec> elements;
+      elements.push_back({"article", std::nullopt});
+      size_t extra = rng.NextBounded(4);
+      for (size_t i = 0; i < extra; ++i) {
+        elements.push_back(
+            {"section",
+             static_cast<uint32_t>(rng.NextBounded(elements.size()))});
+      }
+      return Mutation::InsertDocument(
+          "stress" + std::to_string(doc_counter++) + ".xml",
+          std::move(elements));
+    };
+
+    for (int op = 0; op < kWriterOps; ++op) {
+      // Bounded backpressure loop: at the pool's hard delta cap the
+      // mutation sheds (429) until the daemon absorbs; a dead daemon
+      // fails the test here instead of hanging it.
+      bool applied = false;
+      for (int attempt = 0; attempt < 5000 && !applied; ++attempt) {
+        std::unique_lock<std::mutex> lock(mx);
+        Mutation m = draw(mirror);
+        auto receipt = pool.ApplyMutation(m);
+        if (!receipt.ok()) {
+          ASSERT_TRUE(receipt.status().IsResourceExhausted())
+              << "op " << op << ": " << receipt.status();
+          lock.unlock();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        ASSERT_TRUE(ApplyMutationToCollection(m, &mirror).ok());
+        EXPECT_EQ(receipt->generation, accepted.load() + 1);
+        matrix_of_generation[receipt->generation] = matrix_for(mirror);
+        accepted.fetch_add(1);
+        applied = true;
+      }
+      ASSERT_TRUE(applied) << "writer starved at op " << op
+                           << " (daemon never absorbed the delta)";
+    }
+  });
+
+  constexpr int kClients = 3;
+  constexpr int kBatchesPerClient = 150;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int client = 0; client < kClients; ++client) {
+    clients.emplace_back([&, client] {
+      Rng rng(2000 + client);
+      for (int b = 0; b < kBatchesPerClient; ++b) {
+        std::vector<NodePair> pairs;
+        for (int i = 0; i < 48; ++i) {
+          pairs.push_back({static_cast<NodeId>(rng.NextBounded(n0)),
+                           static_cast<NodeId>(rng.NextBounded(n0))});
+        }
+        auto response = pool.Batch({.pairs = pairs});
+        ASSERT_TRUE(response.ok()) << response.status();
+        const uint64_t generation = response->delta_generation;
+        // The writer publishes generation g's matrix before releasing
+        // mx, so at worst we spin across its critical section.
+        std::vector<bool> matrix;
+        for (int spin = 0; spin < 200000 && matrix.empty(); ++spin) {
+          std::lock_guard<std::mutex> lock(mx);
+          auto it = matrix_of_generation.find(generation);
+          if (it != matrix_of_generation.end()) matrix = it->second;
+        }
+        ASSERT_FALSE(matrix.empty())
+            << "no matrix ever published for generation " << generation;
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          bool expect = matrix[static_cast<size_t>(pairs[i].first) * n0 +
+                               pairs[i].second];
+          if (response->batch.reachable[i] != expect) torn.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Mutation-era stats must stay monotonic while rebuilds truncate the
+  // delta under the counters.
+  std::thread sampler([&] {
+    PoolStats last;
+    while (!clients_done.load()) {
+      PoolStats now = pool.Stats();
+      EXPECT_GE(now.mutations, last.mutations);
+      EXPECT_GE(now.mutation_failures, last.mutation_failures);
+      EXPECT_GE(now.rebuilds, last.rebuilds);
+      EXPECT_GE(now.delta_generation, last.delta_generation);
+      EXPECT_GE(now.overlay_probes, last.overlay_probes);
+      EXPECT_GE(now.overlay_bfs_fallbacks, last.overlay_bfs_fallbacks);
+      EXPECT_GE(now.overlay_budget_exhaustions,
+                last.overlay_budget_exhaustions);
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+
+  writer.join();
+  for (auto& client : clients) client.join();
+  clients_done.store(true);
+  sampler.join();
+  daemon.Stop();
+
+  EXPECT_EQ(torn.load(), 0u) << "responses disagreeing with the matrix of "
+                                "their reported generation";
+  EXPECT_EQ(accepted.load(), static_cast<size_t>(kWriterOps));
+  EXPECT_EQ(daemon.stats().errors, 0u);
+  // kWriterOps > max_delta_ops, so the writer can only have finished
+  // if the daemon rebuilt at least once.
+  EXPECT_GE(daemon.stats().rebuilds, 1u);
+  PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.mutations, static_cast<uint64_t>(kWriterOps));
+  EXPECT_EQ(stats.delta_generation, static_cast<uint64_t>(kWriterOps));
+
+  // Post-race convergence: a full rebuild from the maintenance state
+  // must agree everywhere with a fresh closure of the final mirror.
+  auto full = pool.RebuildNow(RebuildMode::kFull);
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_TRUE(pool.delta()->empty());
+  ASSERT_EQ(pool.ServingElementCount(), mirror.NumElements());
+  const auto n = static_cast<NodeId>(mirror.NumElements());
+  TransitiveClosureIndex closure =
+      TransitiveClosureIndex::Build(mirror.ElementGraph(), false);
+  size_t mismatches = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    BatchRequest request;
+    for (NodeId v = 0; v < n; ++v) request.pairs.push_back({u, v});
+    auto response = pool.Batch(std::move(request));
+    ASSERT_TRUE(response.ok()) << response.status();
+    for (NodeId v = 0; v < n; ++v) {
+      if ((response->batch.reachable[v] != 0) != closure.IsReachable(u, v)) {
+        ++mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << "post-rebuild snapshot disagrees with the "
+                               "closure of the final mirror";
+  pool.Shutdown();
 }
 
 }  // namespace

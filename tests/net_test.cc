@@ -341,11 +341,19 @@ class ServingFixture : public ::testing::Test {
     snapshot_ = engine::BackendSnapshot::Freeze(*index_);
   }
 
-  /// Spins up pool + service + server; returns the bound port.
+  /// Spins up pool + service + server; returns the bound port. With
+  /// `mutate` the write path is armed before Start() — the production
+  /// ordering (hopi_serve does the same), which also keeps the
+  /// enable flags out of reach of the IO threads.
   void StartServer(engine::EnginePoolOptions pool_options = {},
-                   HttpServerOptions server_options = {}) {
+                   HttpServerOptions server_options = {},
+                   bool mutate = false) {
     pool_ = std::make_unique<engine::EnginePool>(snapshot_, pool_options);
     service_ = std::make_unique<ReachabilityService>(pool_.get());
+    if (mutate) {
+      ASSERT_TRUE(pool_->EnableMutations(*index_).ok());
+      service_->EnableMutations();
+    }
     server_ = std::make_unique<HttpServer>(service_->AsHandler(),
                                            server_options);
     service_->BindServerStats([this] { return server_->Stats(); });
@@ -487,6 +495,112 @@ TEST_F(ServingFixture, HealthStatsAndRoutingErrors) {
   EXPECT_EQ(batch_endpoint->Find("errors")->AsNumber(), 2.0);
   EXPECT_GE(
       batch_endpoint->Find("latency_us")->Find("p50_us")->AsNumber(), 0.0);
+}
+
+TEST_F(ServingFixture, MutateRouteIsClosedUntilEnabled) {
+  StartServer();  // write path not armed
+  BlockingHttpClient client = Connect();
+  auto response = client.Request(
+      "POST", "/v1/mutate", R"({"op":"insert_link","source":0,"target":1})");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 501);
+  auto json = ParseJson(response->body);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Find("error")->Find("code")->AsString(), "Unsupported");
+}
+
+TEST_F(ServingFixture, MutateOverSocketAppliesAndServesTheDelta) {
+  StartServer({}, {}, /*mutate=*/true);
+  BlockingHttpClient client = Connect();
+
+  // A pair the frozen index cannot reach: inserting the link must flip
+  // the served answer without any rebuild.
+  std::vector<NodeId> live = hopi::testing::LiveElements(c_);
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  for (NodeId a : live) {
+    for (NodeId b : live) {
+      if (a != b && !index_->IsReachable(a, b)) {
+        u = a;
+        v = b;
+        break;
+      }
+    }
+    if (u != kInvalidNode) break;
+  }
+  ASSERT_NE(u, kInvalidNode);
+
+  std::string pair_body = "{\"pairs\":[[" + std::to_string(u) + "," +
+                          std::to_string(v) + "]]}";
+  auto before = client.Request("POST", "/v1/batch", pair_body);
+  ASSERT_TRUE(before.ok());
+  auto before_json = ParseJson(before->body);
+  ASSERT_TRUE(before_json.ok());
+  EXPECT_FALSE(before_json->Find("reachable")->AsArray()[0].AsBool());
+  EXPECT_EQ(before_json->Find("delta_generation")->AsNumber(), 0.0);
+
+  auto mutate = client.Request(
+      "POST", "/v1/mutate",
+      "{\"op\":\"insert_link\",\"source\":" + std::to_string(u) +
+          ",\"target\":" + std::to_string(v) + "}");
+  ASSERT_TRUE(mutate.ok()) << mutate.status();
+  EXPECT_EQ(mutate->status, 200);
+  auto receipt = ParseJson(mutate->body);
+  ASSERT_TRUE(receipt.ok()) << mutate->body;
+  EXPECT_TRUE(receipt->Find("applied")->AsBool());
+  EXPECT_EQ(receipt->Find("generation")->AsNumber(), 1.0);
+  EXPECT_EQ(receipt->Find("snapshot_version")->AsNumber(),
+            static_cast<double>(snapshot_->version()));
+
+  auto after = client.Request("POST", "/v1/batch", pair_body);
+  ASSERT_TRUE(after.ok());
+  auto after_json = ParseJson(after->body);
+  ASSERT_TRUE(after_json.ok());
+  EXPECT_TRUE(after_json->Find("reachable")->AsArray()[0].AsBool());
+  EXPECT_EQ(after_json->Find("delta_generation")->AsNumber(), 1.0);
+
+  // The reject taxonomy over the wire: shape -> 400, semantics -> 404,
+  // method -> 405; none of them may advance the generation.
+  auto malformed = client.Request("POST", "/v1/mutate",
+                                  R"({"op":"insert_link","source":0})");
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_EQ(malformed->status, 400);
+  auto malformed_json = ParseJson(malformed->body);
+  ASSERT_TRUE(malformed_json.ok());
+  EXPECT_EQ(malformed_json->Find("error")->Find("code")->AsString(),
+            "InvalidArgument");
+  auto absent = client.Request(
+      "POST", "/v1/mutate",
+      "{\"op\":\"delete_link\",\"source\":" + std::to_string(v) +
+          ",\"target\":" + std::to_string(u) + "}");
+  ASSERT_TRUE(absent.ok());
+  EXPECT_EQ(absent->status, 404);
+  auto wrong_method = client.Request("GET", "/v1/mutate");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+
+  auto stats = client.Request("GET", "/stats");
+  ASSERT_TRUE(stats.ok());
+  auto stats_json = ParseJson(stats->body);
+  ASSERT_TRUE(stats_json.ok()) << stats->body;
+  const JsonValue* overlay = stats_json->Find("overlay");
+  ASSERT_NE(overlay, nullptr) << stats->body;
+  EXPECT_EQ(overlay->Find("mutations")->AsNumber(), 1.0);
+  // Shape rejects die at the wire parser; only the semantic one (the
+  // absent link) reaches the pool's failure counter.
+  EXPECT_EQ(overlay->Find("mutation_failures")->AsNumber(), 1.0);
+  EXPECT_EQ(overlay->Find("delta_ops")->AsNumber(), 1.0);
+  EXPECT_EQ(overlay->Find("delta_generation")->AsNumber(), 1.0);
+  // The pre-mutation batch served the raw base backend (empty delta
+  // bypasses the overlay); only the post-mutation probe books here.
+  EXPECT_GE(overlay->Find("probes")->AsNumber(), 1.0);
+  EXPECT_GE(overlay->Find("bfs_fallbacks")->AsNumber(), 1.0);
+  EXPECT_EQ(overlay->Find("rebuilds")->AsNumber(), 0.0);
+  const JsonValue* mutate_endpoint =
+      stats_json->Find("endpoints")->Find("mutate");
+  ASSERT_NE(mutate_endpoint, nullptr);
+  EXPECT_EQ(mutate_endpoint->Find("requests")->AsNumber(), 4.0);
+  EXPECT_EQ(mutate_endpoint->Find("errors")->AsNumber(), 3.0);
 }
 
 TEST_F(ServingFixture, KeepAliveServesManySequentialRequests) {

@@ -442,6 +442,65 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossLoopsAndAfterErrors) {
   }
 }
 
+TEST(ThreadPoolTest, ConcurrentLoopsFromManyThreadsAllComplete) {
+  // Regression for the old "one loop at a time" restriction: several
+  // threads race ParallelFor on one shared pool (the overlay-BFS shape —
+  // every serving probe may try to drive its frontiers through the same
+  // pool). At most one caller owns the workers; the rest must degrade to
+  // inline serial loops, and every loop must still run every index
+  // exactly once with no cross-talk between the loops' error channels.
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  constexpr size_t kIndices = 300;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kIndices);
+  }
+  std::vector<Status> statuses(kCallers);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      statuses[t] = pool.ParallelFor(0, kIndices, [&, t](size_t i) {
+        hits[t][i].fetch_add(1);
+        // A failing caller must not cancel or poison anyone else's loop.
+        if (t == 0 && i == kIndices - 1) {
+          return Status::Internal("caller 0 fails its last index");
+        }
+        return Status::OK();
+      });
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_TRUE(statuses[0].IsInternal());
+  for (int t = 1; t < kCallers; ++t) {
+    EXPECT_TRUE(statuses[t].ok()) << "caller " << t << ": " << statuses[t];
+    for (size_t i = 0; i < kIndices; ++i) {
+      ASSERT_EQ(hits[t][i].load(), 1) << "caller " << t << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReentrantLoopFallsBackToInlineExecution) {
+  // A task that calls ParallelFor on its own pool must not deadlock or
+  // interleave with the outer loop's index space — the nested call runs
+  // inline on the task's thread.
+  ThreadPool pool(3);
+  std::atomic<uint64_t> inner_total{0};
+  Status s = pool.ParallelFor(0, 16, [&](size_t) {
+    uint64_t local = 0;
+    Status inner = pool.ParallelFor(0, 10, [&](size_t j) {
+      local += j;
+      return Status::OK();
+    });
+    EXPECT_TRUE(inner.ok());
+    EXPECT_EQ(local, 45u);  // inline: no other thread touched `local`
+    inner_total.fetch_add(local);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(inner_total.load(), 16u * 45u);
+}
+
 // ---- Rng::Fork ----
 
 TEST(RngForkTest, SameStreamIsReproducible) {

@@ -22,9 +22,14 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine_pool.h"
+#include "engine/snapshot.h"
+#include "hopi/baseline.h"
+#include "hopi/build.h"
 #include "net/http.h"
 #include "net/json.h"
 #include "net/wire.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace hopi::net {
@@ -196,6 +201,10 @@ void ExerciseWire(const std::string& body) {
   if (!path.ok()) {
     EXPECT_TRUE(path.status().IsInvalidArgument());
   }
+  auto mutation = wire.ParseMutationRequest(body, 1000, 50);
+  if (!mutation.ok()) {
+    EXPECT_TRUE(mutation.status().IsInvalidArgument());
+  }
 }
 
 const char* const kValidBodies[] = {
@@ -203,6 +212,11 @@ const char* const kValidBodies[] = {
     R"({"pairs":[]})",
     R"({"expression":"//a//~b","max_matches":10,"count_only":false})",
     R"({"expression":"/x","min_tag_similarity":0.25})",
+    R"({"op":"insert_link","source":0,"target":7})",
+    R"({"op":"delete_link","source":12,"target":3})",
+    R"({"op":"insert_document","name":"d.xml","elements":)"
+    R"([{"tag":"article","parent":null},{"tag":"sec","parent":0}]})",
+    R"({"op":"delete_document","doc":4})",
 };
 
 TEST(WireFuzzTest, TruncationsOfValidBodiesAreSafe) {
@@ -333,6 +347,180 @@ TEST(WireFuzzTest, HugeExpressionIsRejectedNotCopied) {
   auto parsed = wire.ParsePathRequest(body);
   ASSERT_FALSE(parsed.ok());
   EXPECT_TRUE(parsed.status().IsInvalidArgument());
+}
+
+// ---- /v1/mutate fuzz ----
+
+TEST(WireFuzzTest, WrongShapedMutationBodiesGetTypedRejects) {
+  // Valid JSON, wrong mutation shape, checked against a serving state
+  // of 10 elements / 5 documents: every case must be a typed
+  // InvalidArgument with a message, never OK, never a crash.
+  JsonWire wire;
+  const char* const cases[] = {
+      "3",
+      "{}",
+      R"({"op":5})",
+      R"({"op":"noop"})",
+      R"({"op":"insert_link","source":0})",
+      R"({"op":"insert_link","source":0,"target":1,"extra":true})",
+      R"({"op":"insert_link","source":10,"target":0})",
+      R"({"op":"insert_link","source":-1,"target":0})",
+      R"({"op":"insert_link","source":0.5,"target":0})",
+      R"({"op":"delete_link","source":"0","target":1})",
+      R"({"op":"insert_document","name":"d","elements":[]})",
+      R"({"op":"insert_document","name":"d","elements":)"
+      R"([{"tag":"a","parent":0}]})",
+      R"({"op":"insert_document","name":"d","elements":)"
+      R"([{"tag":"a","parent":null},{"tag":"b","parent":1}]})",
+      R"({"op":"insert_document","name":"d","elements":[{"tag":"a"}]})",
+      R"({"op":"insert_document","name":"d","elements":)"
+      R"([{"tag":"a","parent":null,"attr":1}]})",
+      R"({"op":"insert_document","elements":[{"tag":"a","parent":null}]})",
+      R"({"op":"delete_document","doc":5})",
+      R"({"op":"delete_document"})",
+      R"({"op":"delete_document","doc":4,"source":0})",
+  };
+  for (const char* c : cases) {
+    auto parsed = wire.ParseMutationRequest(c, 10, 5);
+    ASSERT_FALSE(parsed.ok()) << c;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << c;
+    EXPECT_FALSE(parsed.status().message().empty()) << c;
+  }
+}
+
+TEST(WireFuzzTest, OversizedMutationFieldsAreRejectedNotCopied) {
+  WireLimits limits;
+  limits.max_name_bytes = 8;
+  limits.max_document_elements = 4;
+  JsonWire wire(limits);
+
+  std::string long_name = "{\"op\":\"insert_document\",\"name\":\"" +
+                          std::string(10000, 'n') +
+                          "\",\"elements\":[{\"tag\":\"a\",\"parent\":null}]}";
+  auto parsed = wire.ParseMutationRequest(long_name, 10, 5);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+
+  std::string long_tag =
+      "{\"op\":\"insert_document\",\"name\":\"d\",\"elements\":[{\"tag\":\"" +
+      std::string(10000, 't') + "\",\"parent\":null}]}";
+  parsed = wire.ParseMutationRequest(long_tag, 10, 5);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+
+  std::string flood =
+      R"({"op":"insert_document","name":"d","elements":[)"
+      R"({"tag":"a","parent":null})";
+  for (int i = 1; i < 5; ++i) flood += R"(,{"tag":"b","parent":0})";
+  flood += "]}";
+  parsed = wire.ParseMutationRequest(flood, 10, 5);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+}
+
+TEST(WireFuzzTest, MutationFragmentSoupIsSafe) {
+  // Mutation-flavored almost-JSON: real schema tokens in wrong places.
+  Rng rng(kSeed + 7);
+  const char* const fragments[] = {
+      "{",  "}",  "[",  "]",  ",",  ":",  "\"", "op", "\"op\":",
+      "insert_link", "delete_link", "insert_document", "delete_document",
+      "\"source\":", "\"target\":", "\"doc\":", "\"name\":",
+      "\"elements\":", "\"tag\":", "\"parent\":", "null", "0", "-1",
+      "1e18", "4294967295", "4294967296", " ", "\\u0000",
+  };
+  for (int round = 0; round < 1000; ++round) {
+    std::string body;
+    size_t pieces = 1 + rng.NextBounded(30);
+    for (size_t i = 0; i < pieces; ++i) {
+      body += fragments[rng.NextBounded(std::size(fragments))];
+    }
+    ExerciseWire(body);
+  }
+}
+
+// End-to-end no-corruption proof: the corpus (truncations + byte flips
+// of valid mutate bodies + fragment soup) is thrown at a LIVE pool's
+// write path. Whatever parses goes through ApplyMutation; accepted ops
+// are replayed on a mirror collection, and afterwards the pool's full
+// matrix must equal the closure of the mirror — so no reject, however
+// mangled its body, may have half-applied anything to the delta.
+TEST(WireFuzzTest, FuzzedMutationBodiesNeverCorruptTheDelta) {
+  collection::Collection base = hopi::testing::SmallDblp(12, 7);
+  IndexBuildOptions build_options;
+  auto index = BuildIndex(&base, build_options);
+  ASSERT_TRUE(index.ok()) << index.status();
+  auto snapshot = engine::BackendSnapshot::Freeze(*index);
+  engine::EnginePool pool(snapshot, {.num_threads = 1});
+  ASSERT_TRUE(pool.EnableMutations(*index).ok());
+  collection::Collection mirror = base;
+
+  JsonWire wire;
+  uint64_t accepted = 0;
+  auto throw_at_pool = [&](const std::string& body) {
+    auto parsed = wire.ParseMutationRequest(body, pool.ServingElementCount(),
+                                            pool.ServingDocumentCount());
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsInvalidArgument()) << body;
+      return;
+    }
+    engine::Mutation m = std::move(parsed).value();
+    auto receipt = pool.ApplyMutation(m);
+    if (!receipt.ok()) {
+      // Semantic rejects are typed; an Internal here would mean the
+      // validator let a corrupting op half-apply.
+      EXPECT_TRUE(receipt.status().IsInvalidArgument() ||
+                  receipt.status().IsNotFound() ||
+                  receipt.status().IsResourceExhausted())
+          << body << ": " << receipt.status();
+      return;
+    }
+    ASSERT_TRUE(engine::ApplyMutationToCollection(m, &mirror).ok()) << body;
+    ++accepted;
+    EXPECT_EQ(receipt->generation, accepted);
+  };
+
+  const char* const valid_bodies[] = {
+      R"({"op":"insert_link","source":0,"target":7})",
+      R"({"op":"delete_link","source":0,"target":7})",
+      R"({"op":"insert_document","name":"f.xml","elements":)"
+      R"([{"tag":"article","parent":null},{"tag":"sec","parent":0}]})",
+      R"({"op":"delete_document","doc":4})",
+  };
+  Rng rng(kSeed + 8);
+  for (const char* valid : valid_bodies) {
+    std::string body(valid);
+    for (size_t len = 0; len <= body.size(); ++len) {
+      throw_at_pool(body.substr(0, len));
+    }
+    for (size_t pos = 0; pos < body.size(); ++pos) {
+      std::string mutated = body;
+      mutated[pos] = static_cast<char>(rng.NextBounded(256));
+      throw_at_pool(mutated);
+    }
+  }
+  EXPECT_GT(accepted, 0u);  // the exact valid bodies must have landed
+  EXPECT_EQ(pool.delta()->generation(), accepted);
+  EXPECT_EQ(pool.Stats().mutations, accepted);
+
+  // Bit-identical to the mirror's re-materialized closure.
+  ASSERT_EQ(pool.ServingElementCount(), mirror.NumElements());
+  const auto n = static_cast<NodeId>(mirror.NumElements());
+  TransitiveClosureIndex closure =
+      TransitiveClosureIndex::Build(mirror.ElementGraph(), false);
+  size_t mismatches = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    engine::BatchRequest request;
+    for (NodeId v = 0; v < n; ++v) request.pairs.push_back({u, v});
+    auto response = pool.Batch(std::move(request));
+    ASSERT_TRUE(response.ok()) << response.status();
+    for (NodeId v = 0; v < n; ++v) {
+      if ((response->batch.reachable[v] != 0) != closure.IsReachable(u, v)) {
+        ++mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+  pool.Shutdown();
 }
 
 }  // namespace

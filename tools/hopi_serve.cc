@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
       argc, argv,
       {"port", "bind", "docs", "seed", "threads", "io_threads",
        "queue_capacity", "shed_high", "shed_low", "cache_kb",
-       "max_connections", "stats_interval_s", "with_distance"},
+       "max_connections", "stats_interval_s", "with_distance", "mutate",
+       "max_delta_ops", "rebuild_poll_ms", "rebuild_degradation",
+       "overlay_hop_budget"},
       &cli);
   if (!parsed.ok()) {
     std::cerr << parsed << "\n";
@@ -90,9 +92,36 @@ int main(int argc, char** argv) {
       static_cast<size_t>(cli.GetInt("shed_high", 256));
   pool_options.shed_low_watermark =
       static_cast<size_t>(cli.GetInt("shed_low", 0));
+  const bool mutate = cli.GetInt("mutate", 0) != 0;
+  const size_t max_delta_ops =
+      static_cast<size_t>(cli.GetInt("max_delta_ops", 1024));
+  pool_options.overlay_hop_budget =
+      static_cast<size_t>(cli.GetInt("overlay_hop_budget", 8));
+  if (mutate) {
+    // Hard shed at 4x the daemon's absorb trigger: the write path
+    // backpressures (429) instead of growing the delta unboundedly if
+    // rebuilds cannot keep up.
+    pool_options.max_delta_ops = max_delta_ops * 4;
+  }
   engine::EnginePool pool(snapshot, pool_options);
 
+  std::unique_ptr<engine::RebuildDaemon> daemon;
+  if (mutate) {
+    if (Status armed = pool.EnableMutations(*index); !armed.ok()) {
+      std::cerr << armed << "\n";
+      return 1;
+    }
+    engine::RebuildDaemon::Options daemon_options;
+    daemon_options.poll_interval =
+        std::chrono::milliseconds(cli.GetInt("rebuild_poll_ms", 250));
+    daemon_options.max_delta_ops = max_delta_ops;
+    daemon_options.degradation_threshold =
+        cli.GetDouble("rebuild_degradation", 2.0);
+    daemon = std::make_unique<engine::RebuildDaemon>(&pool, daemon_options);
+  }
+
   net::ReachabilityService service(&pool);
+  if (mutate) service.EnableMutations();
   net::HttpServerOptions server_options;
   server_options.bind_address = bind;
   server_options.port = port;
@@ -116,6 +145,12 @@ int main(int argc, char** argv) {
             << pool_options.shed_high_watermark << ")\n";
   std::cout << "try:  curl -s " << bind << ":" << server.port()
             << "/v1/batch -d '{\"pairs\":[[0,7]],\"want_distances\":true}'\n";
+  if (mutate) {
+    std::cout << "mutations on (absorb at " << max_delta_ops
+              << " delta ops):  curl -s " << bind << ":" << server.port()
+              << "/v1/mutate -d "
+              << "'{\"op\":\"insert_link\",\"source\":0,\"target\":7}'\n";
+  }
 
   int since_report = 0;
   while (g_stop == 0) {
@@ -130,12 +165,19 @@ int main(int argc, char** argv) {
                 << " batches=" << stats.batches
                 << " path_queries=" << stats.path_queries
                 << " sheds=" << stats.sheds
-                << " queued=" << stats.queued
-                << (stats.shedding ? " SHEDDING" : "") << "\n";
+                << " queued=" << stats.queued;
+      if (mutate) {
+        std::cout << " mutations=" << stats.mutations
+                  << " delta_ops=" << stats.delta_ops
+                  << " rebuilds=" << stats.rebuilds
+                  << " degradation=" << stats.degradation;
+      }
+      std::cout << (stats.shedding ? " SHEDDING" : "") << "\n";
     }
   }
   std::cout << "\nshutting down...\n";
   server.Stop();    // no new requests; in-flight responders drop safely
+  if (daemon) daemon->Stop();  // no rebuild racing the drain
   pool.Shutdown();  // drain queued work
   return 0;
 }
