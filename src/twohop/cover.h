@@ -55,7 +55,15 @@ LabelJoinResult JoinLabelRanges(NodeId u, NodeId v, const Entry* lout,
   auto consider = [&result](uint32_t d) {
     if (!result.distance || d < *result.distance) result.distance = d;
   };
-  auto find = [](const Entry* entries, size_t n, NodeId c) -> const Entry* {
+  // A sorted range can only contain `c` when c falls inside
+  // [front, back] — the O(1) screen that makes the lower_bound probes
+  // and the merge below skippable for disjoint labels.
+  auto in_range = [](const Entry* entries, size_t n, NodeId c) {
+    return n != 0 && entries[0].center <= c && c <= entries[n - 1].center;
+  };
+  auto find = [&in_range](const Entry* entries, size_t n,
+                          NodeId c) -> const Entry* {
+    if (!in_range(entries, n, c)) return nullptr;
     const Entry* it = std::lower_bound(
         entries, entries + n, c,
         [](const Entry& e, NodeId cc) { return e.center < cc; });
@@ -73,6 +81,12 @@ LabelJoinResult JoinLabelRanges(NodeId u, NodeId v, const Entry* lout,
     if (want_distance) consider(e->dist);
   }
   if (result.connected && !want_distance) return result;
+  // Disjoint center ranges cannot share a center: skip the merge.
+  if (lout_n == 0 || lin_n == 0 ||
+      lout[lout_n - 1].center < lin[0].center ||
+      lin[lin_n - 1].center < lout[0].center) {
+    return result;
+  }
   // Merge-intersect the explicit label sets.
   size_t i = 0, j = 0;
   while (i < lout_n && j < lin_n) {
