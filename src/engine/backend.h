@@ -66,6 +66,15 @@ struct PinnedLabel {
   LabelBlock block;
 };
 
+/// The kernel-ready twin of PinnedLabel: a twohop::JoinView (SoA or
+/// strided columns + the label's summary word) plus whatever keeps the
+/// underlying arrays alive. Same pinning rule — hold the PinnedJoin,
+/// not just the view.
+struct PinnedJoin {
+  twohop::JoinView view;
+  LabelBlock block;
+};
+
 /// A single (source, target) reachability probe.
 using NodePair = std::pair<NodeId, NodeId>;
 
@@ -155,6 +164,33 @@ class ReachabilityBackend {
   /// @brief Zero-copy LIN(v) access; contract as BorrowOutLabel.
   virtual std::optional<LabelView> BorrowInLabel(NodeId /*v*/) const {
     return std::nullopt;
+  }
+
+  // ---- join export (the vectorized-kernel route) ----
+  //
+  // The engine's batch path feeds twohop::JoinViews (join_kernel.h)
+  // rather than walking LabelEntry spans itself. These hooks let a
+  // borrow-route backend hand out the kernel-ready shape directly —
+  // packed SoA columns plus a real LabelSummary when it keeps them
+  // (an in-memory cover's mirrors), or a strided adapter over its AoS
+  // storage otherwise. The defaults adapt the Borrow*Label spans, so
+  // backends only override for a better layout. Lifetime contract is
+  // BorrowOutLabel's: valid for the backend's lifetime.
+
+  /// @brief LOUT(u) as a borrowed kernel view, or nullopt when the
+  /// backend is not on the borrow route.
+  virtual std::optional<twohop::JoinView> BorrowOutJoin(NodeId u) const {
+    std::optional<LabelView> l = BorrowOutLabel(u);
+    if (!l) return std::nullopt;
+    return twohop::JoinView::FromEntries(l->data(), l->size());
+  }
+
+  /// @brief LIN(v) as a borrowed kernel view; contract as
+  /// BorrowOutJoin.
+  virtual std::optional<twohop::JoinView> BorrowInJoin(NodeId v) const {
+    std::optional<LabelView> l = BorrowInLabel(v);
+    if (!l) return std::nullopt;
+    return twohop::JoinView::FromEntries(l->data(), l->size());
   }
 
   // ---- block export (the compressed-label route) ----

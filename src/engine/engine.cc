@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "engine/backends.h"
+#include "twohop/join_kernel.h"
 
 namespace hopi::engine {
 
@@ -69,8 +70,9 @@ ReachabilityResponse QueryEngine::Reachability(
   return response;
 }
 
-PinnedLabel QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
-                                    BatchStats* stats, Status* error) const {
+PinnedJoin QueryEngine::FetchJoinLabel(LabelCache::Side side, NodeId node,
+                                       BatchStats* stats,
+                                       Status* error) const {
   bool out = side == LabelCache::Side::kOut;
   // Row-memo fast path: once a node's row has been located inside a
   // decoded block, warm probes skip every directory search — one hash
@@ -80,7 +82,7 @@ PinnedLabel QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
   uint32_t memo_row = 0;
   if (LabelBlock block = cache_.GetRow(row_key, &memo_row)) {
     ++stats->cache_hits;
-    LabelView view = block->Row(memo_row);
+    twohop::JoinView view = block->JoinRow(memo_row);
     return {view, std::move(block)};
   }
   // Block route: compressed storage names the block holding the row;
@@ -100,7 +102,7 @@ PinnedLabel QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
       Result<LabelBlock> decoded = backend_->DecodeLabelBlock(*handle);
       if (!decoded.ok()) {
         if (error->ok()) *error = decoded.status();
-        return {LabelView{}, nullptr};
+        return {twohop::JoinView{}, nullptr};
       }
       cache_.RecordDecode(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -110,17 +112,17 @@ PinnedLabel QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
       block = cache_.Put(key, std::move(*decoded));
     }
     int64_t row = block->RowIndexFor(node);
-    if (row < 0) return {LabelView{}, std::move(block)};
+    if (row < 0) return {twohop::JoinView{}, std::move(block)};
     cache_.MemoRow(row_key, block, static_cast<uint32_t>(row));
-    LabelView view = block->Row(static_cast<size_t>(row));
+    twohop::JoinView view = block->JoinRow(static_cast<size_t>(row));
     return {view, std::move(block)};
   }
   // Borrow route: label storage the backend already owns (in-memory
-  // covers, raw mmapped file images) is lent as a span — zero copies,
-  // no pin needed (backend-lifetime storage). For compressed backends
-  // this only serves rows with no block: the empty ones.
-  if (std::optional<LabelView> borrowed = out ? backend_->BorrowOutLabel(node)
-                                              : backend_->BorrowInLabel(node)) {
+  // covers, raw mmapped file images) is lent as a kernel view — zero
+  // copies, no pin needed (backend-lifetime storage). For compressed
+  // backends this only serves rows with no block: the empty ones.
+  if (std::optional<twohop::JoinView> borrowed =
+          out ? backend_->BorrowOutJoin(node) : backend_->BorrowInJoin(node)) {
     ++stats->labels_borrowed;
     return {*borrowed, nullptr};
   }
@@ -129,7 +131,7 @@ PinnedLabel QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
   uint64_t key = LabelCache::KeyFor(side, node);
   if (LabelBlock hit = cache_.Get(key)) {
     ++stats->cache_hits;
-    LabelView view = hit->Row(0);
+    twohop::JoinView view = hit->JoinRow(0);
     return {view, std::move(hit)};
   }
   ++stats->cache_misses;
@@ -137,8 +139,9 @@ PinnedLabel QueryEngine::FetchLabel(LabelCache::Side side, NodeId node,
   wrapped->entries = out ? backend_->OutLabel(node) : backend_->InLabel(node);
   wrapped->row_keys = {node};
   wrapped->row_begin = {0, static_cast<uint32_t>(wrapped->entries.size())};
+  wrapped->BuildJoinMirrors();
   LabelBlock block = cache_.Put(key, std::move(wrapped));
-  LabelView view = block->Row(0);
+  twohop::JoinView view = block->JoinRow(0);
   return {view, std::move(block)};
 }
 
@@ -172,14 +175,12 @@ BatchResponse QueryEngine::Batch(const BatchRequest& request) const {
         if (request.want_distances) distance[k] = 0;
         continue;
       }
-      PinnedLabel lout =
-          FetchLabel(LabelCache::Side::kOut, u, &response.stats,
-                     &response.error);
-      PinnedLabel lin = FetchLabel(LabelCache::Side::kIn, v, &response.stats,
-                                   &response.error);
-      twohop::LabelJoinResult join = twohop::JoinLabelRanges(
-          u, v, lout.view.data(), lout.view.size(), lin.view.data(),
-          lin.view.size(), request.want_distances);
+      PinnedJoin lout = FetchJoinLabel(LabelCache::Side::kOut, u,
+                                       &response.stats, &response.error);
+      PinnedJoin lin = FetchJoinLabel(LabelCache::Side::kIn, v,
+                                      &response.stats, &response.error);
+      twohop::LabelJoinResult join = twohop::JoinViews(
+          u, v, lout.view, lin.view, request.want_distances);
       reachable[k] = join.connected;
       if (request.want_distances) distance[k] = join.distance;
     }

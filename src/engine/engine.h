@@ -219,15 +219,18 @@ class QueryEngine {
   LabelCache::Stats CacheStats() const { return cache_.StatsSnapshot(); }
 
  private:
-  /// One label fetch: borrow from the backend when offered, else serve
-  /// a pinned block through the byte-budgeted cache (decoding it on a
+  /// One label fetch, as the join kernels want it: borrow from the
+  /// backend when offered (kernel views straight off a cover's SoA
+  /// mirrors, strided walks over mmapped images), else serve a pinned
+  /// block through the byte-budgeted cache (decoding it on a
   /// block-route miss, materializing a one-row block on a copy-route
-  /// miss). Counts the route taken into `stats`; the first decode
-  /// failure lands in `*error` and yields an empty view. The returned
-  /// PinnedLabel keeps the view valid regardless of later fetches or
-  /// evictions — exactly as long as the batch join needs it.
-  PinnedLabel FetchLabel(LabelCache::Side side, NodeId node,
-                         BatchStats* stats, Status* error) const;
+  /// miss) and hand out its packed JoinRow. Counts the route taken
+  /// into `stats`; the first decode failure lands in `*error` and
+  /// yields an empty view. The returned PinnedJoin keeps the view
+  /// valid regardless of later fetches or evictions — exactly as long
+  /// as the batch join needs it.
+  PinnedJoin FetchJoinLabel(LabelCache::Side side, NodeId node,
+                            BatchStats* stats, Status* error) const;
 
   const collection::Collection* collection_;
   std::unique_ptr<ReachabilityBackend> backend_;

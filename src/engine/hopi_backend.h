@@ -56,6 +56,16 @@ class HopiIndexBackend final : public ReachabilityBackend {
     const twohop::TwoHopCover& cover = index_->cover();
     return v < cover.NumNodes() ? LabelView(cover.In(v)) : LabelView();
   }
+  // The cover keeps packed SoA mirrors with real summaries — hand the
+  // kernels those instead of the strided AoS adaptation.
+  std::optional<twohop::JoinView> BorrowOutJoin(NodeId u) const override {
+    const twohop::TwoHopCover& cover = index_->cover();
+    return u < cover.NumNodes() ? cover.OutJoin(u) : twohop::JoinView{};
+  }
+  std::optional<twohop::JoinView> BorrowInJoin(NodeId v) const override {
+    const twohop::TwoHopCover& cover = index_->cover();
+    return v < cover.NumNodes() ? cover.InJoin(v) : twohop::JoinView{};
+  }
 
  private:
   const HopiIndex* index_;

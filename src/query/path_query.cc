@@ -1,9 +1,9 @@
 #include "query/path_query.h"
 
 #include <algorithm>
-#include <set>
 
 #include "engine/hopi_backend.h"
+#include "twohop/join_kernel.h"
 
 namespace hopi::query {
 
@@ -173,14 +173,30 @@ Result<size_t> CountPathResults(const PathExpression& expr,
   for (size_t s = 1; s < expr.steps.size() && !frontier.empty(); ++s) {
     std::vector<Candidate> next_candidates =
         StepCandidates(expr.steps[s], collection, tags, options);
-    // Union of descendants of the frontier, then intersect.
-    std::set<NodeId> reachable;
+    // Union of descendants of the frontier (sorted, deduped), then a
+    // sorted-set intersection with the candidate ids. The intersection
+    // goes through the join-kernel helper, which gallops when one side
+    // dwarfs the other — the common shape here (few candidates for a
+    // selective tag, a large reachable union).
+    std::vector<uint32_t> reachable;
     for (const Candidate& f : frontier) {
-      for (NodeId d : backend.Descendants(f.element)) reachable.insert(d);
+      std::vector<NodeId> desc = backend.Descendants(f.element);
+      reachable.insert(reachable.end(), desc.begin(), desc.end());
     }
+    std::sort(reachable.begin(), reachable.end());
+    reachable.erase(std::unique(reachable.begin(), reachable.end()),
+                    reachable.end());
+    std::vector<uint32_t> ids;
+    ids.reserve(next_candidates.size());
+    for (const Candidate& c : next_candidates) ids.push_back(c.element);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    std::vector<uint32_t> common = twohop::IntersectSorted(ids, reachable);
     std::vector<Candidate> survivors;
     for (const Candidate& c : next_candidates) {
-      if (reachable.count(c.element)) survivors.push_back(c);
+      if (std::binary_search(common.begin(), common.end(), c.element)) {
+        survivors.push_back(c);
+      }
     }
     frontier = std::move(survivors);
   }

@@ -203,6 +203,7 @@ Result<DecodedBlock> DecodeLabelBlock(std::span<const std::byte> blob,
   if (total_entries != block.num_entries) {
     return corrupt("block entry count mismatch");
   }
+  decoded.BuildJoinMirrors();
   return decoded;
 }
 

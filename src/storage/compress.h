@@ -96,6 +96,13 @@ struct DecodedBlock {
   std::vector<twohop::LabelEntry> entries;  // rows back to back
   std::vector<uint32_t> row_keys;           // strictly ascending
   std::vector<uint32_t> row_begin;          // row_keys.size() + 1 offsets
+  // Packed SoA mirrors of `entries` for the vectorized join kernels
+  // (twohop/join_kernel.h): the same rows column-wise, plus one
+  // LabelSummary word per row for the O(1) disjointness prefilter.
+  // Built once at decode time by BuildJoinMirrors().
+  std::vector<uint32_t> centers;            // entries[i].center
+  std::vector<uint32_t> dists;              // entries[i].dist
+  std::vector<uint64_t> row_summaries;      // LabelSummary word per row
 
   size_t NumRows() const { return row_keys.size(); }
 
@@ -104,12 +111,44 @@ struct DecodedBlock {
     return sizeof(DecodedBlock) +
            entries.size() * sizeof(twohop::LabelEntry) +
            row_keys.size() * sizeof(uint32_t) +
-           row_begin.size() * sizeof(uint32_t);
+           row_begin.size() * sizeof(uint32_t) +
+           centers.size() * sizeof(uint32_t) +
+           dists.size() * sizeof(uint32_t) +
+           row_summaries.size() * sizeof(uint64_t);
   }
 
   std::span<const twohop::LabelEntry> Row(size_t r) const {
     return std::span<const twohop::LabelEntry>(entries)
         .subspan(row_begin[r], row_begin[r + 1] - row_begin[r]);
+  }
+
+  /// Packed kernel-ready view of row r (SoA columns + summary).
+  twohop::JoinView JoinRow(size_t r) const {
+    twohop::JoinView v;
+    v.centers = centers.data() + row_begin[r];
+    v.dists = dists.data() + row_begin[r];
+    v.n = row_begin[r + 1] - row_begin[r];
+    v.summary = twohop::LabelSummary{row_summaries[r]};
+    return v;
+  }
+
+  /// Fills the SoA columns and per-row summaries from `entries` /
+  /// `row_begin`. DecodeLabelBlock calls this; hand-built blocks (the
+  /// engine's one-row copy route, tests) must call it after populating
+  /// the AoS members.
+  void BuildJoinMirrors() {
+    centers.resize(entries.size());
+    dists.resize(entries.size());
+    row_summaries.assign(NumRows(), twohop::LabelSummary::kEmptyWord);
+    for (size_t r = 0; r < NumRows(); ++r) {
+      twohop::LabelSummary s = twohop::LabelSummary::Empty();
+      for (uint32_t i = row_begin[r]; i < row_begin[r + 1]; ++i) {
+        centers[i] = entries[i].center;
+        dists[i] = entries[i].dist;
+        s.Add(entries[i].center);
+      }
+      row_summaries[r] = s.word;
+    }
   }
 
   /// Binary search by row key; -1 when the key is not in this block.

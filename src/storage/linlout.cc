@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "storage/format.h"
+#include "twohop/join_kernel.h"
 
 namespace hopi::storage {
 
@@ -92,9 +93,11 @@ bool LinLoutStore::TestConnection(NodeId id1, NodeId id2) const {
   // both via the shared 2-hop join over the table ranges.
   auto [ol, oh] = ForwardRange(lout_fwd_, id1);
   auto [il, ih] = ForwardRange(lin_fwd_, id2);
-  return twohop::JoinLabelRanges(id1, id2, lout_fwd_.data() + ol, oh - ol,
-                                 lin_fwd_.data() + il, ih - il,
-                                 /*want_distance=*/false)
+  return twohop::JoinViews(
+             id1, id2,
+             twohop::JoinView::FromEntries(lout_fwd_.data() + ol, oh - ol),
+             twohop::JoinView::FromEntries(lin_fwd_.data() + il, ih - il),
+             /*want_distance=*/false)
       .connected;
 }
 
@@ -103,9 +106,11 @@ std::optional<uint32_t> LinLoutStore::MinDistance(NodeId id1,
   if (id1 == id2) return 0;
   auto [ol, oh] = ForwardRange(lout_fwd_, id1);
   auto [il, ih] = ForwardRange(lin_fwd_, id2);
-  return twohop::JoinLabelRanges(id1, id2, lout_fwd_.data() + ol, oh - ol,
-                                 lin_fwd_.data() + il, ih - il,
-                                 /*want_distance=*/true)
+  return twohop::JoinViews(
+             id1, id2,
+             twohop::JoinView::FromEntries(lout_fwd_.data() + ol, oh - ol),
+             twohop::JoinView::FromEntries(lin_fwd_.data() + il, ih - il),
+             /*want_distance=*/true)
       .distance;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "twohop/join_kernel.h"
+
 namespace hopi::storage {
 
 namespace {
@@ -211,18 +213,23 @@ bool MappedLinLoutStore::TestConnection(NodeId id1, NodeId id2) const {
   if (!compressed()) {
     auto lout = LoutSpan(id1);
     auto lin = LinSpan(id2);
-    return twohop::JoinLabelRanges(id1, id2, lout.data(), lout.size(),
-                                   lin.data(), lin.size(),
-                                   /*want_distance=*/false)
+    return twohop::JoinViews(
+               id1, id2,
+               twohop::JoinView::FromEntries(lout.data(), lout.size()),
+               twohop::JoinView::FromEntries(lin.data(), lin.size()),
+               /*want_distance=*/false)
         .connected;
   }
   auto lout = DecodeLoutRow(id1);
   auto lin = DecodeLinRow(id2);
   if (!lout.ok() || !lin.ok()) return false;  // post-Open corruption only
-  return twohop::JoinLabelRanges(id1, id2, lout->entries.data(),
-                                 lout->entries.size(), lin->entries.data(),
-                                 lin->entries.size(),
-                                 /*want_distance=*/false)
+  return twohop::JoinViews(
+             id1, id2,
+             twohop::JoinView::FromEntries(lout->entries.data(),
+                                           lout->entries.size()),
+             twohop::JoinView::FromEntries(lin->entries.data(),
+                                           lin->entries.size()),
+             /*want_distance=*/false)
       .connected;
 }
 
@@ -232,18 +239,23 @@ std::optional<uint32_t> MappedLinLoutStore::MinDistance(NodeId id1,
   if (!compressed()) {
     auto lout = LoutSpan(id1);
     auto lin = LinSpan(id2);
-    return twohop::JoinLabelRanges(id1, id2, lout.data(), lout.size(),
-                                   lin.data(), lin.size(),
-                                   /*want_distance=*/true)
+    return twohop::JoinViews(
+               id1, id2,
+               twohop::JoinView::FromEntries(lout.data(), lout.size()),
+               twohop::JoinView::FromEntries(lin.data(), lin.size()),
+               /*want_distance=*/true)
         .distance;
   }
   auto lout = DecodeLoutRow(id1);
   auto lin = DecodeLinRow(id2);
   if (!lout.ok() || !lin.ok()) return std::nullopt;
-  return twohop::JoinLabelRanges(id1, id2, lout->entries.data(),
-                                 lout->entries.size(), lin->entries.data(),
-                                 lin->entries.size(),
-                                 /*want_distance=*/true)
+  return twohop::JoinViews(
+             id1, id2,
+             twohop::JoinView::FromEntries(lout->entries.data(),
+                                           lout->entries.size()),
+             twohop::JoinView::FromEntries(lin->entries.data(),
+                                           lin->entries.size()),
+             /*want_distance=*/true)
       .distance;
 }
 

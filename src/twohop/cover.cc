@@ -3,33 +3,54 @@
 #include <algorithm>
 #include <cassert>
 
+#include "twohop/join_kernel.h"
+
 namespace hopi::twohop {
 
 void TwoHopCover::EnsureNodes(size_t n) {
   if (in_.size() < n) {
     in_.resize(n);
     out_.resize(n);
+    in_soa_.resize(n);
+    out_soa_.resize(n);
   }
 }
 
-bool TwoHopCover::InsertEntry(std::vector<LabelEntry>* label, NodeId center,
+void TwoHopCover::SoAMirror::Rebuild(const std::vector<LabelEntry>& entries) {
+  centers.resize(entries.size());
+  dists.resize(entries.size());
+  summary = LabelSummary::Empty();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    centers[i] = entries[i].center;
+    dists[i] = entries[i].dist;
+    summary.Add(entries[i].center);
+  }
+}
+
+bool TwoHopCover::InsertEntry(std::vector<LabelEntry>* label,
+                              SoAMirror* mirror, NodeId center,
                               uint32_t dist) {
   auto it = std::lower_bound(label->begin(), label->end(), center,
                              [](const LabelEntry& e, NodeId c) {
                                return e.center < c;
                              });
+  size_t pos = static_cast<size_t>(it - label->begin());
   if (it != label->end() && it->center == center) {
     it->dist = std::min(it->dist, dist);
+    mirror->dists[pos] = it->dist;
     return false;
   }
   label->insert(it, {center, dist});
+  mirror->centers.insert(mirror->centers.begin() + pos, center);
+  mirror->dists.insert(mirror->dists.begin() + pos, dist);
+  mirror->summary.Add(center);
   return true;
 }
 
 bool TwoHopCover::AddIn(NodeId v, NodeId center, uint32_t dist) {
   assert(v < in_.size());
   if (v == center) return false;  // implicit self entry
-  if (InsertEntry(&in_[v], center, dist)) {
+  if (InsertEntry(&in_[v], &in_soa_[v], center, dist)) {
     ++size_;
     return true;
   }
@@ -39,7 +60,7 @@ bool TwoHopCover::AddIn(NodeId v, NodeId center, uint32_t dist) {
 bool TwoHopCover::AddOut(NodeId u, NodeId center, uint32_t dist) {
   assert(u < out_.size());
   if (u == center) return false;
-  if (InsertEntry(&out_[u], center, dist)) {
+  if (InsertEntry(&out_[u], &out_soa_[u], center, dist)) {
     ++size_;
     return true;
   }
@@ -56,12 +77,14 @@ LabelJoinResult JoinLabels(NodeId u, NodeId v,
 
 bool TwoHopCover::IsConnected(NodeId u, NodeId v) const {
   if (u == v) return true;
-  return JoinLabels(u, v, out_[u], in_[v], /*want_distance=*/false).connected;
+  return JoinViews(u, v, OutJoin(u), InJoin(v), /*want_distance=*/false)
+      .connected;
 }
 
 std::optional<uint32_t> TwoHopCover::Distance(NodeId u, NodeId v) const {
   if (u == v) return 0;
-  return JoinLabels(u, v, out_[u], in_[v], /*want_distance=*/true).distance;
+  return JoinViews(u, v, OutJoin(u), InJoin(v), /*want_distance=*/true)
+      .distance;
 }
 
 void TwoHopCover::UnionWith(const TwoHopCover& other) {
@@ -77,6 +100,8 @@ void TwoHopCover::ClearNode(NodeId v) {
   size_ -= in_[v].size() + out_[v].size();
   in_[v].clear();
   out_[v].clear();
+  in_soa_[v] = SoAMirror{};
+  out_soa_[v] = SoAMirror{};
 }
 
 void TwoHopCover::SetIn(NodeId v, std::vector<LabelEntry> entries) {
@@ -87,6 +112,7 @@ void TwoHopCover::SetIn(NodeId v, std::vector<LabelEntry> entries) {
   size_ -= in_[v].size();
   in_[v] = std::move(entries);
   size_ += in_[v].size();
+  in_soa_[v].Rebuild(in_[v]);
 }
 
 void TwoHopCover::SetOut(NodeId u, std::vector<LabelEntry> entries) {
@@ -97,6 +123,7 @@ void TwoHopCover::SetOut(NodeId u, std::vector<LabelEntry> entries) {
   size_ -= out_[u].size();
   out_[u] = std::move(entries);
   size_ += out_[u].size();
+  out_soa_[u].Rebuild(out_[u]);
 }
 
 bool TwoHopCover::MentionsCenter(NodeId center) const {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "twohop/join_view.h"
 
 namespace hopi::twohop {
 
@@ -115,7 +116,11 @@ LabelJoinResult JoinLabels(NodeId u, NodeId v,
 class TwoHopCover {
  public:
   TwoHopCover() = default;
-  explicit TwoHopCover(size_t num_nodes) : in_(num_nodes), out_(num_nodes) {}
+  explicit TwoHopCover(size_t num_nodes)
+      : in_(num_nodes),
+        out_(num_nodes),
+        in_soa_(num_nodes),
+        out_soa_(num_nodes) {}
 
   void EnsureNodes(size_t n);
   size_t NumNodes() const { return in_.size(); }
@@ -133,6 +138,13 @@ class TwoHopCover {
 
   const std::vector<LabelEntry>& In(NodeId v) const { return in_[v]; }
   const std::vector<LabelEntry>& Out(NodeId u) const { return out_[u]; }
+
+  /// The same labels as packed structure-of-arrays columns with their
+  /// summaries — the shape the vectorized join kernels want. Mirrors
+  /// are maintained incrementally by every mutator; views are borrowed
+  /// and invalidated by the next mutation of that node's label.
+  JoinView InJoin(NodeId v) const { return in_soa_[v].View(); }
+  JoinView OutJoin(NodeId u) const { return out_soa_[u].View(); }
 
   /// Reachability test: true iff u == v or Lout(u) ∪ {u} intersects
   /// Lin(v) ∪ {v}. O(|Lout(u)| + |Lin(v)|).
@@ -161,11 +173,32 @@ class TwoHopCover {
   bool MentionsCenter(NodeId center) const;
 
  private:
-  static bool InsertEntry(std::vector<LabelEntry>* label, NodeId center,
-                          uint32_t dist);
+  /// Packed SoA twin of one node's label vector. The columns duplicate
+  /// the AoS entries exactly (same order); the summary covers exactly
+  /// the centers present (Empty when the label is empty).
+  struct SoAMirror {
+    std::vector<uint32_t> centers;
+    std::vector<uint32_t> dists;
+    LabelSummary summary = LabelSummary::Empty();
+
+    JoinView View() const {
+      JoinView v;
+      v.centers = centers.data();
+      v.dists = dists.data();
+      v.n = centers.size();
+      v.summary = summary;
+      return v;
+    }
+    void Rebuild(const std::vector<LabelEntry>& entries);
+  };
+
+  static bool InsertEntry(std::vector<LabelEntry>* label, SoAMirror* mirror,
+                          NodeId center, uint32_t dist);
 
   std::vector<std::vector<LabelEntry>> in_;   // sorted by center id
   std::vector<std::vector<LabelEntry>> out_;  // sorted by center id
+  std::vector<SoAMirror> in_soa_;             // packed twins of in_/out_
+  std::vector<SoAMirror> out_soa_;
   uint64_t size_ = 0;
 };
 

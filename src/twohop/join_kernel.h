@@ -1,0 +1,100 @@
+// Runtime-dispatched join kernels for the 2-hop label intersection —
+// the one function every reachability probe in the tree bottoms out
+// in.
+//
+// Layering (ISSUE 9 / ROADMAP "as fast as the hardware allows"):
+//
+//   kernels    — a scalar two-pointer baseline, SSE2/AVX2 block-compare
+//                intersection over packed uint32 center columns, and a
+//                galloping (exponential-search) kernel for skewed
+//                |Lout|/|Lin| ratios. All kernels preserve
+//                JoinLabelRanges' semantics bit-for-bit: implicit self
+//                entries, min-plus distance accumulation (with the
+//                same uint32 wraparound on dist sums), first-match
+//                early-out when distances are not wanted.
+//   layout     — kernels run over twohop::JoinView (join_view.h):
+//                packed SoA columns where the producer keeps them
+//                (TwoHopCover mirrors, DecodedBlock packed arrays),
+//                strided AoS walks everywhere else.
+//   prefilter  — each view carries an 8-byte LabelSummary; a probe
+//                whose summaries prove disjointness (including the
+//                self-entry memberships) is rejected in O(1) before
+//                any kernel runs.
+//
+// Dispatch: JoinViews picks a kernel from (a) the explicit `kernel`
+// argument, else (b) the process-wide force (HOPI_JOIN_KERNEL env var
+// or SetForcedJoinKernel), else (c) a size-ratio heuristic over the
+// CPU features util::CpuInfo() detected. A kernel the host cannot run
+// (missing ISA, or SIMD requested for strided views) degrades to the
+// best kernel that can — forcing "avx2" on an SSE-only box runs SSE2,
+// then scalar. Forcing is how the CI matrix pins each implementation
+// without special test builds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "twohop/cover.h"
+#include "twohop/join_view.h"
+
+namespace hopi::twohop {
+
+enum class JoinKernel : uint8_t {
+  kAuto = 0,   // heuristic dispatch (the default everywhere)
+  kScalar,     // two-pointer merge, any stride
+  kGallop,     // exponential search from the smaller side, any stride
+  kSSE2,       // 4-wide block-compare, packed views only
+  kAVX2,       // 8-wide block-compare, packed views only
+};
+
+/// "auto", "scalar", "gallop", "sse2", "avx2" (as HOPI_JOIN_KERNEL and
+/// the bench --kernel flag spell them); nullopt for anything else.
+std::optional<JoinKernel> ParseJoinKernel(std::string_view name);
+std::string_view JoinKernelName(JoinKernel kernel);
+
+/// Process-wide kernel force. Defaults to the HOPI_JOIN_KERNEL
+/// environment variable (read once, unparsable values warn and mean
+/// auto); SetForcedJoinKernel overrides it from code (tests, the bench
+/// --kernel flag). kAuto restores heuristic dispatch. The setter is an
+/// atomic store — safe to call between batches, though tests should
+/// set it before spawning probe threads.
+JoinKernel ForcedJoinKernel();
+void SetForcedJoinKernel(JoinKernel kernel);
+
+/// True when this process can execute `kernel` on packed views (ISA
+/// present and the variant was compiled in). kAuto/kScalar/kGallop are
+/// always true.
+bool JoinKernelSupported(JoinKernel kernel);
+
+/// Every kernel JoinKernelSupported() admits, scalar first — the
+/// rotation order for parity tests and the bench sweep.
+std::vector<JoinKernel> SupportedJoinKernels();
+
+/// The kernel JoinViews would actually run for this shape: `requested`
+/// (or the process force when kAuto) clamped to ISA/stride support,
+/// with the size-ratio heuristic deciding genuine autos. Exposed so
+/// tests can pin the dispatch rules and the bench can label its rows.
+JoinKernel ResolveJoinKernel(JoinKernel requested, size_t lout_n,
+                             size_t lin_n, bool packed);
+
+/// The vectorized twin of JoinLabelRanges (twohop/cover.h): same
+/// implicit-self-entry rule, same min-plus distance semantics, same
+/// results bit-for-bit — over JoinViews, through the prefilter and the
+/// dispatched kernels.
+LabelJoinResult JoinViews(NodeId u, NodeId v, const JoinView& lout,
+                          const JoinView& lin, bool want_distance,
+                          JoinKernel kernel = JoinKernel::kAuto);
+
+/// Sorted-set intersection of two ascending unique id sequences,
+/// galloping when the sizes are skewed (the query/path_query frontier
+/// filter). Returns the common ids, ascending.
+std::vector<uint32_t> IntersectSorted(std::span<const uint32_t> a,
+                                      std::span<const uint32_t> b,
+                                      JoinKernel kernel = JoinKernel::kAuto);
+
+}  // namespace hopi::twohop

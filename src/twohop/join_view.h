@@ -1,0 +1,130 @@
+// The structure-of-arrays label shape the vectorized join kernels run
+// over, plus the 8-byte per-label summary checked before any kernel
+// does.
+//
+// This header is deliberately tiny and dependency-free (it is included
+// by twohop/cover.h, storage/compress.h and engine/backend.h alike):
+// it defines the *currency* — JoinView and LabelSummary — while the
+// kernels themselves live in twohop/join_kernel.h.
+//
+// A JoinView is a borrowed, read-only view: whoever produced it owns
+// the arrays (a cover's SoA mirror, a decoded block's packed columns,
+// an mmapped file image) and the view must not outlive them — the same
+// lifetime contract as engine::LabelView.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace hopi::twohop {
+
+/// An 8-byte summary of one label's center set, built for O(1)
+/// "definitely disjoint" rejection on the probe hot path:
+///
+///   bits  0..47  Bloom filter over the centers (2 probes per center),
+///   bits 48..55  smallest top byte (center >> 24) in the set,
+///   bits 56..63  largest top byte in the set.
+///
+/// Semantics are strictly one-sided: MightContain/MightIntersect may
+/// return true for a center/label that is not really there (a Bloom
+/// false positive — the kernel then runs and answers exactly), but
+/// never false for one that is. Two sentinels bound the lattice: an
+/// Empty() summary (no centers) rejects everything, and an Unknown()
+/// summary (producer has no summary, e.g. a raw mmapped v3 row)
+/// rejects nothing. The min/max bytes only discriminate once center
+/// ids exceed 2^24; below that they are 0 on both sides and the Bloom
+/// word carries the filter alone.
+struct LabelSummary {
+  static constexpr uint64_t kBloomMask = (uint64_t{1} << 48) - 1;
+  /// Bloom empty, min byte 0xFF > max byte 0: intersects nothing.
+  static constexpr uint64_t kEmptyWord = uint64_t{0xFF} << 48;
+  /// Bloom saturated, min byte 0, max byte 0xFF: rejects nothing.
+  static constexpr uint64_t kUnknownWord =
+      kBloomMask | (uint64_t{0xFF} << 56);
+
+  uint64_t word = kUnknownWord;
+
+  static LabelSummary Empty() { return LabelSummary{kEmptyWord}; }
+  static LabelSummary Unknown() { return LabelSummary{kUnknownWord}; }
+
+  /// The two Bloom bits of one center.
+  static uint64_t BloomBits(uint32_t center) {
+    uint64_t h = center * uint64_t{0x9E3779B97F4A7C15};
+    return (uint64_t{1} << ((h >> 32) % 48)) |
+           (uint64_t{1} << ((h >> 52) % 48));
+  }
+
+  uint32_t min_byte() const { return (word >> 48) & 0xFF; }
+  uint32_t max_byte() const { return word >> 56; }
+
+  /// Folds one center in (monotone: summaries only ever widen).
+  void Add(uint32_t center) {
+    uint64_t lo = std::min<uint64_t>(min_byte(), center >> 24);
+    uint64_t hi = std::max<uint64_t>(max_byte(), center >> 24);
+    word = (word & kBloomMask) | BloomBits(center) | (lo << 48) | (hi << 56);
+  }
+
+  /// False only when `center` is definitely not in the set.
+  bool MightContain(uint32_t center) const {
+    uint32_t b = center >> 24;
+    uint64_t bits = BloomBits(center);
+    return b >= min_byte() && b <= max_byte() && (word & bits) == bits;
+  }
+
+  /// False only when the two center sets are definitely disjoint.
+  static bool MightIntersect(LabelSummary a, LabelSummary b) {
+    if (((a.word & b.word) & kBloomMask) == 0) return false;
+    return a.min_byte() <= b.max_byte() && b.min_byte() <= a.max_byte();
+  }
+};
+
+/// One label as the kernels see it: `n` centers sorted ascending and
+/// unique, their distances, and the label's summary. Two layouts share
+/// the type via `stride` (measured in uint32 words):
+///
+///   stride 1 — packed structure-of-arrays columns (a cover's SoA
+///              mirror, a DecodedBlock's packed arrays). This is the
+///              layout the SIMD kernels require.
+///   stride k — a strided walk over array-of-structs storage
+///              (LabelEntry spans -> stride 2, storage::TableRow runs
+///              -> stride 3). Scalar and galloping kernels handle any
+///              stride; dispatch never routes these to SIMD.
+///
+/// `dists == nullptr` means every distance is 0 (plain covers,
+/// backward runs) — center(i)/dist_at(i) are the only sanctioned
+/// accessors.
+struct JoinView {
+  const uint32_t* centers = nullptr;
+  const uint32_t* dists = nullptr;
+  size_t n = 0;
+  size_t stride = 1;
+  LabelSummary summary = LabelSummary::Unknown();
+
+  uint32_t center(size_t i) const { return centers[i * stride]; }
+  uint32_t dist_at(size_t i) const {
+    return dists == nullptr ? 0 : dists[i * stride];
+  }
+
+  /// Adapts a sorted array-of-structs label (anything with `.center`
+  /// and `.dist` fields laid out as uint32s, e.g. twohop::LabelEntry
+  /// or storage::TableRow) as a strided view. The summary defaults to
+  /// Unknown — pass one when the producer keeps it.
+  template <typename Entry>
+  static JoinView FromEntries(const Entry* e, size_t n,
+                              LabelSummary summary = LabelSummary::Unknown()) {
+    static_assert(sizeof(Entry) % sizeof(uint32_t) == 0,
+                  "Entry must be uint32-granular");
+    JoinView v;
+    v.n = n;
+    v.stride = sizeof(Entry) / sizeof(uint32_t);
+    v.summary = n == 0 ? LabelSummary::Empty() : summary;
+    if (n != 0) {
+      v.centers = &e->center;
+      v.dists = &e->dist;
+    }
+    return v;
+  }
+};
+
+}  // namespace hopi::twohop

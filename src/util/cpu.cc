@@ -1,0 +1,28 @@
+#include "util/cpu.h"
+
+namespace hopi::util {
+
+namespace {
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+CpuFeatures Detect() {
+  __builtin_cpu_init();
+  CpuFeatures f;
+  f.sse2 = __builtin_cpu_supports("sse2");
+  f.sse4_2 = __builtin_cpu_supports("sse4.2");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  return f;
+}
+#else
+CpuFeatures Detect() { return CpuFeatures{}; }
+#endif
+
+}  // namespace
+
+const CpuFeatures& CpuInfo() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+}  // namespace hopi::util

@@ -1,0 +1,27 @@
+// Runtime CPU feature detection (cpuid) for the dispatched kernels.
+//
+// The join-kernel subsystem (twohop/join_kernel.h) compiles its SIMD
+// variants unconditionally — AVX2 code via per-function target
+// attributes — and picks an implementation at runtime, katana-style:
+// one algorithm, per-platform kernels. This header is the single
+// source of truth for what the machine we actually landed on can
+// execute; nothing else in the tree may ifdef on -m flags to decide
+// dispatch (compile-time flags describe the *build* machine, not the
+// *run* machine).
+#pragma once
+
+namespace hopi::util {
+
+/// The instruction-set extensions the dispatched kernels care about.
+/// All false on non-x86 targets and on compilers without
+/// __builtin_cpu_supports — dispatch then degrades to portable code.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool sse4_2 = false;
+  bool avx2 = false;
+};
+
+/// Features of the executing CPU, detected once (thread-safe, cached).
+const CpuFeatures& CpuInfo();
+
+}  // namespace hopi::util

@@ -26,6 +26,7 @@
 #include "engine/snapshot.h"
 #include "hopi/build.h"
 #include "test_util.h"
+#include "twohop/join_kernel.h"
 
 namespace hopi {
 namespace {
@@ -238,6 +239,13 @@ class DifferentialScenario : public ::testing::TestWithParam<Scenario> {};
 
 TEST_P(DifferentialScenario, AllAccessPathsMatchClosureAfterMaintenance) {
   const uint64_t seed = GetParam().seed;
+  // Rotate the forced join kernel across scenarios so the whole
+  // differential harness exercises every probe kernel the host can run
+  // (scalar, gallop, and whichever SIMD widths cpuid admits), not just
+  // the heuristic pick. Restored below; scenario seeds cover each
+  // kernel several times.
+  std::vector<twohop::JoinKernel> kernels = twohop::SupportedJoinKernels();
+  twohop::SetForcedJoinKernel(kernels[seed % kernels.size()]);
   Rng rng(seed * 7919 + 1);
   // Scenario shape is itself randomized: document count, tree sizes,
   // link density, op count, distance mode and partitioning all vary.
@@ -262,9 +270,14 @@ TEST_P(DifferentialScenario, AllAccessPathsMatchClosureAfterMaintenance) {
   for (size_t op = 0; op < ops; ++op) {
     trace += (op ? ", " : "") + ApplyRandomOp(&rng, &c, &index, &doc_counter);
   }
-  SCOPED_TRACE("seed " + std::to_string(seed) + ": " + trace);
+  SCOPED_TRACE("seed " + std::to_string(seed) + ": " + trace +
+               " [kernel " +
+               std::string(twohop::JoinKernelName(
+                   kernels[seed % kernels.size()])) +
+               "]");
   ExpectAllAccessPathsMatchOracle(c, index, with_distance,
                                   "seed" + std::to_string(seed));
+  twohop::SetForcedJoinKernel(twohop::JoinKernel::kAuto);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -13,6 +13,7 @@
 #include "hopi/build.h"
 #include "query/path_query.h"
 #include "test_util.h"
+#include "twohop/join_kernel.h"
 
 namespace hopi::engine {
 namespace {
@@ -230,6 +231,71 @@ TEST_F(QueryEngineFixture, BatchMatchesScalarAcrossAllBackends) {
       EXPECT_EQ(r.distances[i], engine->backend().Distance(u, v))
           << engine->backend().Name() << " " << u << "->" << v;
     }
+  }
+}
+
+/// Pins the process-wide join kernel for one scope; restores heuristic
+/// dispatch on exit so test order cannot leak a forced kernel.
+class ScopedJoinKernel {
+ public:
+  explicit ScopedJoinKernel(twohop::JoinKernel k) {
+    twohop::SetForcedJoinKernel(k);
+  }
+  ~ScopedJoinKernel() {
+    twohop::SetForcedJoinKernel(twohop::JoinKernel::kAuto);
+  }
+};
+
+TEST_F(QueryEngineFixture, AllJoinKernelsAgreeAcrossAllBackends) {
+  // The CI matrix forces each kernel via HOPI_JOIN_KERNEL; this is the
+  // in-process equivalent: every supported kernel must answer every
+  // probe shape identically through all five backends — scalar and
+  // batch, reachability and distance — on top of the per-kernel
+  // property suite in join_kernel_test.
+  std::vector<NodePair> pairs = RandomPairs(400, 23);
+  pairs.push_back({3, 3});
+  std::vector<bool> golden_reach;
+  std::vector<std::optional<uint32_t>> golden_dist;
+  {
+    ScopedJoinKernel pin(twohop::JoinKernel::kScalar);
+    for (auto [u, v] : pairs) {
+      golden_reach.push_back(backends_[0]->IsReachable(u, v));
+      golden_dist.push_back(backends_[0]->Distance(u, v));
+    }
+  }
+  for (twohop::JoinKernel kernel : twohop::SupportedJoinKernels()) {
+    ScopedJoinKernel pin(kernel);
+    for (const auto& backend : backends_) {
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        auto [u, v] = pairs[i];
+        EXPECT_EQ(golden_reach[i], backend->IsReachable(u, v))
+            << backend->Name() << " kernel " << twohop::JoinKernelName(kernel)
+            << " " << u << "->" << v;
+        EXPECT_EQ(golden_dist[i], backend->Distance(u, v))
+            << backend->Name() << " kernel " << twohop::JoinKernelName(kernel)
+            << " " << u << "->" << v;
+      }
+    }
+    for (const auto& engine : engines_) {
+      BatchResponse r =
+          engine->Batch({.pairs = pairs, .want_distances = true});
+      ASSERT_TRUE(r.error.ok());
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        EXPECT_EQ(golden_reach[i], r.reachable[i])
+            << engine->backend().Name() << " kernel "
+            << twohop::JoinKernelName(kernel);
+        EXPECT_EQ(golden_dist[i], r.distances[i])
+            << engine->backend().Name() << " kernel "
+            << twohop::JoinKernelName(kernel);
+      }
+    }
+  }
+  // Forcing a kernel the host cannot run must degrade, not break: the
+  // answers stay correct even when kAVX2 is pinned on a non-AVX2 box.
+  ScopedJoinKernel pin(twohop::JoinKernel::kAVX2);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    auto [u, v] = pairs[i];
+    EXPECT_EQ(golden_reach[i], backends_[0]->IsReachable(u, v));
   }
 }
 
