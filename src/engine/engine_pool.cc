@@ -91,7 +91,10 @@ Status EnginePool::CheckAcceptingOr(const char* what) const {
   return Status::OK();
 }
 
-size_t EnginePool::PickLane() {
+size_t EnginePool::PickLane(std::optional<uint64_t> lane_hint) {
+  if (lane_hint.has_value()) {
+    return static_cast<size_t>(*lane_hint % workers_.size());
+  }
   size_t cursor =
       next_lane_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   if (options_.dispatch == EnginePoolOptions::Dispatch::kRoundRobin) {
@@ -131,7 +134,9 @@ Status EnginePool::Enqueue(WorkItem item, const char* what) {
     return Status::ResourceExhausted(
         std::string(what) + " shed: pending load over the high watermark");
   }
-  switch (queue_.TryPush(PickLane(), std::move(item))) {
+  std::optional<uint64_t> lane_hint =
+      item.batch ? item.batch->request.lane_hint : std::nullopt;
+  switch (queue_.TryPush(PickLane(lane_hint), std::move(item))) {
     case LanePush::kAccepted:
       return Status::OK();
     case LanePush::kShed:

@@ -82,10 +82,15 @@ struct EnginePoolOptions {
   /// thread-per-core default), clamped to at least 1.
   size_t num_threads = 0;
 
-  /// How submissions pick a worker lane.
+  /// How submissions pick a worker lane. Either policy is overridden
+  /// by BatchRequest::lane_hint: a hinted batch always lands on lane
+  /// (hint % workers), which is how keyspace-sharding clients (e.g.
+  /// the scatter-gather router) actually get per-worker cache reuse —
+  /// the policies below only spread *unhinted* traffic.
   enum class Dispatch {
-    /// Cycle through workers — spreads a uniform stream and maximizes
-    /// per-worker cache reuse for clients that shard their keyspace.
+    /// Cycle through workers — spreads a uniform stream evenly. The
+    /// global cursor is shared by all clients, so without lane_hint
+    /// two interleaved request streams do NOT each stick to a worker.
     kRoundRobin,
     /// Worker with the least pending work (queued items + the one it
     /// is executing), all-idle ties rotated round-robin — absorbs
@@ -437,7 +442,9 @@ class EnginePool {
     std::optional<HopiIndex> index;
   };
 
-  size_t PickLane();
+  /// `lane_hint` (from BatchRequest) pins the choice to hint % workers
+  /// regardless of the dispatch policy; nullopt applies the policy.
+  size_t PickLane(std::optional<uint64_t> lane_hint);
   void WorkerLoop(size_t lane);
   /// Rebinds worker `lane` to the published serving state if it
   /// changed; returns the state the next item will be served from.

@@ -244,6 +244,40 @@ std::vector<HBarRow> ComputeHBarPartitioned(
 
 }  // namespace
 
+std::vector<SkeletonRow> ComputeSkeletonCover(
+    const partition::PartitionSkeletonGraph& psg, const JoinOptions& options,
+    uint64_t* psg_partitions) {
+  uint64_t partitions_used = 1;
+  std::vector<HBarRow> hbar_rows;
+  if (options.psg_partition_cap > 0 &&
+      psg.graph.NumNodes() > options.psg_partition_cap) {
+    hbar_rows =
+        ComputeHBarPartitioned(psg, options.psg_partition_cap,
+                               &partitions_used);
+  } else {
+    hbar_rows = ComputeHBarWhole(psg);
+  }
+  if (psg_partitions != nullptr) *psg_partitions = partitions_used;
+
+  std::vector<SkeletonRow> rows;
+  rows.reserve(hbar_rows.size());
+  for (const HBarRow& row : hbar_rows) {
+    SkeletonRow out{psg.to_element[row.source], {}};
+    out.targets.reserve(row.targets.size());
+    for (const auto& [t, d] : row.targets) {
+      out.targets.push_back({psg.to_element[t], d});
+    }
+    // HBarRow targets are sorted by PSG node id; re-sort by element id
+    // so consumers can merge-intersect rows.
+    std::sort(out.targets.begin(), out.targets.end(),
+              [](const SkeletonTarget& a, const SkeletonTarget& b) {
+                return a.target < b.target;
+              });
+    rows.push_back(std::move(out));
+  }
+  return rows;
+}
+
 Status JoinCoversIncremental(const collection::Collection& collection,
                              const partition::Partitioning& partitioning,
                              bool with_distance,
@@ -284,29 +318,8 @@ Status JoinCoversRecursive(const collection::Collection& collection,
   // H-bar_out is kept aside: H-hat (step 3) must copy *exactly* these
   // entries to within-partition ancestors, and partition membership of
   // descendants must be evaluated against the pre-join covers.
-  std::vector<HBarRow> hbar_rows;
-  if (options.psg_partition_cap > 0 &&
-      psg.graph.NumNodes() > options.psg_partition_cap) {
-    hbar_rows = ComputeHBarPartitioned(psg, options.psg_partition_cap,
-                                       &stats->psg_partitions);
-  } else {
-    hbar_rows = ComputeHBarWhole(psg);
-    stats->psg_partitions = 1;
-  }
-  // Translate to element ids for label application.
-  struct HBarEntry {
-    NodeId target_element;
-    uint32_t dist;
-  };
-  std::vector<std::pair<NodeId, std::vector<HBarEntry>>> hbar;  // per source
-  for (const HBarRow& row : hbar_rows) {
-    std::vector<HBarEntry> entries;
-    entries.reserve(row.targets.size());
-    for (const auto& [t, d] : row.targets) {
-      entries.push_back({psg.to_element[t], d});
-    }
-    hbar.push_back({psg.to_element[row.source], std::move(entries)});
-  }
+  std::vector<SkeletonRow> hbar =
+      ComputeSkeletonCover(psg, options, &stats->psg_partitions);
 
   // Step 3a: H-hat for link sources — every within-partition ancestor a of
   // s inherits H-bar_out(s), at distance dist(a,s) + dist_psg(s,t).
@@ -319,7 +332,7 @@ Status JoinCoversRecursive(const collection::Collection& collection,
   };
   std::vector<AncestorTask> tasks;
   for (size_t i = 0; i < hbar.size(); ++i) {
-    NodeId s_elem = hbar[i].first;
+    NodeId s_elem = hbar[i].source;
     uint32_t s_part =
         partitioning.part_of[collection.DocOf(s_elem)];
     tasks.push_back({s_elem, 0, i});
@@ -361,21 +374,21 @@ Status JoinCoversRecursive(const collection::Collection& collection,
   }
 
   // Apply H-bar (source labels)...
-  for (const auto& [s_elem, entries] : hbar) {
-    for (const HBarEntry& e : entries) {
-      if (cover->AddOut(s_elem, e.target_element,
-                        with_distance ? e.dist : 0)) {
+  for (const SkeletonRow& row : hbar) {
+    for (const SkeletonTarget& e : row.targets) {
+      if (cover->AddOut(row.source, e.target, with_distance ? e.dist : 0)) {
         ++stats->hbar_entries;
       }
     }
   }
   // ...then H-hat for ancestors...
   for (const AncestorTask& task : tasks) {
-    if (task.dist_to_source == 0 && task.ancestor == hbar[task.hbar_index].first) {
+    if (task.dist_to_source == 0 &&
+        task.ancestor == hbar[task.hbar_index].source) {
       continue;  // the source itself already carries H-bar
     }
-    for (const HBarEntry& e : hbar[task.hbar_index].second) {
-      if (cover->AddOut(task.ancestor, e.target_element,
+    for (const SkeletonTarget& e : hbar[task.hbar_index].targets) {
+      if (cover->AddOut(task.ancestor, e.target,
                         with_distance ? task.dist_to_source + e.dist : 0)) {
         ++stats->hhat_entries;
       }

@@ -15,9 +15,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "collection/collection.h"
 #include "partition/partitioner.h"
+#include "partition/psg.h"
 #include "twohop/reverse_index.h"
 #include "util/result.h"
 
@@ -57,5 +59,33 @@ Status JoinCoversRecursive(const collection::Collection& collection,
                            twohop::IndexedCover* cover,
                            JoinStats* stats = nullptr,
                            const JoinOptions& options = {});
+
+/// One H-bar entry, already translated to element ids: the PSG shortest
+/// distance from a cross-link source to a cross-link target (exactly the
+/// values Sec 4.1's H-bar cover stores; 0 in plain builds' labels, but
+/// the PSG distance is reported here either way so callers can do
+/// min-plus composition).
+struct SkeletonTarget {
+  NodeId target;  // element id of a cross-link target
+  uint32_t dist;  // shortest PSG distance source -> target (>= 1)
+};
+
+/// H-bar_out of one cross-link source, sorted by target element id.
+struct SkeletonRow {
+  NodeId source;  // element id of a cross-link source
+  std::vector<SkeletonTarget> targets;
+};
+
+/// Computes the H-bar skeleton cover over an already-built PSG: for every
+/// cross-link source s, the set of cross-link targets it reaches and the
+/// PSG shortest distance to each. This is the reusable core of
+/// JoinCoversRecursive's step 2 — the sharded serving router consumes the
+/// rows directly instead of folding them into one unified cover. Honors
+/// JoinOptions::psg_partition_cap (the Sec 4.1 recursive PSG split);
+/// `psg_partitions` (optional) reports how many PSG partitions were used
+/// (1 = traversed whole).
+std::vector<SkeletonRow> ComputeSkeletonCover(
+    const partition::PartitionSkeletonGraph& psg,
+    const JoinOptions& options = {}, uint64_t* psg_partitions = nullptr);
 
 }  // namespace hopi

@@ -30,7 +30,11 @@ void AppendLatencyJson(std::string* out,
 
 ReachabilityService::ReachabilityService(engine::EnginePool* pool,
                                          WireLimits limits)
-    : pool_(pool), wire_(limits) {}
+    : pool_(pool), sharded_(nullptr), wire_(limits) {}
+
+ReachabilityService::ReachabilityService(engine::ShardedEngine* sharded,
+                                         WireLimits limits)
+    : pool_(nullptr), sharded_(sharded), wire_(limits) {}
 
 HttpServer::Handler ReachabilityService::AsHandler() {
   return [this](HttpRequest request, HttpServer::Responder responder) {
@@ -115,11 +119,27 @@ void ReachabilityService::HandleBatch(HttpRequest&& request,
                                       HttpServer::Responder&& responder) {
   const uint64_t started_us = NowMicros();
   // Base ∪ delta: ids created by buffered mutations are probeable.
-  const uint64_t num_elements = pool_->ServingElementCount();
+  const uint64_t num_elements = sharded_ ? sharded_->ServingElementCount()
+                                         : pool_->ServingElementCount();
   Result<engine::BatchRequest> parsed =
       wire_.ParseBatchRequest(request.body, num_elements);
   if (!parsed.ok()) {
     SendError(&batch_, responder, parsed.status(), started_us);
+    return;
+  }
+  if (sharded_) {
+    // The merge callback runs on a shard completion thread (or the
+    // watchdog): serialize there and let the Responder carry the bytes
+    // back to the IO thread — same shape as the pool path below.
+    Status submitted = sharded_->SubmitBatch(
+        std::move(parsed).value(),
+        [this, responder, started_us](engine::ShardedBatchResponse response) {
+          SendOk(&batch_, responder,
+                 JsonWire::SerializeShardedBatchResponse(response), started_us);
+        });
+    if (!submitted.ok()) {
+      SendError(&batch_, responder, submitted, started_us);
+    }
     return;
   }
   // The callback runs on a serving worker: serialize there (cheap) and
@@ -148,7 +168,15 @@ void ReachabilityService::HandlePath(HttpRequest&& request,
     SendError(&path_, responder, parsed.status(), started_us);
     return;
   }
-  Status submitted = pool_->SubmitQuery(
+  // The sharded engine's SubmitQuery has the pool's exact callback
+  // contract, so both modes share one completion lambda.
+  auto submit = [this](engine::PathQueryRequest req,
+                       std::function<void(Result<engine::PoolPathResponse>)>
+                           on_done) {
+    return sharded_ ? sharded_->SubmitQuery(std::move(req), std::move(on_done))
+                    : pool_->SubmitQuery(std::move(req), std::move(on_done));
+  };
+  Status submitted = submit(
       std::move(parsed).value(),
       [this, responder, started_us](Result<engine::PoolPathResponse> result) {
         if (!result.ok()) {
@@ -173,6 +201,13 @@ void ReachabilityService::HandlePath(HttpRequest&& request,
 void ReachabilityService::HandleMutate(HttpRequest&& request,
                                        HttpServer::Responder&& responder) {
   const uint64_t started_us = NowMicros();
+  if (sharded_) {
+    SendError(&mutate_, responder,
+              Status::Unsupported(
+                  "mutation is not supported in sharded serving"),
+              started_us);
+    return;
+  }
   if (!mutations_enabled_) {
     SendError(&mutate_, responder,
               Status::Unsupported(
@@ -237,6 +272,7 @@ void ReachabilityService::SendOk(Endpoint* endpoint,
 }
 
 std::string ReachabilityService::StatsJson() const {
+  if (sharded_) return ShardedStatsJson();
   engine::PoolStats pool = pool_->Stats();
   std::string out = "{\"pool\":{";
   out += "\"batches\":" + std::to_string(pool.batches);
@@ -271,22 +307,61 @@ std::string ReachabilityService::StatsJson() const {
          std::to_string(pool.last_rebuild_pause_us);
   out += ",\"degradation\":" + JsonNumber(pool.degradation);
   out += '}';
+  AppendServerAndEndpoints(&out);
+  return out;
+}
+
+std::string ReachabilityService::ShardedStatsJson() const {
+  engine::ShardStats stats = sharded_->Stats();
+  std::string out = "{\"sharded\":{";
+  out += "\"shards\":" + std::to_string(sharded_->num_shards());
+  out += std::string(",\"with_distance\":") +
+         (sharded_->with_distance() ? "true" : "false");
+  out += ",\"batches\":" + std::to_string(stats.batches);
+  out += ",\"direct_pairs\":" + std::to_string(stats.direct_pairs);
+  out += ",\"cross_pairs\":" + std::to_string(stats.cross_pairs);
+  out += ",\"routeless_pairs\":" + std::to_string(stats.routeless_pairs);
+  out += ",\"subbatches\":" + std::to_string(stats.subbatches);
+  out += ",\"leg_probes\":" + std::to_string(stats.leg_probes);
+  out += ",\"partial_batches\":" + std::to_string(stats.partial_batches);
+  out += ",\"failed_subbatches\":" + std::to_string(stats.failed_subbatches);
+  out += ",\"merges\":" + std::to_string(stats.merges);
+  out += ",\"merge_latency_us_total\":" +
+         std::to_string(stats.merge_latency_us_total);
+  out += ",\"merge_latency_us_max\":" +
+         std::to_string(stats.merge_latency_us_max);
+  out += ",\"per_shard_probes\":[";
+  for (size_t s = 0; s < stats.per_shard_probes.size(); ++s) {
+    if (s > 0) out += ',';
+    out += std::to_string(stats.per_shard_probes[s]);
+  }
+  out += "],\"fanout_histogram\":[";
+  for (size_t b = 0; b < stats.fanout_histogram.size(); ++b) {
+    if (b > 0) out += ',';
+    out += std::to_string(stats.fanout_histogram[b]);
+  }
+  out += "]}";
+  AppendServerAndEndpoints(&out);
+  return out;
+}
+
+void ReachabilityService::AppendServerAndEndpoints(std::string* out) const {
   if (server_stats_) {
     ServerStats server = server_stats_();
-    out += ",\"server\":{";
-    out += "\"connections_accepted\":" +
-           std::to_string(server.connections_accepted);
-    out += ",\"connections_refused\":" +
-           std::to_string(server.connections_refused);
-    out += ",\"connections_closed\":" +
-           std::to_string(server.connections_closed);
-    out += ",\"open_connections\":" + std::to_string(server.open_connections);
-    out += ",\"requests\":" + std::to_string(server.requests);
-    out += ",\"responses\":" + std::to_string(server.responses);
-    out += ",\"parse_errors\":" + std::to_string(server.parse_errors);
-    out += '}';
+    *out += ",\"server\":{";
+    *out += "\"connections_accepted\":" +
+            std::to_string(server.connections_accepted);
+    *out += ",\"connections_refused\":" +
+            std::to_string(server.connections_refused);
+    *out += ",\"connections_closed\":" +
+            std::to_string(server.connections_closed);
+    *out += ",\"open_connections\":" + std::to_string(server.open_connections);
+    *out += ",\"requests\":" + std::to_string(server.requests);
+    *out += ",\"responses\":" + std::to_string(server.responses);
+    *out += ",\"parse_errors\":" + std::to_string(server.parse_errors);
+    *out += '}';
   }
-  out += ",\"endpoints\":{";
+  *out += ",\"endpoints\":{";
   const struct {
     const char* name;
     const Endpoint* endpoint;
@@ -297,22 +372,21 @@ std::string ReachabilityService::StatsJson() const {
                     {"healthz", &healthz_}};
   bool first = true;
   for (const auto& [name, endpoint] : kEndpoints) {
-    if (!first) out += ',';
+    if (!first) *out += ',';
     first = false;
-    out += '"';
-    out += name;
-    out += "\":{\"requests\":" +
-           std::to_string(endpoint->requests.load(std::memory_order_relaxed));
-    out += ",\"errors\":" +
-           std::to_string(endpoint->errors.load(std::memory_order_relaxed));
-    out += ",\"sheds\":" +
-           std::to_string(endpoint->sheds.load(std::memory_order_relaxed));
-    out += ",\"latency_us\":";
-    AppendLatencyJson(&out, endpoint->latency.TakeSnapshot());
-    out += '}';
+    *out += '"';
+    *out += name;
+    *out += "\":{\"requests\":" +
+            std::to_string(endpoint->requests.load(std::memory_order_relaxed));
+    *out += ",\"errors\":" +
+            std::to_string(endpoint->errors.load(std::memory_order_relaxed));
+    *out += ",\"sheds\":" +
+            std::to_string(endpoint->sheds.load(std::memory_order_relaxed));
+    *out += ",\"latency_us\":";
+    AppendLatencyJson(out, endpoint->latency.TakeSnapshot());
+    *out += '}';
   }
-  out += "}}";
-  return out;
+  *out += "}}";
 }
 
 }  // namespace hopi::net

@@ -33,6 +33,7 @@
 #include <string>
 
 #include "engine/engine_pool.h"
+#include "engine/sharded_engine.h"
 #include "net/server.h"
 #include "net/wire.h"
 #include "util/stats.h"
@@ -44,6 +45,16 @@ class ReachabilityService {
  public:
   /// `pool` must outlive the service (and the server routing into it).
   explicit ReachabilityService(engine::EnginePool* pool,
+                               WireLimits limits = {});
+
+  /// Sharded mode (hopi_serve --shards=N): the same routes served by a
+  /// ShardedEngine. /v1/batch answers carry the "resolved" mask and
+  /// per-shard snapshot versions; a partial merge (deadline, failed
+  /// shard) still answers 200 with "partial_error", matching the
+  /// single-pool partial-result convention. /v1/mutate answers 501 —
+  /// the sharded write path does not exist yet. `sharded` must outlive
+  /// the service.
+  explicit ReachabilityService(engine::ShardedEngine* sharded,
                                WireLimits limits = {});
 
   /// The HttpServer handler. Bind with
@@ -75,6 +86,9 @@ class ReachabilityService {
     std::atomic<uint64_t> sheds{0};   // the 429 subset of errors
   };
 
+  std::string ShardedStatsJson() const;
+  void AppendServerAndEndpoints(std::string* out) const;
+
   void Handle(HttpRequest request, HttpServer::Responder responder);
   void HandleBatch(HttpRequest&& request, HttpServer::Responder&& responder);
   void HandlePath(HttpRequest&& request, HttpServer::Responder&& responder);
@@ -90,7 +104,10 @@ class ReachabilityService {
   void SendOk(Endpoint* endpoint, const HttpServer::Responder& responder,
               std::string body, uint64_t started_us);
 
+  // Exactly one of the two engines is set; every handler branches on
+  // `sharded_` being null.
   engine::EnginePool* pool_;
+  engine::ShardedEngine* sharded_;
   JsonWire wire_;
   std::function<ServerStats()> server_stats_;
   bool mutations_enabled_ = false;  // set once before serving starts

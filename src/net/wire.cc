@@ -316,6 +316,52 @@ std::string JsonWire::SerializeBatchResponse(
   return out;
 }
 
+std::string JsonWire::SerializeShardedBatchResponse(
+    const engine::ShardedBatchResponse& response) {
+  const engine::BatchResponse& batch = response.batch;
+  std::string out = "{\"reachable\":[";
+  for (size_t i = 0; i < batch.reachable.size(); ++i) {
+    if (i > 0) out += ',';
+    out += batch.reachable[i] ? "true" : "false";
+  }
+  out += ']';
+  if (!batch.distances.empty()) {
+    out += ",\"distances\":[";
+    for (size_t i = 0; i < batch.distances.size(); ++i) {
+      if (i > 0) out += ',';
+      if (batch.distances[i].has_value()) {
+        out += std::to_string(*batch.distances[i]);
+      } else {
+        out += "null";
+      }
+    }
+    out += ']';
+  }
+  out += ",\"resolved\":[";
+  for (size_t i = 0; i < response.resolved.size(); ++i) {
+    if (i > 0) out += ',';
+    out += response.resolved[i] ? "true" : "false";
+  }
+  out += "],\"shard_versions\":[";
+  for (size_t i = 0; i < response.shard_versions.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(response.shard_versions[i]);
+  }
+  out += ']';
+  out += ",\"stats\":{\"probes\":" + std::to_string(batch.stats.probes);
+  out += ",\"unique_probes\":" + std::to_string(batch.stats.unique_probes);
+  out += ",\"cache_hits\":" + std::to_string(batch.stats.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(batch.stats.cache_misses);
+  out += ",\"labels_borrowed\":" + std::to_string(batch.stats.labels_borrowed);
+  out += "}";
+  if (!response.status.ok()) {
+    out += ",\"partial_error\":";
+    out += SerializeError(response.status);
+  }
+  out += '}';
+  return out;
+}
+
 std::string JsonWire::SerializePathResponse(
     const engine::PoolPathResponse& response) {
   const engine::PathQueryResponse& path = response.result.value();
@@ -359,6 +405,10 @@ int JsonWire::HttpStatusFor(const Status& status) {
       return 404;
     case StatusCode::kResourceExhausted:
       return 429;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kUnavailable:
+      return 503;
     case StatusCode::kFailedPrecondition:
       return 503;
     case StatusCode::kUnsupported:

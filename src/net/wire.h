@@ -20,6 +20,7 @@
 
 #include "engine/engine.h"
 #include "engine/engine_pool.h"
+#include "engine/sharded_engine.h"
 #include "net/json.h"
 #include "util/result.h"
 
@@ -75,6 +76,13 @@ class JsonWire {
 
   static std::string SerializeBatchResponse(
       const engine::PoolBatchResponse& response);
+
+  /// The sharded-serving twin: same "reachable"/"distances"/"stats"
+  /// shape plus "resolved" (per-pair authority mask), "shard_versions"
+  /// (the per-shard snapshot versions that answered), and
+  /// "partial_error" when the merge degraded (deadline, failed shard).
+  static std::string SerializeShardedBatchResponse(
+      const engine::ShardedBatchResponse& response);
 
   /// Precondition: response.result.ok() (errors go through
   /// SerializeError at the service layer).

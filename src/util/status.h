@@ -28,6 +28,12 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,   // transient overload: a bounded queue is full or an
                         // admission watermark tripped — retrying later is
                         // expected to succeed (maps to HTTP 429)
+  kDeadlineExceeded,    // a deadline elapsed before the operation finished;
+                        // any result delivered alongside is partial (maps to
+                        // HTTP 504)
+  kUnavailable,         // a required component (e.g. a shard) failed or is
+                        // unreachable; retrying may succeed once it recovers
+                        // (maps to HTTP 503)
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -70,6 +76,12 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const {
@@ -87,6 +99,10 @@ class [[nodiscard]] Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -23,6 +24,8 @@
 #include "engine/backends.h"
 #include "engine/delta_overlay.h"
 #include "engine/engine_pool.h"
+#include "engine/shard_router.h"
+#include "engine/sharded_engine.h"
 #include "engine/snapshot.h"
 #include "hopi/build.h"
 #include "test_util.h"
@@ -710,6 +713,202 @@ TEST(DeltaOverlayOutcomeTest, HopBudgetExhaustionsSurfaceInPoolStats) {
   EXPECT_GT(stats.overlay_probes, 0u);
   EXPECT_GT(stats.overlay_bfs_fallbacks, 0u);
   EXPECT_GT(stats.overlay_budget_exhaustions, 0u);
+}
+
+// ---- sharded scatter-gather scenarios ----
+//
+// The sharded serving tier against the same two oracles: the closure
+// (independent: rebuilt from the element graph) and the single-engine
+// build (the un-sharded access path the shard decomposition must be
+// bit-identical to). Every scenario chains the document roots so any
+// 2+ shard grouping is forced to cut cross-shard links — the scatter
+// path, the skeleton routes, and the min-plus merge always face the
+// full n×n matrix, never just the direct-routing fast path.
+
+// Runs the full matrix through a freshly planned ShardedEngine at one
+// shard count and asserts bit-identity with both oracles. The merge
+// deadline is off (deterministic: no shard is ever slow here), so a
+// non-OK status or an unresolved pair is itself a failure.
+void ExpectShardedMatchesOracles(Collection* c, const HopiIndex& single,
+                                 const TransitiveClosureIndex& closure,
+                                 size_t num_shards, bool with_distance,
+                                 uint64_t psg_partition_cap,
+                                 const std::string& context) {
+  engine::ShardPlanOptions plan_options;
+  plan_options.num_shards = num_shards;
+  plan_options.with_distance = with_distance;
+  plan_options.partition.strategy =
+      partition::PartitionStrategy::kDocPerPartition;
+  plan_options.psg_partition_cap = psg_partition_cap;
+  plan_options.num_threads = 2;
+  auto plan = engine::BuildShardPlan(c, plan_options);
+  ASSERT_TRUE(plan.ok()) << context << ": " << plan.status();
+  if (plan->num_shards >= 2) {
+    // The root chain guarantees scatter coverage at any multi-shard cut.
+    EXPECT_GT(plan->stats.cross_shard_links, 0u) << context;
+    EXPECT_GT(plan->stats.cross_shard_routes, 0u) << context;
+  }
+
+  engine::ShardedEngineOptions options;
+  options.threads_per_shard = 2;
+  options.merge_deadline = std::chrono::milliseconds(0);
+  engine::ShardedEngine sharded(c, &*plan, options);
+  engine::HopiIndexBackend single_backend(single);
+
+  const auto n = static_cast<NodeId>(c->NumElements());
+  size_t mismatches = 0;
+  engine::BatchRequest request;
+  request.want_distances = with_distance;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      request.pairs.push_back({u, v});
+      if (request.pairs.size() < 1024 && !(u + 1 == n && v + 1 == n)) {
+        continue;
+      }
+      std::vector<engine::NodePair> pairs = request.pairs;
+      auto response = sharded.Batch(std::exchange(
+          request,
+          engine::BatchRequest{.pairs = {}, .want_distances = with_distance}));
+      ASSERT_TRUE(response.ok()) << context << ": " << response.status();
+      ASSERT_TRUE(response->status.ok()) << context << ": "
+                                         << response->status;
+      ASSERT_EQ(response->batch.reachable.size(), pairs.size()) << context;
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        const auto [a, b] = pairs[i];
+        bool expect = closure.IsReachable(a, b);
+        bool exact = response->resolved[i] &&
+                     response->batch.reachable[i] == expect &&
+                     response->batch.reachable[i] ==
+                         single_backend.IsReachable(a, b);
+        if (exact && with_distance) {
+          exact = response->batch.distances[i] == closure.Distance(a, b) &&
+                  response->batch.distances[i] == single_backend.Distance(a, b);
+        }
+        if (!exact) {
+          if (mismatches == 0) {
+            ADD_FAILURE() << context << ": sharded engine diverges on " << a
+                          << "->" << b << " (got "
+                          << (response->batch.reachable[i] != 0)
+                          << ", closure says " << expect << ", resolved "
+                          << (response->resolved[i] != 0) << ")";
+          }
+          ++mismatches;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << context;
+  engine::ShardStats stats = sharded.Stats();
+  EXPECT_EQ(stats.partial_batches, 0u) << context;
+  if (plan->num_shards >= 2) {
+    EXPECT_GT(stats.cross_pairs, 0u) << context;
+  }
+}
+
+class ShardedDifferentialScenario : public ::testing::TestWithParam<Scenario> {
+};
+
+TEST_P(ShardedDifferentialScenario, ShardedEngineMatchesClosureAndSingle) {
+  const uint64_t seed = GetParam().seed;
+  Rng rng(seed * 6133 + 11);
+  size_t docs = 6 + rng.NextBounded(5);
+  size_t mean_extra = 3 + rng.NextBounded(5);
+  size_t links = 8 + rng.NextBounded(14);
+  bool with_distance = seed % 2 == 1;
+
+  Collection c = testing::RandomCollection(docs, mean_extra, links,
+                                           seed + 9000);
+  // Chain the document roots: every grouping of the per-document
+  // partitions into 2+ shards must cut the chain somewhere, so
+  // cross-shard links exist at every shard count by construction.
+  std::vector<NodeId> roots;
+  for (DocId d = 0; d < c.NumDocuments(); ++d) {
+    roots.push_back(c.ElementsOf(d).front());
+  }
+  for (size_t d = 0; d + 1 < roots.size(); ++d) {
+    if (!c.ElementGraph().HasEdge(roots[d], roots[d + 1])) {
+      c.AddLink(roots[d], roots[d + 1]);
+    }
+  }
+
+  IndexBuildOptions build_options;
+  build_options.with_distance = with_distance;
+  auto built = BuildIndex(&c, build_options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  HopiIndex index = std::move(built).value();
+
+  // A third of the seeds kill one document through Sec-6 maintenance
+  // before the shard plans are cut: dead documents must route to
+  // kUnassignedShard and answer dead through the whole matrix.
+  if (seed % 3 == 0) {
+    auto dead = static_cast<DocId>(1 + seed % (docs - 1));
+    ASSERT_TRUE(index.DeleteDocument(dead).ok());
+  }
+
+  TransitiveClosureIndex closure =
+      TransitiveClosureIndex::Build(c.ElementGraph(), with_distance);
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  for (size_t shards : {2u, 3u, 5u}) {
+    // A third of the seeds split the shard-level skeleton PSG
+    // recursively (Sec 4.1 at the shard tier) instead of traversing it
+    // whole; answers must not change.
+    uint64_t psg_cap = seed % 3 == 1 ? 4 : 0;
+    ExpectShardedMatchesOracles(
+        &c, index, closure, shards, with_distance, psg_cap,
+        "seed" + std::to_string(seed) + "_shards" + std::to_string(shards));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardedRandomGraphs, ShardedDifferentialScenario,
+    ::testing::ValuesIn([] {
+      std::vector<Scenario> scenarios;
+      for (uint64_t seed = 1; seed <= 8; ++seed) scenarios.push_back({seed});
+      return scenarios;
+    }()),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// The adversarial topology for the scatter path: a long root chain
+// with skip links, so reachability between distant documents crosses
+// MANY shard boundaries and the exact distance threads through
+// multi-hop skeleton routes (the PSG-closure property the router's
+// single-hop route expansion rests on).
+TEST(ShardedDifferentialBaseline, HeavyCrossLinkChainAcrossShards) {
+  for (bool with_distance : {false, true}) {
+    Collection c;
+    std::vector<NodeId> roots;
+    for (size_t d = 0; d < 12; ++d) {
+      DocId doc = c.AddDocument("chain" + std::to_string(d) + ".xml");
+      NodeId root = c.AddElement(doc, "article");
+      roots.push_back(root);
+      c.AddElement(doc, "section", root);
+      c.AddElement(doc, "cite", root);
+    }
+    for (size_t d = 0; d + 1 < roots.size(); ++d) {
+      c.AddLink(roots[d], roots[d + 1]);
+    }
+    for (size_t d = 0; d + 3 < roots.size(); ++d) {
+      c.AddLink(roots[d], roots[d + 3]);
+    }
+
+    IndexBuildOptions build_options;
+    build_options.with_distance = with_distance;
+    auto built = BuildIndex(&c, build_options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    TransitiveClosureIndex closure =
+        TransitiveClosureIndex::Build(c.ElementGraph(), with_distance);
+    for (size_t shards : {2u, 3u, 5u}) {
+      for (uint64_t psg_cap : {uint64_t{0}, uint64_t{3}}) {
+        ExpectShardedMatchesOracles(
+            &c, *built, closure, shards, with_distance, psg_cap,
+            std::string("chain_") + (with_distance ? "dist" : "plain") +
+                "_shards" + std::to_string(shards) + "_cap" +
+                std::to_string(psg_cap));
+      }
+    }
+  }
 }
 
 // The no-maintenance baseline: a freshly built index over a random

@@ -143,6 +143,37 @@ TEST_F(EnginePoolFixture, LeastLoadedAndRoundRobinBothServeEverything) {
   }
 }
 
+TEST_F(EnginePoolFixture, LaneHintPinsTheWorkerLaneUnderEitherPolicy) {
+  // The per-worker cache-affinity contract keyspace-sharding clients
+  // (the scatter-gather router) rely on: a hinted batch lands on lane
+  // hint % workers no matter which dispatch policy spreads the
+  // unhinted traffic — and no matter what other requests interleave.
+  for (auto dispatch : {EnginePoolOptions::Dispatch::kRoundRobin,
+                        EnginePoolOptions::Dispatch::kLeastLoaded}) {
+    EnginePoolOptions options;
+    options.num_threads = 4;
+    options.dispatch = dispatch;
+    EnginePool pool(snapshot_, options);
+    for (uint64_t hint : {0u, 1u, 2u, 3u, 5u, 42u, 1000003u}) {
+      for (int rep = 0; rep < 3; ++rep) {
+        BatchRequest request;
+        request.pairs = RandomPairs(16, hint * 10 + rep);
+        request.lane_hint = hint;
+        // Unhinted interleaver: advances the round-robin cursor /
+        // perturbs the load so a policy-routed hinted batch would
+        // drift lanes between reps.
+        auto unhinted = pool.SubmitBatch({.pairs = RandomPairs(8, hint + rep)});
+        ASSERT_TRUE(unhinted.ok());
+        auto response = pool.Batch(std::move(request));
+        ASSERT_TRUE(response.ok()) << response.status();
+        EXPECT_EQ(response->worker, hint % 4)
+            << "hint " << hint << " rep " << rep;
+        std::move(unhinted).value().get();
+      }
+    }
+  }
+}
+
 TEST_F(EnginePoolFixture, ShutdownDrainsThenRejects) {
   EnginePool pool(snapshot_, {.num_threads = 2});
   std::vector<std::future<PoolBatchResponse>> futures;
